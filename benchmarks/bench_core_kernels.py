@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the two GenClus kernels.
+
+Unlike the whole-experiment benches, these time the hot loops properly
+(multiple rounds): one EM update (the Fig. 11 bottleneck) and one full
+strength-learning call, both on a mid-size weather network.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.em import em_update
+from repro.core.initialization import random_theta
+from repro.core.problem import compile_problem
+from repro.core.strength import learn_strengths
+from repro.datagen.weather import WeatherConfig, generate_weather_network
+from repro.experiments.weather_common import WEATHER_ATTRIBUTES
+
+
+@pytest.fixture(scope="module")
+def compiled_problem():
+    generated = generate_weather_network(
+        WeatherConfig(
+            n_temperature=400,
+            n_precipitation=200,
+            k_neighbors=5,
+            n_observations=5,
+            seed=0,
+        )
+    )
+    problem = compile_problem(generated.network, WEATHER_ATTRIBUTES, 4)
+    rng = np.random.default_rng(0)
+    for model in problem.attribute_models:
+        model.init_params(rng)
+    theta = random_theta(rng, problem.num_nodes, problem.n_clusters)
+    # settle theta a little so both kernels see realistic inputs
+    gamma = np.ones(problem.num_relations)
+    for _ in range(3):
+        theta = em_update(
+            theta, gamma, problem.matrices, problem.attribute_models
+        )
+    return problem, theta, gamma
+
+
+def test_em_update_kernel(benchmark, compiled_problem):
+    problem, theta, gamma = compiled_problem
+    result = benchmark(
+        em_update, theta, gamma, problem.matrices, problem.attribute_models
+    )
+    assert result.shape == theta.shape
+    np.testing.assert_allclose(result.sum(axis=1), 1.0, atol=1e-9)
+
+
+def test_strength_learning_kernel(benchmark, compiled_problem):
+    problem, theta, gamma = compiled_problem
+    outcome = benchmark(
+        learn_strengths, theta, problem.matrices, gamma, 0.1, 30
+    )
+    assert np.all(outcome.gamma >= 0.0)

@@ -1,0 +1,20 @@
+"""Benchmark + shape check for Fig. 10 (typical running case)."""
+
+from repro.experiments.fig10_running_case import run
+
+
+def test_fig10_running_case(run_once):
+    report = run_once(run, scale="smoke", seed=0)
+    assert report.experiment_id == "fig10"
+    iterations = [row["iteration"] for row in report.rows]
+    assert iterations == list(range(11))  # 0 (init) .. 10
+    first, last = report.rows[0], report.rows[-1]
+    # gamma starts at the all-ones initialization
+    gamma_columns = [c for c in report.columns if c.startswith("gamma(")]
+    assert all(first[c] == 1.0 for c in gamma_columns)
+    # mutual enhancement: accuracy does not get worse over the run
+    assert last["nmi_A"] >= first["nmi_A"] - 0.05
+    assert last["nmi_C"] >= first["nmi_C"] - 0.05
+    # and the strengths have separated from the uniform start
+    final_gammas = [last[c] for c in gamma_columns]
+    assert max(final_gammas) - min(final_gammas) > 0.01

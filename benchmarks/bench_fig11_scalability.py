@@ -1,0 +1,23 @@
+"""Benchmark + shape check for Fig. 11 (EM scalability)."""
+
+from repro.experiments.fig11_scalability import run
+
+
+def test_fig11_scalability(run_once):
+    report = run_once(run, scale="smoke", seed=0)
+    assert report.experiment_id == "fig11"
+    assert len(report.rows) > 0
+    for row in report.rows:
+        assert row["seconds_per_iteration"] > 0.0
+    # linear-ish scaling: the largest network should not cost more than
+    # ~10x the smallest per iteration (they differ by <2x in size)
+    per_setting: dict[int, list[tuple[int, float]]] = {}
+    for row in report.rows:
+        per_setting.setdefault(row["setting"], []).append(
+            (row["n_objects"], row["seconds_per_iteration"])
+        )
+    for setting, series in per_setting.items():
+        series.sort()
+        smallest = series[0][1]
+        largest = series[-1][1]
+        assert largest < smallest * 10 + 1e-3

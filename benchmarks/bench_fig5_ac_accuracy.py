@@ -1,0 +1,18 @@
+"""Benchmark + shape check for Fig. 5 (AC-network clustering accuracy)."""
+
+from repro.experiments.fig5_ac_accuracy import BREAKDOWNS, run
+
+
+def test_fig5_ac_accuracy(run_once):
+    report = run_once(run, scale="smoke", seed=0)
+    assert report.experiment_id == "fig5"
+    methods = [row["method"] for row in report.rows]
+    assert methods == ["NetPLSA", "iTopicModel", "GenClus"]
+    for row in report.rows:
+        for breakdown in BREAKDOWNS:
+            assert 0.0 <= row[f"mean_{breakdown}"] <= 1.0
+            assert row[f"std_{breakdown}"] >= 0.0
+    by_method = {row["method"]: row for row in report.rows}
+    # paper shape: GenClus is never the worst method overall
+    overall = {m: by_method[m]["mean_Overall"] for m in methods}
+    assert overall["GenClus"] >= min(overall.values())

@@ -1,0 +1,22 @@
+"""Benchmark + shape check for Fig. 6 (ACP-network clustering accuracy).
+
+The ACP network is the paper's headline incomplete-attribute case: text
+sits on papers only, so methods must push cluster information through
+typed links.  GenClus must win overall here.
+"""
+
+from repro.experiments.fig6_acp_accuracy import run
+
+
+def test_fig6_acp_accuracy(run_once):
+    report = run_once(run, scale="smoke", seed=0)
+    assert report.experiment_id == "fig6"
+    by_method = {row["method"]: row for row in report.rows}
+    assert set(by_method) == {"NetPLSA", "iTopicModel", "GenClus"}
+    # paper shape: GenClus best overall on the incomplete-attribute view
+    genclus = by_method["GenClus"]["mean_Overall"]
+    for method in ("NetPLSA", "iTopicModel"):
+        assert genclus >= by_method[method]["mean_Overall"] - 0.05
+    # and the per-type breakdown is populated
+    for column in ("mean_C", "mean_A", "mean_P"):
+        assert 0.0 <= by_method["GenClus"][column] <= 1.0

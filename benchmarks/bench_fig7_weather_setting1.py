@@ -1,0 +1,21 @@
+"""Benchmark + shape check for Fig. 7 (weather Setting 1 accuracy)."""
+
+from repro.experiments.fig7_weather_setting1 import run
+
+
+def test_fig7_weather_setting1(run_once):
+    report = run_once(run, scale="smoke", seed=0)
+    assert report.experiment_id == "fig7"
+    assert len(report.rows) > 0
+    for row in report.rows:
+        for method in ("Kmeans", "SpectralCombine", "GenClus"):
+            assert 0.0 <= row[method] <= 1.0
+    # every (#P, nobs) grid cell is present (shape claims about who wins
+    # are asserted at default/paper scale and recorded in EXPERIMENTS.md;
+    # the 60-sensor smoke networks are too small for stable orderings)
+    cells = {(row["n_P"], row["n_obs"]) for row in report.rows}
+    assert len(cells) == len(report.rows)
+    # and all methods produce meaningfully-above-zero clusterings in the
+    # easiest cell (most observations, densest precipitation coverage)
+    easiest = max(report.rows, key=lambda r: (r["n_P"], r["n_obs"]))
+    assert easiest["GenClus"] > 0.1

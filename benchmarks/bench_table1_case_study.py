@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Table 1 (cluster membership case study)."""
+
+from repro.datagen.dblp import AREAS
+from repro.experiments.table1_case_study import run
+
+
+def test_table1_case_study(run_once):
+    report = run_once(run, scale="smoke", seed=0)
+    assert report.experiment_id == "table1"
+    assert len(report.rows) == 5  # SIGMOD, KDD, CIKM, two authors
+    for row in report.rows:
+        total = sum(row[area] for area in AREAS)
+        assert abs(total - 1.0) < 1e-6
+        assert all(row[area] >= 0.0 for area in AREAS)
+    named = {row["object"] for row in report.rows}
+    assert {"SIGMOD", "KDD", "CIKM"} <= named

@@ -1,0 +1,18 @@
+"""Benchmark + shape check for Table 2 (A-C link prediction, AC net)."""
+
+from repro.experiments.table2_linkpred_ac import run
+
+
+def test_table2_linkpred_ac(run_once):
+    report = run_once(run, scale="smoke", seed=0)
+    assert report.experiment_id == "table2"
+    assert len(report.rows) == 3  # one per similarity function
+    for row in report.rows:
+        for method in ("NetPLSA", "iTopicModel", "GenClus"):
+            assert 0.0 <= row[method] <= 1.0
+    similarities = [row["similarity"] for row in report.rows]
+    assert similarities == [
+        "cos(theta_i, theta_j)",
+        "-||theta_i - theta_j||",
+        "-H(theta_j, theta_i)",
+    ]

@@ -1,0 +1,12 @@
+"""Benchmark + shape check for Table 3 (P-C link prediction, ACP net)."""
+
+from repro.experiments.table3_linkpred_acp import run
+
+
+def test_table3_linkpred_acp(run_once):
+    report = run_once(run, scale="smoke", seed=0)
+    assert report.experiment_id == "table3"
+    assert len(report.rows) == 3
+    for row in report.rows:
+        for method in ("NetPLSA", "iTopicModel", "GenClus"):
+            assert 0.0 <= row[method] <= 1.0

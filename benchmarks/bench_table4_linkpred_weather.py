@@ -1,0 +1,14 @@
+"""Benchmark + shape check for Table 4 (<T,P> link prediction)."""
+
+from repro.experiments.table4_linkpred_weather import run
+
+
+def test_table4_linkpred_weather(run_once):
+    report = run_once(run, scale="smoke", seed=0)
+    assert report.experiment_id == "table4"
+    assert len(report.rows) == 3
+    values = {row["similarity"]: row["MAP"] for row in report.rows}
+    assert all(0.0 <= v <= 1.0 for v in values.values())
+    # kNN link prediction from memberships must beat a random ranking by
+    # a clear margin (expected AP of random ~ k/#P = 5/15 at smoke scale)
+    assert max(values.values()) > 0.4

@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Table 5 (weather link-type strengths)."""
+
+from repro.experiments.table5_weather_strengths import run
+
+
+def test_table5_weather_strengths(run_once):
+    report = run_once(run, scale="smoke", seed=0)
+    assert report.experiment_id == "table5"
+    assert len(report.rows) == 3  # one per #P choice
+    for row in report.rows:
+        for relation in ("<T,T>", "<T,P>", "<P,T>", "<P,P>"):
+            assert row[relation] >= 0.0
+    # paper shape: with P sensors at their sparsest, T-typed neighbours
+    # are the more trusted source for temperature sensors
+    sparsest = report.rows[0]
+    assert sparsest["<T,T>"] >= sparsest["<T,P>"]

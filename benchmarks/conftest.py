@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_<artifact>.py`` regenerates one table/figure of the paper
+at smoke scale through pytest-benchmark, then asserts the report's
+qualitative shape so a regression in either speed or correctness fails
+the suite.  Full-size runs go through ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark clock.
+
+    Whole-experiment regeneration is too slow for multi-round timing;
+    ``pedantic`` with one round records a single wall-clock measurement.
+    """
+
+    def _run(runner, **kwargs):
+        return benchmark.pedantic(
+            runner, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

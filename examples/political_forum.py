@@ -1,0 +1,71 @@
+"""The paper's Fig. 1 motivating example: political interests in a forum.
+
+Users, blogs and books; friendship links cross political camps (noisy
+for this purpose), while user-writes-blog and user-likes-book stay
+inside camps (reliable).  Only half the users state their interests in
+their profile.  GenClus must (a) recover the camps for *every* user,
+including the silent ones, and (b) learn that user-like-book matters
+more than friendship -- the exact claim of the paper's introduction.
+
+Run with::
+
+    python examples/political_forum.py
+"""
+
+import numpy as np
+
+from repro import GenClus, GenClusConfig
+from repro.datagen.toy import (
+    political_forum_network,
+    political_forum_truth,
+)
+from repro.eval.nmi import nmi
+
+
+def main() -> None:
+    network = political_forum_network()
+    truth = political_forum_truth(network)
+    text = network.text_attribute("text")
+    users = network.nodes_of_type("user")
+    silent = [u for u in users if not text.has_observations(u)]
+    print(
+        f"forum network: {len(users)} users "
+        f"({len(silent)} with empty profiles), "
+        f"{len(network.nodes_of_type('blog'))} blogs, "
+        f"{len(network.nodes_of_type('book'))} books"
+    )
+
+    config = GenClusConfig(
+        n_clusters=2, outer_iterations=5, seed=1, n_init=3
+    )
+    result = GenClus(config).fit(network, attributes=["text"])
+
+    truth_array = np.asarray([truth[n] for n in network.node_ids])
+    print(
+        f"\nNMI over all objects: "
+        f"{nmi(truth_array, result.hard_labels()):.4f}"
+    )
+
+    silent_idx = [network.index_of(u) for u in silent]
+    silent_truth = truth_array[silent_idx]
+    silent_pred = result.hard_labels()[silent_idx]
+    print(
+        f"NMI over profile-less users only: "
+        f"{nmi(silent_truth, silent_pred):.4f}"
+    )
+
+    print("\nLearned link-type strengths:")
+    for relation, gamma in sorted(
+        result.strengths().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {relation:<12} gamma = {gamma:6.3f}")
+    strengths = result.strengths()
+    if strengths["likes"] > strengths["friend"]:
+        print(
+            "\n=> user-like-book outweighs friendship for this purpose, "
+            "as the paper's introduction argues."
+        )
+
+
+if __name__ == "__main__":
+    main()

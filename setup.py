@@ -1,0 +1,11 @@
+"""Setup shim for environments whose setuptools lacks PEP 660 support.
+
+``pip install -e . --no-build-isolation`` (or plain ``pip install -e .``
+when the sandbox has no network for build isolation) falls back to the
+legacy ``setup.py develop`` path through this file.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

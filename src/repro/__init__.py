@@ -1,0 +1,69 @@
+"""GenClus: relation strength-aware clustering of heterogeneous
+information networks with incomplete attributes.
+
+A from-scratch reproduction of Sun, Aggarwal, Han (PVLDB 5(5), 2012).
+The top-level package re-exports the pieces most users need; the
+subpackages hold the full system:
+
+* :mod:`repro.hin` -- the heterogeneous-network substrate (typed nodes
+  and links, weighted edges, incomplete attribute tables, serialization).
+* :mod:`repro.core` -- the GenClus model and algorithm.
+* :mod:`repro.baselines` -- NetPLSA, iTopicModel, k-means, spectral.
+* :mod:`repro.datagen` -- weather-sensor and synthetic-DBLP generators.
+* :mod:`repro.eval` -- NMI, MAP, similarity functions, link prediction.
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+Quickstart::
+
+    from repro import GenClus, GenClusConfig, NetworkBuilder, TextAttribute
+
+    builder = NetworkBuilder()
+    builder.object_type("user").object_type("book")
+    builder.add_paired_relation("likes", "user", "book", inverse="liked_by")
+    ...
+    network = builder.build()
+    result = GenClus(GenClusConfig(n_clusters=2, seed=0)).fit(
+        network, attributes=["text"])
+    print(result.strengths())
+"""
+
+from repro.core.config import GenClusConfig
+from repro.core.genclus import GenClus
+from repro.core.result import GenClusResult
+from repro.exceptions import (
+    AttributeSpecError,
+    ConfigError,
+    ConvergenceError,
+    NetworkError,
+    ReproError,
+    SchemaError,
+    SerializationError,
+)
+from repro.hin.attributes import NumericAttribute, TextAttribute
+from repro.hin.builder import NetworkBuilder
+from repro.hin.io import load_network, save_network
+from repro.hin.network import HeterogeneousNetwork
+from repro.hin.schema import NetworkSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeSpecError",
+    "ConfigError",
+    "ConvergenceError",
+    "GenClus",
+    "GenClusConfig",
+    "GenClusResult",
+    "HeterogeneousNetwork",
+    "NetworkBuilder",
+    "NetworkError",
+    "NetworkSchema",
+    "NumericAttribute",
+    "ReproError",
+    "SchemaError",
+    "SerializationError",
+    "TextAttribute",
+    "__version__",
+    "load_network",
+    "save_network",
+]

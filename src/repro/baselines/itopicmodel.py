@@ -1,0 +1,107 @@
+"""iTopicModel baseline (Sun, Han, Gao, Yu, ICDM 2009 [22]).
+
+A topic model for document networks: each document's topic proportion
+has a Markov-random-field prior tying it to its neighbours', and the
+joint of text and proportions is maximized by EM whose theta update mixes
+the neighbour average with the document's own term responsibilities --
+structurally the same update as GenClus's Eq. 10 but with a *single*
+homogenized link type fixed at strength 1 (the GenClus paper's protocol
+for this baseline, Section 5.2.1).  The comparison isolates exactly what
+GenClus adds: learned, per-type strengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ConfigError
+from repro.hin.network import HeterogeneousNetwork
+from repro.hin.views import build_relation_matrices
+
+
+class ITopicModel:
+    """iTopicModel on a homogenized heterogeneous network.
+
+    Parameters
+    ----------
+    n_topics:
+        Number of topics ``K``.
+    link_weight:
+        Fixed strength of the (single, flattened) link type; 1.0 matches
+        the GenClus paper's baseline protocol.
+    max_iterations:
+        EM iteration cap.
+    tol:
+        Stop when ``max |theta_t - theta_{t-1}|`` drops below this.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        n_topics: int,
+        link_weight: float = 1.0,
+        max_iterations: int = 100,
+        tol: float = 1e-4,
+        seed: int | None = None,
+    ) -> None:
+        if n_topics < 1:
+            raise ConfigError(f"n_topics must be >= 1, got {n_topics}")
+        if link_weight < 0:
+            raise ConfigError(
+                f"link_weight must be >= 0, got {link_weight}"
+            )
+        self.n_topics = n_topics
+        self.link_weight = link_weight
+        self.max_iterations = max_iterations
+        self.tol = tol
+        self.seed = seed
+
+    def fit_network(
+        self, network: HeterogeneousNetwork, attribute: str
+    ) -> np.ndarray:
+        """Cluster a network by one text attribute; returns ``(n, K)``."""
+        text = network.text_attribute(attribute)
+        compiled = text.compile(network.node_index)
+        n = network.num_nodes
+        if compiled.vocab_size == 0:
+            raise ConfigError(
+                f"attribute {attribute!r} has an empty vocabulary"
+            )
+        matrices = build_relation_matrices(network)
+        flattened = matrices.combined()  # every relation at weight 1
+        rng = np.random.default_rng(self.seed)
+        theta = rng.dirichlet(np.ones(self.n_topics), size=n)
+        beta = rng.dirichlet(
+            np.ones(compiled.vocab_size), size=self.n_topics
+        )
+        coo = compiled.counts.tocoo()
+        rows, cols, vals = coo.row, coo.col, coo.data
+        node_indices = compiled.node_indices
+
+        for _ in range(self.max_iterations):
+            theta_obs = theta[node_indices]
+            denom = np.einsum(
+                "nk,nk->n", theta_obs[rows], beta[:, cols].T
+            )
+            denom = np.maximum(denom, 1e-300)
+            ratio = sparse.csr_matrix(
+                (vals / denom, (rows, cols)),
+                shape=compiled.counts.shape,
+            )
+            update = self.link_weight * (flattened @ theta)
+            update[node_indices] += theta_obs * (ratio @ beta.T)
+            row_sums = update.sum(axis=1)
+            dead = row_sums <= 0
+            if dead.any():
+                update[dead] = theta[dead]
+                row_sums = update.sum(axis=1)
+            theta_new = update / row_sums[:, None]
+            beta = beta * (theta_obs.T @ ratio) + 1e-10
+            beta /= beta.sum(axis=1, keepdims=True)
+            delta = float(np.max(np.abs(theta_new - theta)))
+            theta = theta_new
+            if delta < self.tol:
+                break
+        return theta

@@ -1,0 +1,137 @@
+"""k-means with k-means++ seeding.
+
+The attribute-only weather baseline (Section 5.2.1): it sees each sensor
+as one point in the interpolated (temperature, precipitation) plane and
+ignores the network entirely.  Implemented from scratch on numpy (Lloyd
+iterations, k-means++ initialization, multi-restart).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class KMeansResult:
+    """One k-means fit: labels, centers and the final inertia."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def kmeans(
+    data: np.ndarray,
+    n_clusters: int,
+    seed: int | None = None,
+    n_init: int = 5,
+    max_iterations: int = 300,
+    tol: float = 1e-8,
+) -> KMeansResult:
+    """Cluster rows of ``data`` into ``n_clusters`` groups.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` point matrix.
+    n_clusters:
+        Number of clusters.
+    seed:
+        RNG seed shared by all restarts.
+    n_init:
+        Independent k-means++ restarts; the lowest-inertia run wins.
+    max_iterations, tol:
+        Lloyd-iteration budget and center-movement stopping threshold.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ConfigError(f"data must be 2-D, got shape {data.shape}")
+    n = data.shape[0]
+    if n_clusters < 1 or n_clusters > n:
+        raise ConfigError(
+            f"n_clusters must be in 1..{n}, got {n_clusters}"
+        )
+    if n_init < 1:
+        raise ConfigError(f"n_init must be >= 1, got {n_init}")
+    rng = np.random.default_rng(seed)
+    best: KMeansResult | None = None
+    for _ in range(n_init):
+        result = _single_run(data, n_clusters, rng, max_iterations, tol)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best
+
+
+def _single_run(
+    data: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+    max_iterations: int,
+    tol: float,
+) -> KMeansResult:
+    centers = _kmeans_plus_plus(data, n_clusters, rng)
+    labels = np.zeros(data.shape[0], dtype=np.int64)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = _squared_distances(data, centers)
+        labels = np.argmin(distances, axis=1)
+        new_centers = centers.copy()
+        for k in range(n_clusters):
+            members = data[labels == k]
+            if members.shape[0] > 0:
+                new_centers[k] = members.mean(axis=0)
+            else:
+                # re-seed an empty cluster at the farthest point
+                farthest = np.argmax(distances.min(axis=1))
+                new_centers[k] = data[farthest]
+        movement = float(np.max(np.abs(new_centers - centers)))
+        centers = new_centers
+        if movement < tol:
+            break
+    distances = _squared_distances(data, centers)
+    labels = np.argmin(distances, axis=1)
+    inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+    return KMeansResult(
+        labels=labels, centers=centers, inertia=inertia,
+        iterations=iterations,
+    )
+
+
+def _kmeans_plus_plus(
+    data: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii 2007)."""
+    n = data.shape[0]
+    centers = np.empty((n_clusters, data.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = data[first]
+    closest = _squared_distances(data, centers[:1]).ravel()
+    for k in range(1, n_clusters):
+        total = closest.sum()
+        if total <= 0:
+            # all points coincide with chosen centers: pick uniformly
+            pick = int(rng.integers(n))
+        else:
+            pick = int(rng.choice(n, p=closest / total))
+        centers[k] = data[pick]
+        new_distance = _squared_distances(data, centers[k : k + 1]).ravel()
+        closest = np.minimum(closest, new_distance)
+    return centers
+
+
+def _squared_distances(
+    data: np.ndarray, centers: np.ndarray
+) -> np.ndarray:
+    """``(n, K)`` squared Euclidean distances to each center."""
+    sq = (
+        np.sum(data**2, axis=1)[:, None]
+        + np.sum(centers**2, axis=1)[None, :]
+        - 2.0 * (data @ centers.T)
+    )
+    return np.maximum(sq, 0.0)

@@ -1,0 +1,42 @@
+"""GenClus: the paper's primary contribution.
+
+This package implements the probabilistic clustering model of Section 3
+and the iterative algorithm of Section 4:
+
+* :mod:`repro.core.feature` -- the cross-entropy feature function (Eq. 6)
+  and the structural-consistency score (the exponent of Eq. 7).
+* :mod:`repro.core.attribute_models` -- per-attribute mixture components:
+  categorical/PLSA for text (Eq. 3) and Gaussian for numeric (Eq. 4),
+  each exposing its EM E/M pieces (Eqs. 10-12).
+* :mod:`repro.core.em` -- the cluster-optimization step (Section 4.1).
+* :mod:`repro.core.strength` -- the link-type strength-learning step
+  (Section 4.2): pseudo-log-likelihood value, gradient (Eq. 16), Hessian
+  (Eq. 17) and the projected Newton-Raphson solver.
+* :mod:`repro.core.genclus` -- Algorithm 1, alternating the two steps.
+
+The user-facing entry point is :class:`~repro.core.genclus.GenClus`.
+"""
+
+from repro.core.config import GenClusConfig
+from repro.core.diagnostics import IterationRecord, RunHistory
+from repro.core.feature import (
+    cross_entropy,
+    feature_function,
+    structural_consistency,
+)
+from repro.core.genclus import GenClus
+from repro.core.problem import ClusteringProblem, compile_problem
+from repro.core.result import GenClusResult
+
+__all__ = [
+    "ClusteringProblem",
+    "GenClus",
+    "GenClusConfig",
+    "GenClusResult",
+    "IterationRecord",
+    "RunHistory",
+    "compile_problem",
+    "cross_entropy",
+    "feature_function",
+    "structural_consistency",
+]

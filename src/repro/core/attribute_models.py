@@ -1,0 +1,342 @@
+"""Per-attribute mixture-model components of Section 3.2.
+
+Each specified attribute ``X`` is modeled as a mixture over the common
+hidden space: component ``k`` is shared across all objects, the mixing
+proportions of object ``v`` are its membership vector ``theta_v``.  Two
+component families are implemented:
+
+* :class:`CategoricalModel` -- text attributes, PLSA-style categorical
+  components ``beta_k`` over the vocabulary (Eq. 3); EM pieces of Eq. 10.
+* :class:`GaussianModel` -- numeric attributes, components
+  ``N(mu_k, sigma_k^2)`` (Eq. 4); EM pieces of Eqs. 11-12.
+
+Both expose the same interface:
+
+``init_params(rng)``
+    Draw initial component parameters.
+``em_step(theta)``
+    One E+M pass given the current memberships: returns (a) each observed
+    object's summed responsibilities -- the attribute part of the theta
+    update in Eqs. 10-12 -- scattered into a dense ``(n, K)`` array, and
+    (b) updated component parameters; also refreshes the stored
+    log-likelihood.
+``log_likelihood(theta)``
+    ``log p({v[X]} | Theta, beta)`` under current parameters.
+
+The multi-attribute case (Eq. 5 / Eq. 12) needs no special handling: the
+models are independent given Theta, so the solver simply sums their theta
+contributions and log-likelihoods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ConfigError
+from repro.hin.attributes import (
+    CompiledNumericAttribute,
+    CompiledTextAttribute,
+)
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class CategoricalModel:
+    """Text attribute mixture: ``X | k ~ discrete(beta_k)`` (Eq. 3).
+
+    Parameters
+    ----------
+    compiled:
+        The frozen term-count table (``c_{v,l}`` of Eq. 3).
+    n_clusters:
+        ``K``.
+    num_nodes:
+        Global node count ``n`` (for scattering theta contributions).
+    smoothing:
+        Additive smoothing applied in the ``beta`` M-step so no term
+        probability hits exactly zero (keeps log-likelihoods finite for
+        terms that drift out of a cluster).
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledTextAttribute,
+        n_clusters: int,
+        num_nodes: int,
+        smoothing: float = 1e-10,
+    ) -> None:
+        if n_clusters < 1:
+            raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.compiled = compiled
+        self.n_clusters = n_clusters
+        self.num_nodes = num_nodes
+        self.smoothing = smoothing
+        self.beta: np.ndarray | None = None
+        # cached COO view of the counts for vectorized responsibilities
+        coo = compiled.counts.tocoo()
+        self._rows = coo.row
+        self._cols = coo.col
+        self._vals = coo.data
+
+    # ------------------------------------------------------------------
+    def init_params(
+        self, rng: np.random.Generator, variant: int = 0
+    ) -> None:
+        """Random near-uniform term distributions (broken symmetry).
+
+        ``variant`` exists for interface parity with
+        :meth:`GaussianModel.init_params`; categorical components are
+        exchangeable, so every variant draws the same way.
+        """
+        del variant  # exchangeable components: nothing to permute
+        m = max(self.compiled.vocab_size, 1)
+        noise = rng.random((self.n_clusters, m)) + 0.5
+        self.beta = noise / noise.sum(axis=1, keepdims=True)
+
+    def _require_params(self) -> np.ndarray:
+        if self.beta is None:
+            raise RuntimeError(
+                "CategoricalModel used before init_params/set_params"
+            )
+        return self.beta
+
+    def set_params(self, beta: np.ndarray) -> None:
+        """Install explicit component parameters (rows must sum to 1)."""
+        beta = np.asarray(beta, dtype=np.float64)
+        expected = (self.n_clusters, self.compiled.vocab_size)
+        if beta.shape != expected:
+            raise ValueError(f"beta must have shape {expected}, got {beta.shape}")
+        if np.any(beta < 0):
+            raise ValueError("beta entries must be non-negative")
+        sums = beta.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-8):
+            raise ValueError("beta rows must sum to 1")
+        self.beta = beta.copy()
+
+    # ------------------------------------------------------------------
+    def _nonzero_denominators(self, theta_obs: np.ndarray) -> np.ndarray:
+        """``d_{v,l} = sum_k theta_vk beta_kl`` at each nonzero count."""
+        beta = self._require_params()
+        # einsum over the nonzero pattern only: O(nnz * K)
+        return np.einsum(
+            "nk,nk->n", theta_obs[self._rows], beta[:, self._cols].T
+        )
+
+    def em_step(self, theta: np.ndarray) -> np.ndarray:
+        """One EM pass (Eq. 10): returns the theta contribution.
+
+        The returned ``(n, K)`` array holds, for each observed object
+        ``v`` (zero elsewhere),
+
+            sum_l c_{v,l} * p(z_{v,l} = k | Theta, beta)
+
+        computed with the *incoming* parameters, exactly as Eq. 10
+        prescribes.  ``beta`` is then updated in place from the same
+        responsibilities.
+        """
+        beta = self._require_params()
+        contribution = np.zeros((self.num_nodes, self.n_clusters))
+        if self._vals.size == 0:
+            return contribution
+        theta_obs = theta[self.compiled.node_indices]
+        denom = self._nonzero_denominators(theta_obs)
+        # guard: denom is 0 only if theta_v and beta share no support
+        denom = np.maximum(denom, 1e-300)
+        ratio = sparse.csr_matrix(
+            (self._vals / denom, (self._rows, self._cols)),
+            shape=self.compiled.counts.shape,
+        )
+        # theta part: theta_vk * sum_l (c_vl / d_vl) beta_kl
+        theta_term = theta_obs * (ratio @ beta.T)
+        contribution[self.compiled.node_indices] = theta_term
+        # beta M-step: beta_kl  propto  sum_v c_vl p(z=k) = beta_kl * [theta^T (C/d)]_kl
+        beta_new = beta * (theta_obs.T @ ratio)
+        beta_new += self.smoothing
+        self.beta = beta_new / beta_new.sum(axis=1, keepdims=True)
+        return contribution
+
+    def log_likelihood(self, theta: np.ndarray) -> float:
+        """``sum_v sum_l c_vl log(sum_k theta_vk beta_kl)`` (log of Eq. 3)."""
+        if self._vals.size == 0:
+            return 0.0
+        theta_obs = theta[self.compiled.node_indices]
+        denom = self._nonzero_denominators(theta_obs)
+        denom = np.maximum(denom, 1e-300)
+        return float(np.dot(self._vals, np.log(denom)))
+
+
+class GaussianModel:
+    """Numeric attribute mixture: ``X | k ~ N(mu_k, sigma_k^2)`` (Eq. 4).
+
+    Parameters
+    ----------
+    compiled:
+        The frozen observation list.
+    n_clusters:
+        ``K``.
+    num_nodes:
+        Global node count ``n``.
+    variance_floor:
+        Lower clamp for component variances (prevents collapse when a
+        component captures a single observation).
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledNumericAttribute,
+        n_clusters: int,
+        num_nodes: int,
+        variance_floor: float = 1e-8,
+    ) -> None:
+        if n_clusters < 1:
+            raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
+        if variance_floor <= 0:
+            raise ConfigError(
+                f"variance_floor must be positive, got {variance_floor}"
+            )
+        self.compiled = compiled
+        self.n_clusters = n_clusters
+        self.num_nodes = num_nodes
+        self.variance_floor = variance_floor
+        self.means: np.ndarray | None = None
+        self.variances: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def init_params(
+        self, rng: np.random.Generator, variant: int = 0
+    ) -> None:
+        """Quantile-spread means plus jitter; variance = global variance.
+
+        Component ``k`` starts at the ``(k + 0.5) / K`` quantile of the
+        observed values.  ``variant`` selects the *component order*:
+
+        * ``variant == 0`` -- sorted ascending.  When several attributes
+          are co-monotone over the hidden clusters (the weather
+          Setting 1 patterns), sorted components start aligned on the
+          same cluster indices, so link consistency reinforces rather
+          than fights the attribute terms.
+        * ``variant > 0`` -- a random permutation of the quantiles.  For
+          non-co-monotone patterns (Setting 2's corner means, where the
+          marginal of each attribute repeats values across clusters) no
+          sorted order is correct; permuted seeds let the multi-seed
+          ``g1`` selection of Section 4.3 discover a cross-attribute
+          alignment the links agree with.
+
+        The jitter breaks exact ties when distinct clusters share a mean
+        in one dimension -- identical components would otherwise receive
+        identical responsibilities forever.
+        """
+        values = self.compiled.values
+        if values.size == 0:
+            self.means = np.zeros(self.n_clusters)
+            self.variances = np.ones(self.n_clusters)
+            return
+        quantiles = (np.arange(self.n_clusters) + 0.5) / self.n_clusters
+        means = np.quantile(values, quantiles)
+        if variant > 0:
+            means = rng.permutation(means)
+        spread = max(float(values.std()), 1e-3)
+        jitter = rng.normal(0.0, spread * 0.05, size=self.n_clusters)
+        self.means = means + jitter
+        global_var = max(float(values.var()), self.variance_floor)
+        self.variances = np.full(self.n_clusters, global_var)
+
+    def set_params(self, means: np.ndarray, variances: np.ndarray) -> None:
+        """Install explicit component parameters."""
+        means = np.asarray(means, dtype=np.float64)
+        variances = np.asarray(variances, dtype=np.float64)
+        if means.shape != (self.n_clusters,):
+            raise ValueError(
+                f"means must have shape ({self.n_clusters},), "
+                f"got {means.shape}"
+            )
+        if variances.shape != (self.n_clusters,):
+            raise ValueError(
+                f"variances must have shape ({self.n_clusters},), "
+                f"got {variances.shape}"
+            )
+        if np.any(variances <= 0):
+            raise ValueError("variances must be positive")
+        self.means = means.copy()
+        self.variances = np.maximum(variances, self.variance_floor)
+
+    def _require_params(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.means is None or self.variances is None:
+            raise RuntimeError(
+                "GaussianModel used before init_params/set_params"
+            )
+        return self.means, self.variances
+
+    # ------------------------------------------------------------------
+    def _log_pdf(self) -> np.ndarray:
+        """``(n_obs, K)`` log densities of every observation per cluster."""
+        means, variances = self._require_params()
+        x = self.compiled.values[:, None]
+        return (
+            -0.5 * (_LOG_2PI + np.log(variances)[None, :])
+            - 0.5 * (x - means[None, :]) ** 2 / variances[None, :]
+        )
+
+    def _responsibilities(self, theta: np.ndarray) -> np.ndarray:
+        """``p(z_{v,x} = k)`` for each observation (Eq. 11 E-step)."""
+        theta_obs = theta[self.compiled.node_indices]
+        log_mix = np.log(
+            np.maximum(theta_obs[self.compiled.owners], 1e-300)
+        ) + self._log_pdf()
+        log_mix -= log_mix.max(axis=1, keepdims=True)
+        resp = np.exp(log_mix)
+        resp /= resp.sum(axis=1, keepdims=True)
+        return resp
+
+    def em_step(self, theta: np.ndarray) -> np.ndarray:
+        """One EM pass (Eq. 11): returns the theta contribution.
+
+        The ``(n, K)`` result holds ``sum_{x in v[X]} p(z_{v,x} = k)``
+        for observed objects; means and variances are then refreshed from
+        the same responsibilities (their M-step in Eq. 11).
+        """
+        contribution = np.zeros((self.num_nodes, self.n_clusters))
+        if self.compiled.values.size == 0:
+            return contribution
+        resp = self._responsibilities(theta)
+        per_node = np.zeros(
+            (self.compiled.node_indices.shape[0], self.n_clusters)
+        )
+        np.add.at(per_node, self.compiled.owners, resp)
+        contribution[self.compiled.node_indices] = per_node
+        # M-step for component parameters
+        totals = resp.sum(axis=0)
+        safe_totals = np.maximum(totals, 1e-300)
+        means_new = (resp * self.compiled.values[:, None]).sum(axis=0)
+        means_new /= safe_totals
+        sq_dev = (self.compiled.values[:, None] - means_new[None, :]) ** 2
+        var_new = (resp * sq_dev).sum(axis=0) / safe_totals
+        means, variances = self._require_params()
+        # clusters with no responsibility mass keep their parameters
+        dead = totals <= 1e-300
+        means_new[dead] = means[dead]
+        var_new[dead] = variances[dead]
+        self.means = means_new
+        self.variances = np.maximum(var_new, self.variance_floor)
+        return contribution
+
+    def log_likelihood(self, theta: np.ndarray) -> float:
+        """Log of Eq. (4): ``sum_obs log sum_k theta_vk N(x; mu_k, s_k)``."""
+        if self.compiled.values.size == 0:
+            return 0.0
+        theta_obs = theta[self.compiled.node_indices]
+        log_theta = np.log(
+            np.maximum(theta_obs[self.compiled.owners], 1e-300)
+        )
+        log_mix = log_theta + self._log_pdf()
+        peak = log_mix.max(axis=1, keepdims=True)
+        return float(
+            np.sum(peak.ravel() + np.log(
+                np.exp(log_mix - peak).sum(axis=1)
+            ))
+        )
+
+
+AttributeModel = CategoricalModel | GaussianModel
+"""Union of the concrete attribute model types."""

@@ -1,0 +1,98 @@
+"""Per-iteration diagnostics of a GenClus run.
+
+The paper's Fig. 10 plots clustering accuracy and the gamma trajectory
+over outer iterations; :class:`RunHistory` records exactly the data needed
+to regenerate that figure from any fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class IterationRecord:
+    """State after one outer iteration of Algorithm 1.
+
+    Attributes
+    ----------
+    outer_iteration:
+        1-based outer iteration number (0 records the initial state).
+    gamma:
+        Strength vector after the iteration (copy).
+    g1_value:
+        Cluster-optimization objective after the EM step.
+    g2_value:
+        Pseudo-log-likelihood after the strength step (NaN for the
+        initial record).
+    em_iterations:
+        Inner EM iterations used.
+    newton_iterations:
+        Inner Newton iterations used.
+    em_seconds:
+        Wall-clock seconds in the EM step.
+    newton_seconds:
+        Wall-clock seconds in the Newton step.
+    """
+
+    outer_iteration: int
+    gamma: np.ndarray
+    g1_value: float
+    g2_value: float
+    em_iterations: int = 0
+    newton_iterations: int = 0
+    em_seconds: float = 0.0
+    newton_seconds: float = 0.0
+
+
+@dataclass
+class RunHistory:
+    """Ordered iteration records plus convenience accessors."""
+
+    relation_names: tuple[str, ...]
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def append(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def gamma_trajectory(self) -> np.ndarray:
+        """``(n_records, R)`` array of gamma over iterations (Fig. 10b)."""
+        return np.stack([record.gamma for record in self.records])
+
+    def gamma_series(self, relation: str) -> np.ndarray:
+        """One relation's strength over iterations."""
+        r = self.relation_names.index(relation)
+        return self.gamma_trajectory()[:, r]
+
+    def g1_series(self) -> np.ndarray:
+        return np.asarray([record.g1_value for record in self.records])
+
+    def total_em_seconds(self) -> float:
+        return float(sum(record.em_seconds for record in self.records))
+
+    def mean_em_seconds_per_inner_iteration(self) -> float:
+        """Average wall-clock per *inner* EM iteration (Fig. 11 metric)."""
+        total_iters = sum(record.em_iterations for record in self.records)
+        if total_iters == 0:
+            return 0.0
+        return self.total_em_seconds() / total_iters
+
+    def describe(self) -> str:
+        """Readable per-iteration table (gamma, objectives, costs)."""
+        header = (
+            f"{'iter':>4} {'g1':>14} {'g2prime':>14} "
+            + " ".join(f"{name:>12}" for name in self.relation_names)
+        )
+        lines = [header]
+        for record in self.records:
+            gammas = " ".join(f"{g:>12.4f}" for g in record.gamma)
+            lines.append(
+                f"{record.outer_iteration:>4} {record.g1_value:>14.2f} "
+                f"{record.g2_value:>14.2f} {gammas}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""The GenClus algorithm: Algorithm 1 of Section 4.3.
+
+Alternates two mutually-enhancing steps until the outer budget or gamma
+convergence:
+
+1. **Cluster optimization** (Section 4.1): EM on Theta and the attribute
+   component parameters at fixed gamma.
+2. **Strength learning** (Section 4.2): projected Newton-Raphson on gamma
+   at fixed Theta.
+
+gamma starts at the all-ones vector ("all the link types ... initially
+considered equally important"); Theta starts from the multi-seed
+tentative-run procedure.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.attribute_models import CategoricalModel, GaussianModel
+from repro.core.config import GenClusConfig
+from repro.core.diagnostics import IterationRecord, RunHistory
+from repro.core.em import run_em
+from repro.core.initialization import select_initial_theta
+from repro.core.objective import g1
+from repro.core.problem import ClusteringProblem, compile_problem
+from repro.core.result import GenClusResult
+from repro.core.strength import learn_strengths
+from repro.exceptions import ConvergenceError
+from repro.hin.network import HeterogeneousNetwork
+
+IterationCallback = Callable[[int, np.ndarray, np.ndarray], None]
+"""Called after each outer iteration with (iteration, theta, gamma)."""
+
+
+class GenClus:
+    """Relation strength-aware clustering of heterogeneous networks.
+
+    Examples
+    --------
+    >>> from repro.core import GenClus, GenClusConfig
+    >>> model = GenClus(GenClusConfig(n_clusters=4, seed=7))
+    >>> result = model.fit(network, attributes=["title"])  # doctest: +SKIP
+    >>> result.strengths()  # doctest: +SKIP
+    {'publish_in': 14.2, 'published_by': 10.8, 'coauthor': 0.01}
+    """
+
+    def __init__(self, config: GenClusConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        network: HeterogeneousNetwork,
+        attributes: list[str] | tuple[str, ...],
+        callback: IterationCallback | None = None,
+        initial_theta: np.ndarray | None = None,
+    ) -> GenClusResult:
+        """Run Algorithm 1 on a network.
+
+        Parameters
+        ----------
+        network:
+            The heterogeneous network to cluster.
+        attributes:
+            The user-specified attribute subset (Section 2.2).
+        callback:
+            Optional hook invoked after every outer iteration with
+            ``(iteration, theta, gamma)`` -- used by the Fig. 10
+            experiment to trace accuracy against strength evolution.
+        initial_theta:
+            Explicit starting memberships, overriding the multi-seed
+            initialization (used by tests and ablations).
+
+        Returns
+        -------
+        GenClusResult
+        """
+        problem = compile_problem(
+            network,
+            attributes,
+            self.config.n_clusters,
+            variance_floor=self.config.variance_floor,
+        )
+        return self.fit_problem(problem, callback, initial_theta)
+
+    def fit_problem(
+        self,
+        problem: ClusteringProblem,
+        callback: IterationCallback | None = None,
+        initial_theta: np.ndarray | None = None,
+    ) -> GenClusResult:
+        """Run Algorithm 1 on an already-compiled problem."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        matrices = problem.matrices
+        num_relations = matrices.num_relations
+
+        gamma = np.ones(num_relations)
+        if initial_theta is not None:
+            theta = np.asarray(initial_theta, dtype=np.float64).copy()
+            expected = (problem.num_nodes, problem.n_clusters)
+            if theta.shape != expected:
+                raise ValueError(
+                    f"initial_theta must have shape {expected}, "
+                    f"got {theta.shape}"
+                )
+            for model in problem.attribute_models:
+                model.init_params(rng)
+        else:
+            theta = select_initial_theta(
+                problem,
+                gamma,
+                rng,
+                n_init=config.n_init,
+                init_steps=config.init_steps,
+                floor=config.theta_floor,
+            )
+
+        history = RunHistory(relation_names=matrices.relation_names)
+        history.append(
+            IterationRecord(
+                outer_iteration=0,
+                gamma=gamma.copy(),
+                g1_value=g1(
+                    theta,
+                    gamma,
+                    matrices,
+                    problem.attribute_models,
+                    config.theta_floor,
+                ),
+                g2_value=float("nan"),
+            )
+        )
+        if callback is not None:
+            callback(0, theta, gamma)
+
+        for outer in range(1, config.outer_iterations + 1):
+            em_start = time.perf_counter()
+            em_outcome = run_em(
+                theta,
+                gamma,
+                matrices,
+                problem.attribute_models,
+                max_iterations=config.em_iterations,
+                tol=config.em_tol,
+                floor=config.theta_floor,
+                track_objective=False,
+            )
+            em_seconds = time.perf_counter() - em_start
+            theta = em_outcome.theta
+            if not np.all(np.isfinite(theta)):
+                raise ConvergenceError(
+                    f"EM produced non-finite memberships at outer "
+                    f"iteration {outer}"
+                )
+
+            newton_start = time.perf_counter()
+            if num_relations > 0 and config.newton_iterations > 0:
+                strength_outcome = learn_strengths(
+                    theta,
+                    matrices,
+                    gamma,
+                    sigma=config.sigma,
+                    max_iterations=config.newton_iterations,
+                    tol=config.newton_tol,
+                    floor=config.theta_floor,
+                )
+                gamma_next = strength_outcome.gamma
+                newton_iterations = strength_outcome.iterations
+                g2_value = strength_outcome.objective
+            else:
+                gamma_next = gamma.copy()
+                newton_iterations = 0
+                g2_value = float("nan")
+            newton_seconds = time.perf_counter() - newton_start
+
+            gamma_change = (
+                float(np.max(np.abs(gamma_next - gamma)))
+                if num_relations
+                else 0.0
+            )
+            gamma = gamma_next
+            history.append(
+                IterationRecord(
+                    outer_iteration=outer,
+                    gamma=gamma.copy(),
+                    g1_value=em_outcome.objective,
+                    g2_value=g2_value,
+                    em_iterations=em_outcome.iterations,
+                    newton_iterations=newton_iterations,
+                    em_seconds=em_seconds,
+                    newton_seconds=newton_seconds,
+                )
+            )
+            if callback is not None:
+                callback(outer, theta, gamma)
+            if config.gamma_tol > 0 and gamma_change < config.gamma_tol:
+                break
+
+        return GenClusResult(
+            theta=theta,
+            gamma=gamma,
+            relation_names=matrices.relation_names,
+            attribute_params=_collect_params(problem),
+            history=history,
+            network=problem.network,
+        )
+
+
+def _collect_params(problem: ClusteringProblem) -> dict[str, dict]:
+    """Snapshot the learned component parameters per attribute."""
+    params: dict[str, dict] = {}
+    for name, model in zip(
+        problem.attribute_names, problem.attribute_models
+    ):
+        if isinstance(model, CategoricalModel):
+            params[name] = {
+                "kind": "categorical",
+                "beta": model.beta.copy(),
+                "vocabulary": model.compiled.vocabulary,
+            }
+        elif isinstance(model, GaussianModel):
+            params[name] = {
+                "kind": "gaussian",
+                "means": model.means.copy(),
+                "variances": model.variances.copy(),
+            }
+    return params

@@ -1,0 +1,126 @@
+"""Compilation of a network + attribute choice into a solver-ready problem.
+
+The clustering problem of Section 2.2 is "network + user-specified
+attribute subset + K".  :func:`compile_problem` freezes that triple into
+numpy structures once, so both GenClus and the experiment harness pay the
+Python-object cost a single time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import AttributeSpecError, ConfigError
+from repro.hin.attributes import NumericAttribute, TextAttribute
+from repro.hin.network import HeterogeneousNetwork
+from repro.hin.views import RelationMatrices, build_relation_matrices
+from repro.core.attribute_models import (
+    AttributeModel,
+    CategoricalModel,
+    GaussianModel,
+)
+
+
+@dataclass(frozen=True)
+class ClusteringProblem:
+    """A frozen clustering instance.
+
+    Attributes
+    ----------
+    network:
+        The source network (kept for id/type lookups in results).
+    matrices:
+        Per-relation CSR matrices; the tuple order fixes gamma indices.
+    attribute_models:
+        One mixture model per user-specified attribute, in the order the
+        attributes were specified.
+    n_clusters:
+        ``K``.
+    """
+
+    network: HeterogeneousNetwork
+    matrices: RelationMatrices
+    attribute_models: tuple[AttributeModel, ...]
+    attribute_names: tuple[str, ...]
+    n_clusters: int
+
+    @property
+    def num_nodes(self) -> int:
+        return self.matrices.num_nodes
+
+    @property
+    def num_relations(self) -> int:
+        return self.matrices.num_relations
+
+
+def compile_problem(
+    network: HeterogeneousNetwork,
+    attribute_names: list[str] | tuple[str, ...],
+    n_clusters: int,
+    variance_floor: float = 1e-8,
+) -> ClusteringProblem:
+    """Freeze a network and an attribute subset into a solver problem.
+
+    Parameters
+    ----------
+    network:
+        The heterogeneous network to cluster.
+    attribute_names:
+        The user-specified attribute subset ``X`` (Section 2.2).  May be
+        empty: clustering then uses links only, which the model supports
+        (objects with no observations are driven purely by neighbours) --
+        but at least one attribute is required to anchor cluster
+        *identity*, so an empty list raises :class:`ConfigError`.
+    n_clusters:
+        ``K``.
+    variance_floor:
+        Forwarded to Gaussian models.
+    """
+    if n_clusters < 1:
+        raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
+    if not attribute_names:
+        raise ConfigError(
+            "at least one attribute must be specified; the mixture "
+            "components define what the clusters mean"
+        )
+    if len(set(attribute_names)) != len(attribute_names):
+        raise ConfigError(
+            f"duplicate attribute names in {list(attribute_names)!r}"
+        )
+    if network.num_nodes == 0:
+        raise ConfigError("cannot cluster an empty network")
+
+    matrices = build_relation_matrices(network)
+    node_index = network.node_index
+    models: list[AttributeModel] = []
+    for name in attribute_names:
+        attribute = network.attribute(name)
+        if isinstance(attribute, TextAttribute):
+            models.append(
+                CategoricalModel(
+                    attribute.compile(node_index),
+                    n_clusters=n_clusters,
+                    num_nodes=network.num_nodes,
+                )
+            )
+        elif isinstance(attribute, NumericAttribute):
+            models.append(
+                GaussianModel(
+                    attribute.compile(node_index),
+                    n_clusters=n_clusters,
+                    num_nodes=network.num_nodes,
+                    variance_floor=variance_floor,
+                )
+            )
+        else:  # pragma: no cover - defensive
+            raise AttributeSpecError(
+                f"attribute {name!r} has unsupported type "
+                f"{type(attribute).__name__}"
+            )
+    return ClusteringProblem(
+        network=network,
+        matrices=matrices,
+        attribute_models=tuple(models),
+        attribute_names=tuple(attribute_names),
+        n_clusters=n_clusters,
+    )

@@ -1,0 +1,232 @@
+"""Link-type strength learning: the Newton step of Section 4.2.
+
+Given fixed memberships Theta, finds the gamma >= 0 maximizing the
+pseudo-log-likelihood ``g2'(gamma)`` of Eq. 14.  Because each object's
+conditional ``p(theta_i | out-neighbours)`` is Dirichlet with parameters
+``alpha_ik = sum_e gamma(phi(e)) w(e) theta_jk + 1`` (Eq. 15), the local
+partition functions are multivariate Beta functions, giving the closed
+forms:
+
+* gradient (Eq. 16) via the digamma function ``psi``;
+* Hessian (Eq. 17) via the trigamma function ``psi'``.
+
+``g2'`` is concave (Appendix B: the Hessian is a negative-definite sum of
+negated conditional covariance matrices minus the prior's ``I/sigma^2``),
+so Newton-Raphson with the non-negativity projection
+``gamma_r < 0 -> gamma_r = 0`` converges to the constrained maximum.  A
+backtracking guard halves steps that fail to improve ``g2'`` -- the exact
+Newton step can overshoot right after projection.
+
+The per-object sufficient statistics are precomputed once per call:
+
+* ``S[r] = W_r @ Theta``            (``(R, n, K)``)
+* ``rowsum[i, r] = sum_k S[r][i,k]`` = total out-weight per relation
+* ``ce_total[r] = sum_{i,k} S[r][i,k] log theta_ik`` (unit-strength
+  feature totals)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import gammaln, polygamma, psi
+
+from repro.core.feature import floor_distribution
+from repro.hin.views import RelationMatrices
+
+
+@dataclass(frozen=True)
+class StrengthStatistics:
+    """Sufficient statistics of g2' at a fixed Theta."""
+
+    propagated: np.ndarray  # (R, n, K): S[r] = W_r @ Theta
+    rowsums: np.ndarray  # (n, R): total out-weight per node per relation
+    ce_totals: np.ndarray  # (R,): unit-strength feature totals
+
+    @property
+    def num_relations(self) -> int:
+        return self.propagated.shape[0]
+
+
+@dataclass(frozen=True, slots=True)
+class StrengthOutcome:
+    """Result of one strength-learning step."""
+
+    gamma: np.ndarray
+    iterations: int
+    objective: float
+    converged: bool
+    used_fallback: bool
+    """True when any iteration fell back to gradient ascent."""
+
+
+def compute_statistics(
+    theta: np.ndarray,
+    matrices: RelationMatrices,
+    floor: float = 1e-12,
+) -> StrengthStatistics:
+    """Precompute S, rowsums and cross-entropy totals for g2'."""
+    theta = floor_distribution(theta, floor)
+    log_theta = np.log(theta)
+    n, k = theta.shape
+    num_relations = matrices.num_relations
+    propagated = np.empty((num_relations, n, k))
+    rowsums = np.empty((n, num_relations))
+    ce_totals = np.empty(num_relations)
+    for r, matrix in enumerate(matrices.matrices):
+        s = matrix @ theta
+        propagated[r] = s
+        rowsums[:, r] = s.sum(axis=1)
+        ce_totals[r] = float(np.sum(s * log_theta))
+    return StrengthStatistics(
+        propagated=propagated, rowsums=rowsums, ce_totals=ce_totals
+    )
+
+
+def _alphas(stats: StrengthStatistics, gamma: np.ndarray) -> np.ndarray:
+    """Eq. (15): ``alpha = 1 + sum_r gamma_r S[r]`` -- shape ``(n, K)``."""
+    return 1.0 + np.tensordot(gamma, stats.propagated, axes=(0, 0))
+
+
+def objective_value(
+    stats: StrengthStatistics, gamma: np.ndarray, sigma: float
+) -> float:
+    """g2'(gamma) from precomputed statistics (Eq. 14)."""
+    alphas = _alphas(stats, gamma)
+    log_partition = float(
+        (gammaln(alphas).sum(axis=1) - gammaln(alphas.sum(axis=1))).sum()
+    )
+    feature_total = float(np.dot(gamma, stats.ce_totals))
+    prior = float(np.dot(gamma, gamma)) / (2.0 * sigma**2)
+    return feature_total - log_partition - prior
+
+
+def gradient(
+    stats: StrengthStatistics, gamma: np.ndarray, sigma: float
+) -> np.ndarray:
+    """Eq. (16): the gradient of g2' with respect to gamma."""
+    alphas = _alphas(stats, gamma)
+    psi_alphas = psi(alphas)  # (n, K)
+    psi_total = psi(alphas.sum(axis=1))  # (n,)
+    # term1[r] = sum_{i,k} psi(alpha_ik) S[r][i,k]
+    term1 = np.einsum("rik,ik->r", stats.propagated, psi_alphas)
+    # term2[r] = sum_i psi(alpha_i0) rowsum[i,r]
+    term2 = psi_total @ stats.rowsums
+    return stats.ce_totals - (term1 - term2) - gamma / sigma**2
+
+
+def hessian(
+    stats: StrengthStatistics, gamma: np.ndarray, sigma: float
+) -> np.ndarray:
+    """Eq. (17): the Hessian of g2' with respect to gamma."""
+    alphas = _alphas(stats, gamma)
+    tri_alphas = polygamma(1, alphas)  # (n, K)
+    tri_total = polygamma(1, alphas.sum(axis=1))  # (n,)
+    weighted = stats.propagated * tri_alphas[None, :, :]
+    term1 = np.einsum("rik,sik->rs", weighted, stats.propagated)
+    term2 = stats.rowsums.T @ (stats.rowsums * tri_total[:, None])
+    num_relations = stats.num_relations
+    return -term1 + term2 - np.eye(num_relations) / sigma**2
+
+
+def learn_strengths(
+    theta: np.ndarray,
+    matrices: RelationMatrices,
+    gamma0: np.ndarray,
+    sigma: float = 0.1,
+    max_iterations: int = 50,
+    tol: float = 1e-6,
+    floor: float = 1e-12,
+) -> StrengthOutcome:
+    """Algorithm 1, step 2: projected Newton-Raphson on g2'.
+
+    Parameters
+    ----------
+    theta:
+        Fixed memberships from the preceding EM step.
+    matrices:
+        Per-relation link matrices.
+    gamma0:
+        Starting strengths (the previous outer iteration's value).
+    sigma:
+        Prior scale of Eq. 8.
+    max_iterations, tol:
+        Stop when ``max |gamma_t - gamma_{t-1}| < tol`` or at the cap.
+    """
+    stats = compute_statistics(theta, matrices, floor)
+    gamma = np.clip(np.asarray(gamma0, dtype=np.float64).copy(), 0.0, None)
+    if gamma.shape != (matrices.num_relations,):
+        raise ValueError(
+            f"gamma0 must have shape ({matrices.num_relations},), "
+            f"got {gamma.shape}"
+        )
+    value = objective_value(stats, gamma, sigma)
+    converged = False
+    used_fallback = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        grad = gradient(stats, gamma, sigma)
+        hess = hessian(stats, gamma, sigma)
+        step = _newton_direction(hess, grad)
+        if step is None:
+            used_fallback = True
+            step = grad * (sigma**2)  # scaled gradient ascent direction
+        candidate, cand_value, fell_back = _line_search(
+            stats, gamma, step, value, sigma
+        )
+        used_fallback = used_fallback or fell_back
+        delta = float(np.max(np.abs(candidate - gamma)))
+        gamma, value = candidate, cand_value
+        if delta < tol:
+            converged = True
+            break
+    return StrengthOutcome(
+        gamma=gamma,
+        iterations=iterations,
+        objective=value,
+        converged=converged,
+        used_fallback=used_fallback,
+    )
+
+
+def _newton_direction(
+    hess: np.ndarray, grad: np.ndarray
+) -> np.ndarray | None:
+    """``-H^{-1} grad`` (an *ascent* step since H is negative definite).
+
+    Returns ``None`` when the solve fails or produces non-finite values,
+    signalling the caller to fall back to gradient ascent.
+    """
+    try:
+        step = -np.linalg.solve(hess, grad)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(step)):
+        return None
+    return step
+
+
+def _line_search(
+    stats: StrengthStatistics,
+    gamma: np.ndarray,
+    step: np.ndarray,
+    current_value: float,
+    sigma: float,
+    max_halvings: int = 30,
+) -> tuple[np.ndarray, float, bool]:
+    """Projected backtracking: halve the step until g2' improves.
+
+    Returns ``(new_gamma, new_value, used_fallback)`` where
+    ``used_fallback`` records whether any halving was needed.  If no step
+    length improves the objective, gamma is kept (a stationary boundary
+    point).
+    """
+    scale = 1.0
+    for attempt in range(max_halvings):
+        candidate = np.clip(gamma + scale * step, 0.0, None)
+        value = objective_value(stats, candidate, sigma)
+        if np.isfinite(value) and value >= current_value - 1e-12:
+            return candidate, value, attempt > 0
+        scale *= 0.5
+    return gamma.copy(), current_value, True

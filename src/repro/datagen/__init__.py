@@ -1,0 +1,54 @@
+"""Synthetic data generators for the paper's three evaluation networks.
+
+* :mod:`repro.datagen.weather` -- the synthetic weather sensor network of
+  Appendix C (ring-shaped weather patterns, kNN links, incomplete
+  per-type numeric attributes).
+* :mod:`repro.datagen.dblp` -- a seeded synthetic stand-in for the DBLP
+  "four-area" data set (the real extract needs network access; see
+  DESIGN.md section 2 for the substitution argument).  Builds both the
+  AC network (authors+conferences, weighted links, text on both types)
+  and the ACP network (authors+conferences+papers, binary links, text on
+  papers only).
+* :mod:`repro.datagen.toy` -- the hand-sized illustration networks of
+  Figs. 1 and 4 for examples and exact-value tests.
+"""
+
+from repro.datagen.dblp import (
+    AREAS,
+    CONFERENCES_BY_AREA,
+    DblpCorpus,
+    FourAreaConfig,
+    build_ac_network,
+    build_acp_network,
+    generate_corpus,
+    ground_truth_labels,
+)
+from repro.datagen.toy import (
+    fig4_network,
+    fig4_theta,
+    political_forum_network,
+    political_forum_truth,
+)
+from repro.datagen.weather import (
+    WeatherConfig,
+    WeatherNetwork,
+    generate_weather_network,
+)
+
+__all__ = [
+    "AREAS",
+    "CONFERENCES_BY_AREA",
+    "DblpCorpus",
+    "FourAreaConfig",
+    "WeatherConfig",
+    "WeatherNetwork",
+    "build_ac_network",
+    "build_acp_network",
+    "fig4_network",
+    "fig4_theta",
+    "generate_corpus",
+    "generate_weather_network",
+    "ground_truth_labels",
+    "political_forum_network",
+    "political_forum_truth",
+]

@@ -1,0 +1,145 @@
+"""Hand-sized illustration networks from the paper's figures.
+
+* :func:`fig4_network` -- the 7-object bibliographic micro-network of
+  Fig. 4, with the exact membership vectors printed in the figure.  Used
+  by tests that pin the feature-function values the paper reports and by
+  the quickstart example.
+* :func:`political_forum_network` -- the Fig. 1 motivating scenario:
+  users, blogs, books, friendship and like/write relations, with text
+  attributes that are *incomplete* (not every user states an interest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hin.attributes import TextAttribute
+from repro.hin.builder import NetworkBuilder
+from repro.hin.network import HeterogeneousNetwork
+
+FIG4_MEMBERSHIPS = {
+    "paper-1": np.array([5 / 6, 1 / 12, 1 / 12]),
+    "venue-2": np.array([7 / 8, 1 / 16, 1 / 16]),
+    "author-3": np.array([7 / 8, 1 / 16, 1 / 16]),
+    "author-4": np.array([1 / 3, 1 / 3, 1 / 3]),
+    "author-5": np.array([1 / 16, 1 / 16, 7 / 8]),
+    "paper-6": np.array([1 / 12, 5 / 6, 1 / 12]),
+    "paper-7": np.array([1 / 12, 1 / 12, 5 / 6]),
+}
+"""The membership vectors shown in Fig. 4 (3 clusters, 7 objects)."""
+
+
+def fig4_network() -> HeterogeneousNetwork:
+    """The Fig. 4 micro-network.
+
+    Relations: ``write(author, paper)`` (gamma_1),
+    ``published_by(paper, venue)`` (gamma_2),
+    ``written_by(paper, author)`` (gamma_3).  Out-links drawn in the
+    figure: paper-1 to venue-2 (published_by), paper-1 to authors 3/4/5
+    (written_by), author-4 to papers 1/6/7 (write).  All weights 1.
+    """
+    builder = NetworkBuilder()
+    builder.object_type("paper").object_type("author").object_type("venue")
+    builder.relation("write", "author", "paper")
+    builder.relation("published_by", "paper", "venue")
+    builder.relation("written_by", "paper", "author")
+    builder.node("paper-1", "paper")
+    builder.node("venue-2", "venue")
+    builder.node("author-3", "author")
+    builder.node("author-4", "author")
+    builder.node("author-5", "author")
+    builder.node("paper-6", "paper")
+    builder.node("paper-7", "paper")
+    builder.link("paper-1", "venue-2", "published_by")
+    builder.link("paper-1", "author-3", "written_by")
+    builder.link("paper-1", "author-4", "written_by")
+    builder.link("paper-1", "author-5", "written_by")
+    builder.link("author-4", "paper-1", "write")
+    builder.link("author-4", "paper-6", "write")
+    builder.link("author-4", "paper-7", "write")
+    return builder.build()
+
+
+def fig4_theta(network: HeterogeneousNetwork) -> np.ndarray:
+    """The Fig. 4 membership matrix in the network's node-index order."""
+    return np.stack(
+        [FIG4_MEMBERSHIPS[node] for node in network.node_ids]
+    )
+
+
+def political_forum_network() -> HeterogeneousNetwork:
+    """The Fig. 1 motivating example, sized up just enough to cluster.
+
+    Two political camps ("green" and "purple").  Users befriend both
+    camps (friendship is noisy), but like books and write blogs mostly
+    inside their camp (those links are reliable) -- the exact situation
+    where learned link strengths matter.  Only some users carry profile
+    text; books and blogs always do.
+    """
+    camp_terms = (
+        ["environment", "climate", "renewable", "conservation", "green"],
+        ["liberty", "market", "deregulation", "enterprise", "tax"],
+    )
+    text = TextAttribute("text")
+    builder = NetworkBuilder()
+    builder.object_type("user").object_type("blog").object_type("book")
+    builder.relation("friend", "user", "user")
+    builder.add_paired_relation(
+        "writes", "user", "blog", inverse="written_by"
+    )
+    builder.add_paired_relation("likes", "user", "book", inverse="liked_by")
+
+    rng = np.random.default_rng(20120831)  # VLDB'12 conference date
+    users_per_camp = 8
+    for camp in range(2):
+        for u in range(users_per_camp):
+            user = f"user{camp}_{u}"
+            builder.node(user, "user")
+            if u % 2 == 0:  # half the users have profile text
+                text.add_tokens(
+                    user,
+                    rng.choice(camp_terms[camp], size=3).tolist(),
+                )
+        for b in range(4):
+            blog = f"blog{camp}_{b}"
+            builder.node(blog, "blog")
+            text.add_tokens(
+                blog, rng.choice(camp_terms[camp], size=6).tolist()
+            )
+            book = f"book{camp}_{b}"
+            builder.node(book, "book")
+            text.add_tokens(
+                book, rng.choice(camp_terms[camp], size=6).tolist()
+            )
+    for camp in range(2):
+        for u in range(users_per_camp):
+            user = f"user{camp}_{u}"
+            # reliable in-camp behaviour
+            builder.link_paired(user, f"blog{camp}_{u % 4}", "writes")
+            builder.link_paired(user, f"book{camp}_{u % 4}", "likes")
+            builder.link_paired(
+                user, f"book{camp}_{(u + 1) % 4}", "likes"
+            )
+            # noisy friendships: half in-camp, half across camps
+            friend_same = f"user{camp}_{(u + 1) % users_per_camp}"
+            friend_other = f"user{1 - camp}_{(u + 2) % users_per_camp}"
+            builder.link(user, friend_same, "friend")
+            builder.link(friend_same, user, "friend")
+            builder.link(user, friend_other, "friend")
+            builder.link(friend_other, user, "friend")
+    builder.attribute(text)
+    return builder.build()
+
+
+def political_forum_truth(
+    network: HeterogeneousNetwork,
+) -> dict[str, int]:
+    """Ground-truth camp per node (parsed from the generated ids)."""
+    labels: dict[str, int] = {}
+    for node in network.node_ids:
+        name = str(node)
+        digit = name.replace("user", "").replace("blog", "").replace(
+            "book", ""
+        )
+        labels[node] = int(digit.split("_")[0])
+    return labels

@@ -1,0 +1,313 @@
+"""Synthetic weather sensor network generator (Appendix C).
+
+Builds a network of temperature (T) and precipitation (P) sensors:
+
+* **Locations** -- uniform in the unit disc around a central point.
+* **Weather patterns** -- ``K`` patterns, each a Gaussian over the
+  (temperature, precipitation) plane; the disc is partitioned into ``K``
+  equal-*area* concentric rings (boundaries at ``sqrt(k / K)``), ring
+  ``k`` "owned" by pattern ``k``.  Equal area keeps the ring populations
+  balanced under uniform sensor placement, which matches the cluster
+  balance the paper's accuracy levels imply.
+* **Cluster membership** -- each sensor's soft membership is the
+  normalized *reciprocal distance* from its radius to the nearby ring
+  centres.  Following Section 5.1, temperature sensors spread mass over
+  their 2 nearest rings ("less noisy") and precipitation sensors over 3
+  ("more noisy").
+* **Links** -- each sensor gets out-links to its ``k`` nearest
+  neighbours *of each type* under geo-distance, yielding the four
+  relations ``<T,T>, <T,P>, <P,T>, <P,P>``.
+* **Observations** -- ``n_observations`` draws per sensor; each draw
+  samples a pattern from the sensor's membership, then samples the
+  pattern's Gaussian in the sensor's own dimension only (temperature for
+  T sensors, precipitation for P sensors) -- the attributes are
+  *incomplete by construction*.
+
+The two experimental settings of Section 5.1:
+
+* Setting 1: pattern means ``(1,1), (2,2), (3,3), (4,4)``, std 0.2.
+* Setting 2: pattern means ``(1,1), (-1,1), (-1,-1), (1,-1)``, std 0.2
+  (resolvable only by combining both attributes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.hin.attributes import NumericAttribute
+from repro.hin.builder import NetworkBuilder
+from repro.hin.network import HeterogeneousNetwork
+
+RELATION_TT = "tt"
+RELATION_TP = "tp"
+RELATION_PT = "pt"
+RELATION_PP = "pp"
+TEMPERATURE_TYPE = "temperature_sensor"
+PRECIPITATION_TYPE = "precipitation_sensor"
+TEMPERATURE_ATTR = "temperature"
+PRECIPITATION_ATTR = "precipitation"
+
+
+def setting1_means(n_clusters: int = 4) -> np.ndarray:
+    """Pattern means of Setting 1: (1,1) ... (K,K)."""
+    return np.asarray(
+        [[float(k + 1), float(k + 1)] for k in range(n_clusters)]
+    )
+
+
+def setting2_means() -> np.ndarray:
+    """Pattern means of Setting 2: the four quadrant corners."""
+    return np.asarray(
+        [[1.0, 1.0], [-1.0, 1.0], [-1.0, -1.0], [1.0, -1.0]]
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class WeatherConfig:
+    """Generator inputs (the Appendix C parameter list).
+
+    Parameters
+    ----------
+    n_temperature, n_precipitation:
+        Sensor counts per type (``#T``, ``#P``).
+    k_neighbors:
+        Nearest neighbours linked per *type* (the paper links 5 per type,
+        10 in total).
+    pattern_means:
+        ``(K, 2)`` array of pattern means over (temperature, precip).
+    pattern_std:
+        Per-dimension standard deviation of every pattern (the paper
+        uses 0.2 with zero correlation).
+    n_observations:
+        Observations sampled per sensor (paper: 1, 5 or 20).
+    temperature_regions, precipitation_regions:
+        How many nearest ring centres receive membership mass (paper:
+        2 for T, 3 for P).
+    seed:
+        RNG seed.
+    """
+
+    n_temperature: int = 1000
+    n_precipitation: int = 250
+    k_neighbors: int = 5
+    pattern_means: np.ndarray = field(default_factory=setting1_means)
+    pattern_std: float = 0.2
+    n_observations: int = 5
+    temperature_regions: int = 2
+    precipitation_regions: int = 3
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_temperature < 1 or self.n_precipitation < 1:
+            raise ConfigError("need at least one sensor of each type")
+        if self.k_neighbors < 1:
+            raise ConfigError(
+                f"k_neighbors must be >= 1, got {self.k_neighbors}"
+            )
+        means = np.asarray(self.pattern_means, dtype=np.float64)
+        if means.ndim != 2 or means.shape[1] != 2:
+            raise ConfigError(
+                f"pattern_means must be (K, 2), got {means.shape}"
+            )
+        object.__setattr__(self, "pattern_means", means)
+        if self.pattern_std <= 0:
+            raise ConfigError(
+                f"pattern_std must be positive, got {self.pattern_std}"
+            )
+        if self.n_observations < 0:
+            raise ConfigError(
+                f"n_observations must be >= 0, got {self.n_observations}"
+            )
+        if self.temperature_regions < 1 or self.precipitation_regions < 1:
+            raise ConfigError("region spreads must be >= 1")
+
+    @property
+    def n_clusters(self) -> int:
+        return int(np.asarray(self.pattern_means).shape[0])
+
+
+@dataclass(frozen=True)
+class WeatherNetwork:
+    """Generator output: the network plus generation-time ground truth.
+
+    Attributes
+    ----------
+    network:
+        The heterogeneous sensor network (4 relations, 2 attributes).
+    true_labels:
+        ``{sensor_id: ring_index}`` hard ground truth (the ring the
+        sensor's radius falls into).
+    true_theta:
+        ``(n, K)`` soft ground-truth memberships in node-index order.
+    locations:
+        ``(n, 2)`` sensor coordinates in node-index order.
+    config:
+        The generating configuration.
+    """
+
+    network: HeterogeneousNetwork
+    true_labels: dict[str, int]
+    true_theta: np.ndarray
+    locations: np.ndarray
+    config: WeatherConfig
+
+    def labels_array(self) -> np.ndarray:
+        """Hard labels in node-index order."""
+        return np.asarray(
+            [
+                self.true_labels[node]
+                for node in self.network.node_ids
+            ],
+            dtype=np.int64,
+        )
+
+
+def generate_weather_network(config: WeatherConfig) -> WeatherNetwork:
+    """Run the Appendix C generation recipe (see module docstring)."""
+    rng = np.random.default_rng(config.seed)
+    k_clusters = config.n_clusters
+    n_t = config.n_temperature
+    n_p = config.n_precipitation
+    n = n_t + n_p
+
+    # --- locations: uniform in the unit disc -------------------------
+    radii = np.sqrt(rng.random(n))
+    angles = rng.random(n) * 2.0 * np.pi
+    locations = np.column_stack(
+        (radii * np.cos(angles), radii * np.sin(angles))
+    )
+
+    # --- ring memberships --------------------------------------------
+    # equal-area rings: boundaries at sqrt(k/K); since radius = sqrt(U)
+    # with U uniform, radius^2 is uniform and floor(radius^2 K) is the
+    # (balanced) ring index
+    boundaries = np.sqrt(np.arange(k_clusters + 1) / k_clusters)
+    ring_centers = 0.5 * (boundaries[:-1] + boundaries[1:])
+    ring_of = np.minimum(
+        (radii**2 * k_clusters).astype(np.int64), k_clusters - 1
+    )
+    spreads = np.where(
+        np.arange(n) < n_t,
+        config.temperature_regions,
+        config.precipitation_regions,
+    )
+    true_theta = _reciprocal_distance_memberships(
+        radii, ring_centers, spreads
+    )
+
+    # --- node naming: temperature sensors first ----------------------
+    names = [f"T{i}" for i in range(n_t)] + [f"P{i}" for i in range(n_p)]
+    types = [TEMPERATURE_TYPE] * n_t + [PRECIPITATION_TYPE] * n_p
+
+    builder = NetworkBuilder()
+    builder.object_type(TEMPERATURE_TYPE)
+    builder.object_type(PRECIPITATION_TYPE)
+    builder.relation(RELATION_TT, TEMPERATURE_TYPE, TEMPERATURE_TYPE)
+    builder.relation(RELATION_TP, TEMPERATURE_TYPE, PRECIPITATION_TYPE)
+    builder.relation(RELATION_PT, PRECIPITATION_TYPE, TEMPERATURE_TYPE)
+    builder.relation(RELATION_PP, PRECIPITATION_TYPE, PRECIPITATION_TYPE)
+    for name, type_name in zip(names, types):
+        builder.node(name, type_name)
+
+    # --- kNN links per target type ------------------------------------
+    t_slice = np.arange(n_t)
+    p_slice = np.arange(n_t, n)
+    _add_knn_links(
+        builder, names, locations, t_slice, t_slice,
+        RELATION_TT, config.k_neighbors,
+    )
+    _add_knn_links(
+        builder, names, locations, t_slice, p_slice,
+        RELATION_TP, config.k_neighbors,
+    )
+    _add_knn_links(
+        builder, names, locations, p_slice, t_slice,
+        RELATION_PT, config.k_neighbors,
+    )
+    _add_knn_links(
+        builder, names, locations, p_slice, p_slice,
+        RELATION_PP, config.k_neighbors,
+    )
+
+    # --- observations --------------------------------------------------
+    means = np.asarray(config.pattern_means)
+    temperature = NumericAttribute(TEMPERATURE_ATTR)
+    precipitation = NumericAttribute(PRECIPITATION_ATTR)
+    for i in range(n):
+        if config.n_observations == 0:
+            continue
+        patterns = rng.choice(
+            k_clusters, size=config.n_observations, p=true_theta[i]
+        )
+        dimension = 0 if i < n_t else 1
+        values = rng.normal(
+            means[patterns, dimension],
+            config.pattern_std,
+        )
+        attribute = temperature if i < n_t else precipitation
+        attribute.add_values(names[i], values.tolist())
+    builder.attribute(temperature).attribute(precipitation)
+
+    network = builder.build()
+    true_labels = {
+        name: int(ring) for name, ring in zip(names, ring_of)
+    }
+    return WeatherNetwork(
+        network=network,
+        true_labels=true_labels,
+        true_theta=true_theta,
+        locations=locations,
+        config=config,
+    )
+
+
+def _reciprocal_distance_memberships(
+    radii: np.ndarray,
+    ring_centers: np.ndarray,
+    spreads: np.ndarray,
+) -> np.ndarray:
+    """theta_ik  propto  1 / d(radius_i, ring_center_k), top-``spread_i``.
+
+    Distances are to ring centres along the radial axis; each sensor
+    keeps only its ``spread`` nearest rings (2 for T, 3 for P per the
+    paper) and the rest get zero mass.
+    """
+    n = radii.shape[0]
+    k = ring_centers.shape[0]
+    distances = np.abs(radii[:, None] - ring_centers[None, :])
+    reciprocal = 1.0 / (distances + 1e-6)
+    theta = np.zeros((n, k))
+    for i in range(n):
+        spread = min(int(spreads[i]), k)
+        nearest = np.argsort(distances[i])[:spread]
+        theta[i, nearest] = reciprocal[i, nearest]
+    return theta / theta.sum(axis=1, keepdims=True)
+
+
+def _add_knn_links(
+    builder: NetworkBuilder,
+    names: list[str],
+    locations: np.ndarray,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    relation: str,
+    k_neighbors: int,
+) -> None:
+    """Out-links from each source to its k nearest targets (binary)."""
+    target_locations = locations[targets]
+    for i in sources:
+        deltas = target_locations - locations[i]
+        distances = np.einsum("nd,nd->n", deltas, deltas)
+        order = np.argsort(distances, kind="stable")
+        picked = 0
+        for position in order:
+            j = targets[position]
+            if j == i:
+                continue  # a sensor is not its own neighbour
+            builder.link(names[i], names[j], relation, weight=1.0)
+            picked += 1
+            if picked == k_neighbors:
+                break

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Each subclass marks one failure category:
+
+* :class:`SchemaError` -- inconsistent network schemas (unknown types,
+  duplicate relations, inverse mismatches).
+* :class:`NetworkError` -- structurally invalid networks (unknown nodes,
+  edges whose endpoint types contradict the relation declaration).
+* :class:`AttributeSpecError` -- attribute declaration or observation
+  problems (wrong kind, malformed observations).
+* :class:`ConfigError` -- invalid algorithm configuration values.
+* :class:`ConvergenceError` -- an optimizer failed in a way that cannot be
+  recovered (for example, a non-finite objective).
+* :class:`SerializationError` -- malformed persisted network payloads.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A network schema is inconsistent or was used inconsistently."""
+
+
+class NetworkError(ReproError):
+    """A heterogeneous network is structurally invalid."""
+
+
+class AttributeSpecError(ReproError):
+    """An attribute specification or observation is invalid."""
+
+
+class ConfigError(ReproError):
+    """An algorithm configuration value is invalid."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver produced a non-recoverable state."""
+
+
+class SerializationError(ReproError):
+    """A persisted network payload cannot be parsed."""

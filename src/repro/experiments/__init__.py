@@ -1,0 +1,29 @@
+"""Experiment harness: one module per table/figure of Section 5.
+
+Every experiment module exposes ``run(scale="default", seed=0)``
+returning an :class:`~repro.experiments.common.ExperimentReport` whose
+rows mirror the rows/series the paper prints.  Three scales are
+supported:
+
+* ``"smoke"`` -- seconds-fast sizes used by the benchmark suite and CI;
+* ``"default"`` -- minutes-fast sizes that show the paper's shapes
+  clearly (the sizes recorded in EXPERIMENTS.md);
+* ``"paper"`` -- parameters matching the paper's configuration where
+  practical (weather networks exactly; the synthetic DBLP stand-in at
+  the paper's object counts).
+
+Run from the command line::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig5 fig9 --scale default
+"""
+
+from repro.experiments.common import ExperimentReport, SCALES
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "SCALES",
+    "get_experiment",
+]

@@ -1,0 +1,88 @@
+"""Command-line runner for the experiment suite.
+
+Examples
+--------
+List everything::
+
+    python -m repro.experiments --list
+
+Run two experiments at the default scale::
+
+    python -m repro.experiments fig5 table5
+
+Run the full suite at smoke scale::
+
+    python -m repro.experiments all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import SCALES
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Regenerate the tables and figures of the GenClus paper "
+            "(VLDB 2012)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig5 table2), or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="default",
+        help="workload size preset (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base RNG seed"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            runner = EXPERIMENTS[experiment_id]
+            doc = (runner.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{experiment_id:<8} {summary}")
+        return 0
+    if not args.experiments:
+        print(
+            "nothing to run; pass experiment ids or --list",
+            file=sys.stderr,
+        )
+        return 2
+    requested = (
+        list(EXPERIMENTS)
+        if args.experiments == ["all"]
+        else args.experiments
+    )
+    for experiment_id in requested:
+        runner = get_experiment(experiment_id)
+        start = time.perf_counter()
+        report = runner(scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(report.render())
+        print(f"[{experiment_id} took {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

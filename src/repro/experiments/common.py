@@ -1,0 +1,209 @@
+"""Shared plumbing for the experiment modules.
+
+Defines the report record, the scale presets, and the method runners
+(GenClus plus all baselines) used across figures/tables so each
+experiment module stays a thin parameter-sweep script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.itopicmodel import ITopicModel
+from repro.baselines.netplsa import NetPLSA
+from repro.core.config import GenClusConfig
+from repro.core.genclus import GenClus
+from repro.core.result import GenClusResult
+from repro.datagen.dblp import (
+    DblpCorpus,
+    FourAreaConfig,
+    generate_corpus,
+    ground_truth_labels,
+)
+from repro.eval.nmi import nmi
+from repro.experiments.reporting import render_table
+from repro.hin.network import HeterogeneousNetwork
+
+SCALES = ("smoke", "default", "paper")
+"""Recognized experiment scales, smallest to largest."""
+
+
+@dataclass
+class ExperimentReport:
+    """One regenerated table/figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artifact id, e.g. ``"fig5"`` or ``"table2"``.
+    title:
+        Human-readable description matching the paper's caption.
+    columns:
+        Column order for rendering.
+    rows:
+        One dict per printed row.
+    notes:
+        Scale, seeds, and any caveats -- recorded into EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        body = render_table(self.columns, self.rows)
+        parts = [header, body]
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {SCALES}"
+        )
+    return scale
+
+
+# ----------------------------------------------------------------------
+# DBLP corpora per scale
+# ----------------------------------------------------------------------
+
+def dblp_config(scale: str, seed: int) -> FourAreaConfig:
+    """Corpus sizes per scale.
+
+    The paper's extract has 14,475 authors and 14,376 papers -- about
+    one paper per author, which is what makes author text weak and the
+    typed links decisive.  All presets keep that 1:1 ratio.
+    """
+    check_scale(scale)
+    if scale == "smoke":
+        return FourAreaConfig(n_authors=300, n_papers=300, seed=seed)
+    if scale == "default":
+        return FourAreaConfig(n_authors=1600, n_papers=1600, seed=seed)
+    return FourAreaConfig(n_authors=14000, n_papers=14000, seed=seed)
+
+
+def make_corpus(scale: str, seed: int) -> DblpCorpus:
+    return generate_corpus(dblp_config(scale, seed))
+
+
+# ----------------------------------------------------------------------
+# method runners (text networks)
+# ----------------------------------------------------------------------
+
+def run_genclus(
+    network: HeterogeneousNetwork,
+    attributes: list[str],
+    n_clusters: int,
+    seed: int,
+    outer_iterations: int = 10,
+    n_init: int = 3,
+) -> GenClusResult:
+    """Fit GenClus with the paper's defaults at the given seed."""
+    config = GenClusConfig(
+        n_clusters=n_clusters,
+        outer_iterations=outer_iterations,
+        seed=seed,
+        n_init=n_init,
+    )
+    return GenClus(config).fit(network, attributes=attributes)
+
+
+def run_text_method(
+    method: str,
+    network: HeterogeneousNetwork,
+    attribute: str,
+    n_clusters: int,
+    seed: int,
+    outer_iterations: int = 10,
+) -> np.ndarray:
+    """Run one of the text-network methods; returns ``(n, K)`` theta."""
+    if method == "GenClus":
+        return run_genclus(
+            network, [attribute], n_clusters, seed, outer_iterations
+        ).theta
+    if method == "NetPLSA":
+        return NetPLSA(
+            n_clusters, seed=seed, max_iterations=60
+        ).fit_network(network, attribute)
+    if method == "iTopicModel":
+        return ITopicModel(
+            n_clusters, seed=seed, max_iterations=100
+        ).fit_network(network, attribute)
+    raise KeyError(f"unknown method {method!r}")
+
+
+TEXT_METHODS = ("NetPLSA", "iTopicModel", "GenClus")
+"""The three methods of Figs. 5-6 / Tables 2-3, in the paper's order."""
+
+
+# ----------------------------------------------------------------------
+# scoring
+# ----------------------------------------------------------------------
+
+def nmi_by_type(
+    network: HeterogeneousNetwork,
+    theta: np.ndarray,
+    truth: dict[str, int],
+    type_aliases: dict[str, str],
+) -> dict[str, float]:
+    """NMI overall and per object type.
+
+    Parameters
+    ----------
+    network, theta, truth:
+        The network, soft memberships, and ground-truth labels.
+    type_aliases:
+        ``{object_type: printed_name}`` -- e.g. ``{"conference": "C"}``.
+        The "Overall" entry always covers every labeled node.
+    """
+    labels = np.argmax(theta, axis=1)
+    truth_array = np.asarray(
+        [truth[node] for node in network.node_ids]
+    )
+    scores = {"Overall": nmi(truth_array, labels)}
+    for object_type, printed in type_aliases.items():
+        indices = network.indices_of_type(object_type)
+        scores[printed] = nmi(truth_array[indices], labels[indices])
+    return scores
+
+
+def mean_std_over_runs(
+    values_per_run: list[dict[str, float]],
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Per-key mean and standard deviation over repeated runs."""
+    if not values_per_run:
+        raise ValueError("need at least one run")
+    keys = values_per_run[0].keys()
+    means: dict[str, float] = {}
+    stds: dict[str, float] = {}
+    for key in keys:
+        series = np.asarray([run[key] for run in values_per_run])
+        means[key] = float(series.mean())
+        stds[key] = float(series.std())
+    return means, stds
+
+
+def runs_for_scale(scale: str) -> int:
+    """Repeated random runs per method (paper: 20)."""
+    check_scale(scale)
+    return {"smoke": 2, "default": 5, "paper": 20}[scale]
+
+
+def labels_dict_to_array(
+    network: HeterogeneousNetwork, truth: dict[str, int]
+) -> np.ndarray:
+    return np.asarray([truth[node] for node in network.node_ids])
+
+
+def corpus_truth(
+    corpus: DblpCorpus, network: HeterogeneousNetwork
+) -> dict[str, int]:
+    return ground_truth_labels(corpus, network)

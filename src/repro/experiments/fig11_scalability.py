@@ -1,0 +1,101 @@
+"""Figure 11: scalability of the EM step over the number of objects.
+
+The paper times one inner EM iteration (the bottleneck of GenClus) on
+the weather networks of both settings at 1250 / 1500 / 2000 objects and
+nobs in {1, 5, 20}.  Expected shape: per-iteration time approximately
+linear in the number of objects (the network is kNN so |E| = O(|V|)),
+and increasing with nobs through the Gaussian responsibility term.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.em import em_update
+from repro.core.initialization import random_theta
+from repro.core.problem import compile_problem
+from repro.datagen.weather import generate_weather_network
+from repro.experiments.common import ExperimentReport, check_scale
+from repro.experiments.weather_common import (
+    WEATHER_ATTRIBUTES,
+    observation_grid,
+    sensor_counts,
+    weather_config,
+)
+
+EXPERIMENT_ID = "fig11"
+TITLE = "EM execution time per inner iteration vs number of objects"
+
+
+def time_em_iteration(
+    generated, seed: int, warmup: int = 2, repeats: int = 5
+) -> float:
+    """Mean wall-clock seconds of one EM update on a compiled problem."""
+    problem = compile_problem(
+        generated.network,
+        WEATHER_ATTRIBUTES,
+        generated.config.n_clusters,
+    )
+    rng = np.random.default_rng(seed)
+    for model in problem.attribute_models:
+        model.init_params(rng)
+    theta = random_theta(
+        rng, problem.num_nodes, problem.n_clusters
+    )
+    gamma = np.ones(problem.num_relations)
+    for _ in range(warmup):
+        theta = em_update(
+            theta, gamma, problem.matrices, problem.attribute_models
+        )
+    start = time.perf_counter()
+    for _ in range(repeats):
+        theta = em_update(
+            theta, gamma, problem.matrices, problem.attribute_models
+        )
+    return (time.perf_counter() - start) / repeats
+
+
+def run(scale: str = "default", seed: int = 0) -> ExperimentReport:
+    """Regenerate Fig. 11: seconds/iteration per (setting, size, nobs)."""
+    check_scale(scale)
+    n_temperature, precipitation_choices = sensor_counts(scale)
+    observations = observation_grid(scale)
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=(
+            "setting",
+            "n_objects",
+            "n_obs",
+            "seconds_per_iteration",
+        ),
+        notes=(
+            f"scale={scale}, seed={seed}; mean of 5 timed EM updates "
+            f"after 2 warmups"
+        ),
+    )
+    for setting in (1, 2):
+        for n_precipitation in precipitation_choices:
+            for n_observations in observations:
+                generated = generate_weather_network(
+                    weather_config(
+                        setting,
+                        n_temperature,
+                        n_precipitation,
+                        n_observations,
+                        seed,
+                    )
+                )
+                report.rows.append(
+                    {
+                        "setting": setting,
+                        "n_objects": n_temperature + n_precipitation,
+                        "n_obs": n_observations,
+                        "seconds_per_iteration": time_em_iteration(
+                            generated, seed
+                        ),
+                    }
+                )
+    return report

@@ -1,0 +1,50 @@
+"""Registry mapping paper artifact ids to experiment runners."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (
+    fig5_ac_accuracy,
+    fig6_acp_accuracy,
+    fig7_weather_setting1,
+    fig8_weather_setting2,
+    fig9_strengths,
+    fig10_running_case,
+    fig11_scalability,
+    table1_case_study,
+    table2_linkpred_ac,
+    table3_linkpred_acp,
+    table4_linkpred_weather,
+    table5_weather_strengths,
+)
+from repro.experiments.common import ExperimentReport
+
+Runner = Callable[..., ExperimentReport]
+
+EXPERIMENTS: dict[str, Runner] = {
+    "fig5": fig5_ac_accuracy.run,
+    "fig6": fig6_acp_accuracy.run,
+    "fig7": fig7_weather_setting1.run,
+    "fig8": fig8_weather_setting2.run,
+    "fig9": fig9_strengths.run,
+    "fig10": fig10_running_case.run,
+    "fig11": fig11_scalability.run,
+    "table1": table1_case_study.run,
+    "table2": table2_linkpred_ac.run,
+    "table3": table3_linkpred_acp.run,
+    "table4": table4_linkpred_weather.run,
+    "table5": table5_weather_strengths.run,
+}
+"""Every table and figure of Section 5, keyed by paper artifact id."""
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """Look up a runner; raises ``KeyError`` with the known ids."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        ) from None

@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Numbers to 4 decimals, everything else via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+) -> str:
+    """Render rows as an aligned ASCII table with a header rule."""
+    if not columns:
+        raise ValueError("columns must be non-empty")
+    widths = [len(c) for c in columns]
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        cells = [format_cell(row.get(c, "")) for c in columns]
+        rendered_rows.append(cells)
+        widths = [max(w, len(cell)) for w, cell in zip(widths, cells)]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for cells in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(cells, widths))
+        )
+    return "\n".join(lines)

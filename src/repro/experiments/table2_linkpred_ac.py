@@ -1,0 +1,83 @@
+"""Table 2: link-prediction accuracy (MAP) for <A,C> in the AC network.
+
+Predict which conferences an author publishes in: rank all conferences
+per author by membership similarity under the three similarity functions
+of Section 5.2.2, for each of NetPLSA / iTopicModel / GenClus.  Expected
+shape: GenClus the best column; the asymmetric -H(theta_j, theta_i) its
+best row.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.dblp import build_ac_network
+from repro.eval.linkpred import link_prediction_map
+from repro.eval.similarity import SIMILARITY_FUNCTIONS
+from repro.experiments.common import (
+    ExperimentReport,
+    TEXT_METHODS,
+    check_scale,
+    make_corpus,
+    run_text_method,
+)
+
+EXPERIMENT_ID = "table2"
+TITLE = "Prediction accuracy (MAP) for the A-C relation in the AC network"
+RELATION = "publish_in"
+PRINTED_SIMILARITY = {
+    "cosine": "cos(theta_i, theta_j)",
+    "neg_euclidean": "-||theta_i - theta_j||",
+    "neg_cross_entropy": "-H(theta_j, theta_i)",
+}
+
+
+def run(scale: str = "default", seed: int = 0) -> ExperimentReport:
+    """Regenerate Table 2: one row per similarity, one column per method."""
+    return run_linkpred_table(
+        EXPERIMENT_ID,
+        TITLE,
+        RELATION,
+        build_network=build_ac_network,
+        scale=scale,
+        seed=seed,
+    )
+
+
+def run_linkpred_table(
+    experiment_id: str,
+    title: str,
+    relation: str,
+    build_network,
+    scale: str,
+    seed: int,
+) -> ExperimentReport:
+    """Shared Table 2 / Table 3 harness."""
+    check_scale(scale)
+    corpus = make_corpus(scale, seed)
+    network = build_network(corpus)
+    report = ExperimentReport(
+        experiment_id=experiment_id,
+        title=title,
+        columns=("similarity", *TEXT_METHODS),
+        notes=(
+            f"scale={scale}, seed={seed}; relation {relation!r}; "
+            f"relevance = observed links"
+        ),
+    )
+    map_by_method: dict[str, dict[str, float]] = {}
+    for method in TEXT_METHODS:
+        theta = run_text_method(
+            method, network, "title", 4, seed=seed
+        )
+        result = link_prediction_map(network, theta, relation)
+        map_by_method[method] = result.map_by_similarity
+    for similarity in SIMILARITY_FUNCTIONS:
+        report.rows.append(
+            {
+                "similarity": PRINTED_SIMILARITY[similarity],
+                **{
+                    method: map_by_method[method][similarity]
+                    for method in TEXT_METHODS
+                },
+            }
+        )
+    return report

@@ -1,0 +1,28 @@
+"""Table 3: link-prediction accuracy (MAP) for <P,C> in the ACP network.
+
+Predict the conference a paper is published in, same protocol as
+Table 2.  Expected shape: all methods lower than Table 2 (papers are
+noisier queries than authors); GenClus still the best column.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.dblp import build_acp_network
+from repro.experiments.common import ExperimentReport
+from repro.experiments.table2_linkpred_ac import run_linkpred_table
+
+EXPERIMENT_ID = "table3"
+TITLE = "Prediction accuracy (MAP) for the P-C relation in the ACP network"
+RELATION = "published_by"
+
+
+def run(scale: str = "default", seed: int = 0) -> ExperimentReport:
+    """Regenerate Table 3 rows."""
+    return run_linkpred_table(
+        EXPERIMENT_ID,
+        TITLE,
+        RELATION,
+        build_network=build_acp_network,
+        scale=scale,
+        seed=seed,
+    )

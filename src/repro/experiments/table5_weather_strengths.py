@@ -1,0 +1,66 @@
+"""Table 5: learned link-type strengths for the weather network.
+
+Setting 1, nobs = 5, #T = 1000 with #P in {250, 500, 1000}: the learned
+gamma for <T,T>, <T,P>, <P,T>, <P,P>.  Expected shape (Section 5.2.3):
+
+* strengths of the <.,P> relations *decrease* as #P shrinks (sparse
+  P sensors sit farther away and are less trustworthy);
+* T-typed neighbours earn more strength than P-typed ones at equal
+  density (T data is higher quality: membership spread over 2 rings
+  instead of 3).
+"""
+
+from __future__ import annotations
+
+from repro.datagen.weather import (
+    RELATION_PP,
+    RELATION_PT,
+    RELATION_TP,
+    RELATION_TT,
+    generate_weather_network,
+)
+from repro.experiments.common import ExperimentReport, check_scale
+from repro.experiments.weather_common import (
+    fit_weather_genclus,
+    sensor_counts,
+    weather_config,
+)
+
+EXPERIMENT_ID = "table5"
+TITLE = "Learned link-type strengths, weather network Setting 1"
+PRINTED_RELATION = {
+    RELATION_TT: "<T,T>",
+    RELATION_TP: "<T,P>",
+    RELATION_PT: "<P,T>",
+    RELATION_PP: "<P,P>",
+}
+
+
+def run(scale: str = "default", seed: int = 0) -> ExperimentReport:
+    """Regenerate Table 5: gamma per relation per network size."""
+    check_scale(scale)
+    n_temperature, precipitation_choices = sensor_counts(scale)
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=("network", *PRINTED_RELATION.values()),
+        notes=f"scale={scale}, seed={seed}; Setting 1, nobs=5",
+    )
+    for n_precipitation in precipitation_choices:
+        generated = generate_weather_network(
+            weather_config(1, n_temperature, n_precipitation, 5, seed)
+        )
+        result = fit_weather_genclus(generated, seed)
+        strengths = result.strengths()
+        report.rows.append(
+            {
+                "network": (
+                    f"T:{n_temperature}; P:{n_precipitation}"
+                ),
+                **{
+                    printed: strengths[relation]
+                    for relation, printed in PRINTED_RELATION.items()
+                },
+            }
+        )
+    return report

@@ -1,0 +1,346 @@
+"""Incomplete attribute observation tables.
+
+Section 2.1 of the paper models attributes as a network-level collection
+``X = {X_1, ..., X_T}`` where each object ``v`` carries a (possibly empty)
+*multiset* of observations ``v[X]``.  Incompleteness is therefore a
+first-class state here: an object simply has no row in the table.  Two
+attribute kinds are supported, matching Section 3.2:
+
+* **text** -- a bag of terms over a vocabulary, modeled downstream by a
+  categorical (PLSA-style) mixture (Eq. 3);
+* **numeric** -- a list of real values, modeled downstream by a Gaussian
+  mixture (Eq. 4).
+
+The ``compile`` methods freeze a table into dense/sparse numpy structures
+aligned with a node-index mapping so the solvers can run vectorized.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import AttributeSpecError
+
+
+class AttributeKind(enum.Enum):
+    """The two attribute families handled by the model (Section 3.2)."""
+
+    TEXT = "text"
+    NUMERIC = "numeric"
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeSpec:
+    """Declaration of one attribute: a name plus its kind."""
+
+    name: str
+    kind: AttributeKind
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AttributeSpecError("attribute name must be non-empty")
+        if not isinstance(self.kind, AttributeKind):
+            raise AttributeSpecError(
+                f"attribute {self.name!r}: kind must be an AttributeKind, "
+                f"got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledTextAttribute:
+    """A text attribute frozen to arrays for the solvers.
+
+    Attributes
+    ----------
+    node_indices:
+        ``(n_obs_nodes,)`` int array -- network indices of the objects in
+        ``V_X`` (those with at least one observation).
+    counts:
+        ``(n_obs_nodes, vocab_size)`` CSR matrix of term counts ``c_{v,l}``.
+    vocabulary:
+        Tuple of terms; column ``l`` of ``counts`` is ``vocabulary[l]``.
+    """
+
+    node_indices: np.ndarray
+    counts: sparse.csr_matrix
+    vocabulary: tuple[str, ...]
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocabulary)
+
+    @property
+    def total_observations(self) -> float:
+        """Total term count over all objects (``sum of c_{v,l}``)."""
+        return float(self.counts.sum())
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledNumericAttribute:
+    """A numeric attribute frozen to arrays for the solvers.
+
+    Attributes
+    ----------
+    node_indices:
+        ``(n_obs_nodes,)`` int array -- network indices of objects in
+        ``V_X``.
+    values:
+        ``(n_obs,)`` float array -- every observation, flattened.
+    owners:
+        ``(n_obs,)`` int array -- for each observation, its position in
+        ``node_indices`` (NOT the network index; use
+        ``node_indices[owners]`` for that).
+    """
+
+    node_indices: np.ndarray
+    values: np.ndarray
+    owners: np.ndarray
+
+    @property
+    def total_observations(self) -> int:
+        return int(self.values.shape[0])
+
+
+class TextAttribute:
+    """A bag-of-terms attribute table with an explicit vocabulary.
+
+    The vocabulary grows as observations are added, unless the table was
+    constructed with ``frozen_vocabulary`` (useful when aligning a test
+    network to a training vocabulary).
+
+    Examples
+    --------
+    >>> attr = TextAttribute("title")
+    >>> attr.add_tokens("paper-1", ["query", "optimization", "query"])
+    >>> attr.term_count("paper-1", "query")
+    2.0
+    >>> attr.has_observations("paper-2")
+    False
+    """
+
+    def __init__(
+        self,
+        name: str,
+        frozen_vocabulary: Sequence[str] | None = None,
+    ) -> None:
+        self.spec = AttributeSpec(name, AttributeKind.TEXT)
+        self._term_index: dict[str, int] = {}
+        self._frozen = frozen_vocabulary is not None
+        if frozen_vocabulary is not None:
+            for term in frozen_vocabulary:
+                if term in self._term_index:
+                    raise AttributeSpecError(
+                        f"duplicate term {term!r} in frozen vocabulary"
+                    )
+                self._term_index[term] = len(self._term_index)
+        self._bags: dict[object, Counter] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def vocabulary(self) -> tuple[str, ...]:
+        return tuple(self._term_index)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._term_index)
+
+    def _intern(self, term: str) -> int:
+        index = self._term_index.get(term)
+        if index is None:
+            if self._frozen:
+                raise AttributeSpecError(
+                    f"term {term!r} not in frozen vocabulary of attribute "
+                    f"{self.name!r}"
+                )
+            index = len(self._term_index)
+            self._term_index[term] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # observation entry
+    # ------------------------------------------------------------------
+    def add_tokens(self, node: object, tokens: Iterable[str]) -> None:
+        """Append a token sequence to the node's bag (counts accumulate)."""
+        bag = self._bags.setdefault(node, Counter())
+        for token in tokens:
+            bag[self._intern(token)] += 1
+
+    def add_counts(self, node: object, counts: Mapping[str, float]) -> None:
+        """Merge explicit ``term -> count`` observations for a node."""
+        bag = self._bags.setdefault(node, Counter())
+        for term, count in counts.items():
+            if count < 0:
+                raise AttributeSpecError(
+                    f"negative count for term {term!r} on node {node!r}"
+                )
+            bag[self._intern(term)] += count
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_observations(self, node: object) -> bool:
+        bag = self._bags.get(node)
+        return bag is not None and sum(bag.values()) > 0
+
+    def nodes_with_observations(self) -> tuple[object, ...]:
+        return tuple(
+            node for node, bag in self._bags.items() if sum(bag.values()) > 0
+        )
+
+    def term_count(self, node: object, term: str) -> float:
+        bag = self._bags.get(node)
+        if bag is None:
+            return 0.0
+        index = self._term_index.get(term)
+        if index is None:
+            return 0.0
+        return float(bag.get(index, 0))
+
+    def bag_of(self, node: object) -> dict[str, float]:
+        """Return the node's bag as a ``term -> count`` dict (a copy)."""
+        bag = self._bags.get(node, Counter())
+        terms = self.vocabulary
+        return {terms[idx]: float(cnt) for idx, cnt in bag.items() if cnt > 0}
+
+    def observation_total(self, node: object) -> float:
+        """Total number of term observations carried by the node."""
+        bag = self._bags.get(node)
+        return float(sum(bag.values())) if bag else 0.0
+
+    # ------------------------------------------------------------------
+    def compile(self, node_index: Mapping[object, int]) -> CompiledTextAttribute:
+        """Freeze to a :class:`CompiledTextAttribute`.
+
+        Parameters
+        ----------
+        node_index:
+            Mapping from node id to network index; nodes carrying
+            observations but absent from the mapping raise
+            :class:`AttributeSpecError` (they indicate a network/attribute
+            mismatch).
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        indices: list[int] = []
+        row = 0
+        for node, bag in self._bags.items():
+            total = sum(bag.values())
+            if total <= 0:
+                continue
+            if node not in node_index:
+                raise AttributeSpecError(
+                    f"attribute {self.name!r} has observations for node "
+                    f"{node!r} which is not in the network"
+                )
+            indices.append(node_index[node])
+            for term_idx, count in bag.items():
+                if count > 0:
+                    rows.append(row)
+                    cols.append(term_idx)
+                    vals.append(float(count))
+            row += 1
+        counts = sparse.csr_matrix(
+            (vals, (rows, cols)),
+            shape=(row, self.vocab_size),
+            dtype=np.float64,
+        )
+        return CompiledTextAttribute(
+            node_indices=np.asarray(indices, dtype=np.int64),
+            counts=counts,
+            vocabulary=self.vocabulary,
+        )
+
+
+class NumericAttribute:
+    """A real-valued attribute table; each node holds a list of values.
+
+    Matches the weather-sensor scenario (Example 2): a sensor "may
+    sometimes register none or multiple observations".
+
+    Examples
+    --------
+    >>> attr = NumericAttribute("temperature")
+    >>> attr.add_value("sensor-1", 21.5)
+    >>> attr.add_values("sensor-1", [20.9, 22.0])
+    >>> attr.observation_total("sensor-1")
+    3
+    """
+
+    def __init__(self, name: str) -> None:
+        self.spec = AttributeSpec(name, AttributeKind.NUMERIC)
+        self._values: dict[object, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def add_value(self, node: object, value: float) -> None:
+        """Append a single observation for a node."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise AttributeSpecError(
+                f"non-finite observation {value!r} for node {node!r} on "
+                f"attribute {self.name!r}"
+            )
+        self._values.setdefault(node, []).append(value)
+
+    def add_values(self, node: object, values: Iterable[float]) -> None:
+        """Append several observations for a node."""
+        for value in values:
+            self.add_value(node, value)
+
+    # ------------------------------------------------------------------
+    def has_observations(self, node: object) -> bool:
+        return bool(self._values.get(node))
+
+    def nodes_with_observations(self) -> tuple[object, ...]:
+        return tuple(node for node, vals in self._values.items() if vals)
+
+    def values_of(self, node: object) -> tuple[float, ...]:
+        return tuple(self._values.get(node, ()))
+
+    def observation_total(self, node: object) -> int:
+        return len(self._values.get(node, ()))
+
+    # ------------------------------------------------------------------
+    def compile(
+        self, node_index: Mapping[object, int]
+    ) -> CompiledNumericAttribute:
+        """Freeze to a :class:`CompiledNumericAttribute` (see class doc)."""
+        indices: list[int] = []
+        values: list[float] = []
+        owners: list[int] = []
+        row = 0
+        for node, vals in self._values.items():
+            if not vals:
+                continue
+            if node not in node_index:
+                raise AttributeSpecError(
+                    f"attribute {self.name!r} has observations for node "
+                    f"{node!r} which is not in the network"
+                )
+            indices.append(node_index[node])
+            owners.extend([row] * len(vals))
+            values.extend(vals)
+            row += 1
+        return CompiledNumericAttribute(
+            node_indices=np.asarray(indices, dtype=np.int64),
+            values=np.asarray(values, dtype=np.float64),
+            owners=np.asarray(owners, dtype=np.int64),
+        )
+
+
+Attribute = TextAttribute | NumericAttribute
+"""Union of the two concrete attribute table types."""

@@ -1,0 +1,328 @@
+"""The heterogeneous information network container.
+
+Implements ``G = (V, E, W)`` of Section 2.1: a directed graph with typed
+nodes (``tau: V -> A``), typed weighted links (``phi: E -> R``), and a set
+of attribute tables attached to the network.  Nodes are identified by
+arbitrary hashable ids (strings in all shipped examples); internally every
+node gets a stable contiguous index in insertion order, which is the row
+index used by all solver matrices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.exceptions import AttributeSpecError, NetworkError
+from repro.hin.attributes import Attribute, NumericAttribute, TextAttribute
+from repro.hin.schema import NetworkSchema, RelationType
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """One directed link: source id, target id, relation name, weight."""
+
+    source: object
+    target: object
+    relation: str
+    weight: float
+
+
+class HeterogeneousNetwork:
+    """A directed, typed, weighted multigraph with attribute tables.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.hin.schema.NetworkSchema` declaring object types
+        and relations.  The network validates every node and edge against
+        it at insertion time.
+
+    Notes
+    -----
+    Parallel edges within one relation are merged by *summing weights*
+    (the DBLP AC network weights links by paper counts, which is exactly
+    this accumulation).
+
+    Examples
+    --------
+    >>> schema = NetworkSchema()
+    >>> schema.add_object_type("author")
+    >>> schema.add_object_type("conf")
+    >>> schema.add_relation("publish_in", "author", "conf")
+    >>> net = HeterogeneousNetwork(schema)
+    >>> net.add_node("alice", "author")
+    0
+    >>> net.add_node("SIGMOD", "conf")
+    1
+    >>> net.add_edge("alice", "SIGMOD", "publish_in", weight=3.0)
+    >>> net.edge_weight("alice", "SIGMOD", "publish_in")
+    3.0
+    """
+
+    def __init__(self, schema: NetworkSchema) -> None:
+        self.schema = schema
+        self._node_ids: list[object] = []
+        self._node_index: dict[object, int] = {}
+        self._node_types: list[str] = []
+        # relation name -> {(src_idx, dst_idx): weight}
+        self._edges: dict[str, dict[tuple[int, int], float]] = {
+            r.name: {} for r in schema.relations
+        }
+        self._attributes: dict[str, Attribute] = {}
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def add_node(self, node: object, object_type: str) -> int:
+        """Insert a node and return its index.
+
+        Re-inserting an existing node with the same type is a no-op that
+        returns the existing index; with a different type it is an error.
+        """
+        if not self.schema.has_object_type(object_type):
+            raise NetworkError(
+                f"cannot add node {node!r}: unknown object type "
+                f"{object_type!r}"
+            )
+        existing = self._node_index.get(node)
+        if existing is not None:
+            if self._node_types[existing] != object_type:
+                raise NetworkError(
+                    f"node {node!r} already exists with type "
+                    f"{self._node_types[existing]!r}, not {object_type!r}"
+                )
+            return existing
+        index = len(self._node_ids)
+        self._node_ids.append(node)
+        self._node_index[node] = index
+        self._node_types.append(object_type)
+        return index
+
+    def add_nodes(self, nodes: Iterable[object], object_type: str) -> None:
+        """Insert many nodes of one type."""
+        for node in nodes:
+            self.add_node(node, object_type)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_ids)
+
+    @property
+    def node_ids(self) -> tuple[object, ...]:
+        """All node ids in index order."""
+        return tuple(self._node_ids)
+
+    def has_node(self, node: object) -> bool:
+        return node in self._node_index
+
+    def index_of(self, node: object) -> int:
+        """Index of a node id; raises :class:`NetworkError` if unknown."""
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise NetworkError(f"unknown node {node!r}") from None
+
+    def node_at(self, index: int) -> object:
+        """Node id at a given index."""
+        try:
+            return self._node_ids[index]
+        except IndexError:
+            raise NetworkError(f"node index {index} out of range") from None
+
+    def type_of(self, node: object) -> str:
+        """Object type name of a node (the paper's ``tau(v)``)."""
+        return self._node_types[self.index_of(node)]
+
+    def type_at(self, index: int) -> str:
+        return self._node_types[index]
+
+    @property
+    def node_index(self) -> dict[object, int]:
+        """A copy of the id -> index mapping."""
+        return dict(self._node_index)
+
+    def nodes_of_type(self, object_type: str) -> tuple[object, ...]:
+        """All node ids of one type, in index order."""
+        self.schema.object_type(object_type)
+        return tuple(
+            node
+            for node, typ in zip(self._node_ids, self._node_types)
+            if typ == object_type
+        )
+
+    def indices_of_type(self, object_type: str) -> list[int]:
+        """All node indices of one type, ascending."""
+        self.schema.object_type(object_type)
+        return [
+            i for i, typ in enumerate(self._node_types) if typ == object_type
+        ]
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def add_edge(
+        self,
+        source: object,
+        target: object,
+        relation: str,
+        weight: float = 1.0,
+    ) -> None:
+        """Insert a directed link of the given relation.
+
+        Endpoint types must match the relation declaration; weights of
+        repeated insertions accumulate.
+        """
+        rel = self.schema.relation(relation)
+        src_idx = self.index_of(source)
+        dst_idx = self.index_of(target)
+        if self._node_types[src_idx] != rel.source:
+            raise NetworkError(
+                f"edge {source!r} -> {target!r}: relation {relation!r} "
+                f"expects source type {rel.source!r}, node has type "
+                f"{self._node_types[src_idx]!r}"
+            )
+        if self._node_types[dst_idx] != rel.target:
+            raise NetworkError(
+                f"edge {source!r} -> {target!r}: relation {relation!r} "
+                f"expects target type {rel.target!r}, node has type "
+                f"{self._node_types[dst_idx]!r}"
+            )
+        if weight < 0:
+            raise NetworkError(
+                f"edge {source!r} -> {target!r}: negative weight {weight}"
+            )
+        if weight == 0:
+            return
+        bucket = self._edges[relation]
+        key = (src_idx, dst_idx)
+        bucket[key] = bucket.get(key, 0.0) + float(weight)
+
+    def num_edges(self, relation: str | None = None) -> int:
+        """Number of distinct links, overall or within one relation."""
+        if relation is not None:
+            self.schema.relation(relation)
+            return len(self._edges[relation])
+        return sum(len(bucket) for bucket in self._edges.values())
+
+    def edge_weight(
+        self, source: object, target: object, relation: str
+    ) -> float:
+        """Weight of a link, or 0.0 if absent."""
+        self.schema.relation(relation)
+        key = (self.index_of(source), self.index_of(target))
+        return self._edges[relation].get(key, 0.0)
+
+    def edges(self, relation: str | None = None) -> Iterator[Edge]:
+        """Iterate links as :class:`Edge` records (one relation or all)."""
+        names = (
+            [relation] if relation is not None else list(self._edges.keys())
+        )
+        for name in names:
+            self.schema.relation(name)
+            for (src, dst), weight in self._edges[name].items():
+                yield Edge(
+                    self._node_ids[src], self._node_ids[dst], name, weight
+                )
+
+    def edge_arrays(
+        self, relation: str
+    ) -> tuple[list[int], list[int], list[float]]:
+        """Links of one relation as parallel (src, dst, weight) index lists."""
+        self.schema.relation(relation)
+        sources: list[int] = []
+        targets: list[int] = []
+        weights: list[float] = []
+        for (src, dst), weight in self._edges[relation].items():
+            sources.append(src)
+            targets.append(dst)
+            weights.append(weight)
+        return sources, targets, weights
+
+    def out_neighbors(
+        self, node: object, relation: str | None = None
+    ) -> list[tuple[object, str, float]]:
+        """``(target, relation, weight)`` for every out-link of a node."""
+        src_idx = self.index_of(node)
+        result: list[tuple[object, str, float]] = []
+        names = (
+            [relation] if relation is not None else list(self._edges.keys())
+        )
+        for name in names:
+            self.schema.relation(name)
+            for (src, dst), weight in self._edges[name].items():
+                if src == src_idx:
+                    result.append((self._node_ids[dst], name, weight))
+        return result
+
+    def in_neighbors(
+        self, node: object, relation: str | None = None
+    ) -> list[tuple[object, str, float]]:
+        """``(source, relation, weight)`` for every in-link of a node."""
+        dst_idx = self.index_of(node)
+        result: list[tuple[object, str, float]] = []
+        names = (
+            [relation] if relation is not None else list(self._edges.keys())
+        )
+        for name in names:
+            self.schema.relation(name)
+            for (src, dst), weight in self._edges[name].items():
+                if dst == dst_idx:
+                    result.append((self._node_ids[src], name, weight))
+        return result
+
+    def relation_types_present(self) -> tuple[str, ...]:
+        """Names of relations that hold at least one link."""
+        return tuple(
+            name for name, bucket in self._edges.items() if bucket
+        )
+
+    def relation_declaration(self, relation: str) -> RelationType:
+        return self.schema.relation(relation)
+
+    # ------------------------------------------------------------------
+    # attributes
+    # ------------------------------------------------------------------
+    def add_attribute(self, attribute: Attribute) -> None:
+        """Attach an attribute table; names must be unique per network."""
+        if attribute.name in self._attributes:
+            raise AttributeSpecError(
+                f"attribute {attribute.name!r} already attached"
+            )
+        self._attributes[attribute.name] = attribute
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise AttributeSpecError(f"unknown attribute {name!r}") from None
+
+    def text_attribute(self, name: str) -> TextAttribute:
+        """Fetch an attribute known to be text; raises if numeric."""
+        attr = self.attribute(name)
+        if not isinstance(attr, TextAttribute):
+            raise AttributeSpecError(f"attribute {name!r} is not text")
+        return attr
+
+    def numeric_attribute(self, name: str) -> NumericAttribute:
+        """Fetch an attribute known to be numeric; raises if text."""
+        attr = self.attribute(name)
+        if not isinstance(attr, NumericAttribute):
+            raise AttributeSpecError(f"attribute {name!r} is not numeric")
+        return attr
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(self._attributes)
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._attributes
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HeterogeneousNetwork(nodes={self.num_nodes}, "
+            f"edges={self.num_edges()}, "
+            f"relations={list(self.schema.relation_names)!r}, "
+            f"attributes={list(self._attributes)!r})"
+        )

@@ -1,0 +1,217 @@
+"""Tests for repro.core.attribute_models (Eqs. 3-4, 10-12 pieces)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute_models import CategoricalModel, GaussianModel
+from repro.exceptions import ConfigError
+from repro.hin.attributes import NumericAttribute, TextAttribute
+
+
+def make_text_compiled():
+    """Two nodes with clearly separated vocabularies, one without text."""
+    attr = TextAttribute("title")
+    attr.add_tokens("db-paper", ["query", "index", "query", "join"])
+    attr.add_tokens("ml-paper", ["learning", "neural", "learning"])
+    node_index = {"db-paper": 0, "ml-paper": 1, "no-text": 2}
+    return attr.compile(node_index)
+
+
+def make_numeric_compiled():
+    attr = NumericAttribute("temp")
+    attr.add_values("cold", [-1.1, -0.9, -1.0])
+    attr.add_values("hot", [0.9, 1.1, 1.0])
+    node_index = {"cold": 0, "hot": 1, "silent": 2}
+    return attr.compile(node_index)
+
+
+class TestCategoricalModel:
+    def test_init_params_rows_sum_to_one(self):
+        model = CategoricalModel(make_text_compiled(), 2, 3)
+        model.init_params(np.random.default_rng(0))
+        np.testing.assert_allclose(model.beta.sum(axis=1), 1.0)
+
+    def test_use_before_init_raises(self):
+        model = CategoricalModel(make_text_compiled(), 2, 3)
+        with pytest.raises(RuntimeError, match="init_params"):
+            model.log_likelihood(np.full((3, 2), 0.5))
+
+    def test_set_params_validation(self):
+        model = CategoricalModel(make_text_compiled(), 2, 3)
+        with pytest.raises(ValueError, match="shape"):
+            model.set_params(np.ones((3, 5)))
+        bad = np.full((2, 5), 0.1)
+        with pytest.raises(ValueError, match="sum to 1"):
+            model.set_params(bad)
+        negative = np.array([[1.2, -0.2, 0, 0, 0], [0.2, 0.2, 0.2, 0.2, 0.2]])
+        with pytest.raises(ValueError, match="non-negative"):
+            model.set_params(negative)
+
+    def test_em_contribution_zero_for_unobserved(self):
+        model = CategoricalModel(make_text_compiled(), 2, 3)
+        model.init_params(np.random.default_rng(0))
+        theta = np.full((3, 2), 0.5)
+        contribution = model.em_step(theta)
+        np.testing.assert_array_equal(contribution[2], 0.0)
+
+    def test_em_contribution_sums_to_observation_counts(self):
+        """sum_k sum_l c_vl p(z=k) == total tokens of v."""
+        compiled = make_text_compiled()
+        model = CategoricalModel(compiled, 2, 3)
+        model.init_params(np.random.default_rng(0))
+        theta = np.full((3, 2), 0.5)
+        contribution = model.em_step(theta)
+        assert contribution[0].sum() == pytest.approx(4.0)  # 4 tokens
+        assert contribution[1].sum() == pytest.approx(3.0)  # 3 tokens
+
+    def test_em_separates_distinct_vocabularies(self):
+        """Iterating EM at fixed uniform-ish theta separates components."""
+        compiled = make_text_compiled()
+        model = CategoricalModel(compiled, 2, 3)
+        rng = np.random.default_rng(1)
+        model.init_params(rng)
+        theta = np.array([[0.9, 0.1], [0.1, 0.9], [0.5, 0.5]])
+        for _ in range(30):
+            model.em_step(theta)
+        vocab = list(compiled.vocabulary)
+        beta = model.beta
+        # cluster 0 should own db terms, cluster 1 ml terms
+        assert beta[0, vocab.index("query")] > beta[1, vocab.index("query")]
+        assert (
+            beta[1, vocab.index("learning")]
+            > beta[0, vocab.index("learning")]
+        )
+
+    def test_loglik_improves_with_matching_params(self):
+        compiled = make_text_compiled()
+        model = CategoricalModel(compiled, 2, 3)
+        vocab = list(compiled.vocabulary)
+        m = len(vocab)
+        theta = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        # aligned: cluster 0 over db terms, cluster 1 over ml terms
+        aligned = np.full((2, m), 1e-6)
+        for term in ["query", "index", "join"]:
+            aligned[0, vocab.index(term)] = 1.0
+        for term in ["learning", "neural"]:
+            aligned[1, vocab.index(term)] = 1.0
+        aligned /= aligned.sum(axis=1, keepdims=True)
+        model.set_params(aligned)
+        good = model.log_likelihood(theta)
+        swapped = aligned[::-1].copy()
+        model.set_params(swapped)
+        bad = model.log_likelihood(theta)
+        assert good > bad
+
+    def test_empty_table_contributes_nothing(self):
+        attr = TextAttribute("title")
+        compiled = attr.compile({"n0": 0})
+        model = CategoricalModel(compiled, 2, 1)
+        model.init_params(np.random.default_rng(0))
+        theta = np.full((1, 2), 0.5)
+        assert model.log_likelihood(theta) == 0.0
+        np.testing.assert_array_equal(model.em_step(theta), 0.0)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigError):
+            CategoricalModel(make_text_compiled(), 0, 3)
+
+
+class TestGaussianModel:
+    def test_init_params_finite(self):
+        model = GaussianModel(make_numeric_compiled(), 2, 3)
+        model.init_params(np.random.default_rng(0))
+        assert np.all(np.isfinite(model.means))
+        assert np.all(model.variances > 0)
+
+    def test_set_params_validation(self):
+        model = GaussianModel(make_numeric_compiled(), 2, 3)
+        with pytest.raises(ValueError, match="means must have shape"):
+            model.set_params(np.zeros(3), np.ones(2))
+        with pytest.raises(ValueError, match="variances must have shape"):
+            model.set_params(np.zeros(2), np.ones(3))
+        with pytest.raises(ValueError, match="positive"):
+            model.set_params(np.zeros(2), np.array([1.0, 0.0]))
+
+    def test_em_recovers_two_well_separated_means(self):
+        model = GaussianModel(make_numeric_compiled(), 2, 3)
+        model.set_params(np.array([-0.5, 0.5]), np.array([1.0, 1.0]))
+        theta = np.full((3, 2), 0.5)
+        for _ in range(50):
+            model.em_step(theta)
+        means = np.sort(model.means)
+        assert means[0] == pytest.approx(-1.0, abs=0.05)
+        assert means[1] == pytest.approx(1.0, abs=0.05)
+
+    def test_contribution_sums_to_observation_counts(self):
+        model = GaussianModel(make_numeric_compiled(), 2, 3)
+        model.set_params(np.array([-1.0, 1.0]), np.array([0.1, 0.1]))
+        theta = np.full((3, 2), 0.5)
+        contribution = model.em_step(theta)
+        assert contribution[0].sum() == pytest.approx(3.0)
+        assert contribution[1].sum() == pytest.approx(3.0)
+        np.testing.assert_array_equal(contribution[2], 0.0)
+
+    def test_responsibilities_respect_theta_prior(self):
+        """An ambiguous observation resolves toward the owner's theta."""
+        attr = NumericAttribute("x")
+        attr.add_value("node", 0.0)  # exactly between the two means
+        compiled = attr.compile({"node": 0})
+        model = GaussianModel(compiled, 2, 1)
+        model.set_params(np.array([-1.0, 1.0]), np.array([1.0, 1.0]))
+        theta = np.array([[0.9, 0.1]])
+        contribution = model.em_step(theta)
+        assert contribution[0, 0] > contribution[0, 1]
+
+    def test_variance_floor_enforced(self):
+        attr = NumericAttribute("x")
+        attr.add_values("node", [1.0, 1.0, 1.0])  # zero variance data
+        compiled = attr.compile({"node": 0})
+        model = GaussianModel(compiled, 2, 1, variance_floor=1e-6)
+        model.set_params(np.array([1.0, 5.0]), np.array([1.0, 1.0]))
+        theta = np.array([[0.5, 0.5]])
+        for _ in range(10):
+            model.em_step(theta)
+        assert np.all(model.variances >= 1e-6)
+
+    def test_dead_cluster_keeps_parameters(self):
+        attr = NumericAttribute("x")
+        attr.add_values("node", [1.0, 1.1])
+        compiled = attr.compile({"node": 0})
+        model = GaussianModel(compiled, 2, 1)
+        model.set_params(np.array([1.0, 100.0]), np.array([0.1, 0.1]))
+        theta = np.array([[1.0 - 1e-12, 1e-12]])
+        model.em_step(theta)
+        # cluster 1 receives ~no responsibility; its mean must not jump
+        assert model.means[1] == pytest.approx(100.0, abs=1.0)
+
+    def test_loglik_matches_scipy_mixture(self):
+        from scipy import stats as sps
+
+        compiled = make_numeric_compiled()
+        model = GaussianModel(compiled, 2, 3)
+        means = np.array([-1.0, 1.0])
+        variances = np.array([0.25, 0.5])
+        model.set_params(means, variances)
+        theta = np.array([[0.7, 0.3], [0.2, 0.8], [0.5, 0.5]])
+        expected = 0.0
+        for value, owner in zip(compiled.values, compiled.owners):
+            mix = sum(
+                theta[compiled.node_indices[owner], k]
+                * sps.norm.pdf(value, means[k], np.sqrt(variances[k]))
+                for k in range(2)
+            )
+            expected += np.log(mix)
+        assert model.log_likelihood(theta) == pytest.approx(expected)
+
+    def test_empty_table(self):
+        attr = NumericAttribute("x")
+        compiled = attr.compile({"n": 0})
+        model = GaussianModel(compiled, 2, 1)
+        model.init_params(np.random.default_rng(0))
+        theta = np.full((1, 2), 0.5)
+        assert model.log_likelihood(theta) == 0.0
+        np.testing.assert_array_equal(model.em_step(theta), 0.0)
+
+    def test_invalid_variance_floor(self):
+        with pytest.raises(ConfigError):
+            GaussianModel(make_numeric_compiled(), 2, 3, variance_floor=0.0)

@@ -1,0 +1,173 @@
+"""Tests for k-means, interpolation and SpectralCombine baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.interpolation import (
+    interpolate_numeric_attributes,
+    standardize,
+)
+from repro.baselines.kmeans import kmeans
+from repro.baselines.spectral import SpectralCombine
+from repro.datagen.weather import WeatherConfig, generate_weather_network
+from repro.exceptions import AttributeSpecError, ConfigError
+from repro.hin.attributes import NumericAttribute
+from repro.hin.builder import NetworkBuilder
+
+
+def make_blobs(seed=0, n_per=30):
+    rng = np.random.default_rng(seed)
+    a = rng.normal([0, 0], 0.2, size=(n_per, 2))
+    b = rng.normal([4, 4], 0.2, size=(n_per, 2))
+    return np.vstack([a, b])
+
+
+class TestKMeans:
+    def test_separates_blobs(self):
+        data = make_blobs()
+        result = kmeans(data, 2, seed=0)
+        assert len(set(result.labels[:30].tolist())) == 1
+        assert len(set(result.labels[30:].tolist())) == 1
+        assert result.labels[0] != result.labels[30]
+
+    def test_centers_near_blob_means(self):
+        data = make_blobs()
+        result = kmeans(data, 2, seed=0)
+        centers = result.centers[np.argsort(result.centers[:, 0])]
+        np.testing.assert_allclose(centers[0], [0, 0], atol=0.2)
+        np.testing.assert_allclose(centers[1], [4, 4], atol=0.2)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data = make_blobs()
+        k2 = kmeans(data, 2, seed=0)
+        k4 = kmeans(data, 4, seed=0, n_init=10)
+        assert k4.inertia <= k2.inertia
+
+    def test_multi_restart_no_worse_than_single(self):
+        data = make_blobs(seed=3)
+        single = kmeans(data, 3, seed=5, n_init=1)
+        multi = kmeans(data, 3, seed=5, n_init=10)
+        assert multi.inertia <= single.inertia + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            kmeans(np.ones(5), 2)
+        with pytest.raises(ConfigError):
+            kmeans(np.ones((5, 2)), 0)
+        with pytest.raises(ConfigError):
+            kmeans(np.ones((5, 2)), 6)
+        with pytest.raises(ConfigError):
+            kmeans(np.ones((5, 2)), 2, n_init=0)
+
+    def test_duplicate_points_handled(self):
+        data = np.zeros((10, 2))
+        result = kmeans(data, 2, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_seeded_reproducibility(self):
+        data = make_blobs()
+        r1 = kmeans(data, 2, seed=7)
+        r2 = kmeans(data, 2, seed=7)
+        np.testing.assert_array_equal(r1.labels, r2.labels)
+
+
+class TestInterpolation:
+    def make_sensor_network(self):
+        temp = NumericAttribute("temp")
+        temp.add_values("t1", [10.0, 12.0])
+        precip = NumericAttribute("precip")
+        precip.add_value("p1", 5.0)
+        builder = NetworkBuilder()
+        builder.object_type("T").object_type("P")
+        builder.relation("tp", "T", "P")
+        builder.relation("pt", "P", "T")
+        builder.node("t1", "T").node("p1", "P").node("t2", "T")
+        builder.link("t1", "p1", "tp")
+        builder.link("p1", "t1", "pt")
+        builder.attribute(temp).attribute(precip)
+        return builder.build()
+
+    def test_own_observations_dominate(self):
+        network = self.make_sensor_network()
+        matrix = interpolate_numeric_attributes(
+            network, ["temp", "precip"]
+        )
+        t1 = network.index_of("t1")
+        assert matrix[t1, 0] == pytest.approx(11.0)  # own temp mean
+
+    def test_missing_dimension_from_neighbors(self):
+        network = self.make_sensor_network()
+        matrix = interpolate_numeric_attributes(
+            network, ["temp", "precip"]
+        )
+        t1 = network.index_of("t1")
+        p1 = network.index_of("p1")
+        # t1 has no precip, neighbor p1 has 5.0
+        assert matrix[t1, 1] == pytest.approx(5.0)
+        # p1 has no temp; neighbor t1 has mean 11.0
+        assert matrix[p1, 0] == pytest.approx(11.0)
+
+    def test_isolated_node_gets_global_mean(self):
+        network = self.make_sensor_network()
+        matrix = interpolate_numeric_attributes(
+            network, ["temp", "precip"]
+        )
+        t2 = network.index_of("t2")
+        assert matrix[t2, 0] == pytest.approx(11.0)  # global temp mean
+        assert matrix[t2, 1] == pytest.approx(5.0)  # global precip mean
+
+    def test_empty_attribute_list_rejected(self):
+        network = self.make_sensor_network()
+        with pytest.raises(AttributeSpecError):
+            interpolate_numeric_attributes(network, [])
+
+    def test_standardize(self):
+        matrix = np.array([[1.0, 5.0], [3.0, 5.0]])
+        out = standardize(matrix)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-12)
+        # constant column stays zero instead of NaN
+        np.testing.assert_allclose(out[:, 1], 0.0)
+
+
+class TestSpectralCombine:
+    def test_clusters_weather_network(self):
+        generated = generate_weather_network(
+            WeatherConfig(
+                n_temperature=60,
+                n_precipitation=30,
+                k_neighbors=4,
+                n_observations=5,
+                seed=1,
+            )
+        )
+        network = generated.network
+        features = interpolate_numeric_attributes(
+            network, ["temperature", "precipitation"]
+        )
+        labels = SpectralCombine(4, seed=0).fit_network(network, features)
+        assert labels.shape == (90,)
+        from repro.eval.nmi import nmi
+
+        truth = generated.labels_array()
+        # spectral+interpolation should be clearly better than random
+        assert nmi(truth, labels) > 0.3
+
+    def test_feature_shape_checked(self):
+        generated = generate_weather_network(
+            WeatherConfig(
+                n_temperature=10,
+                n_precipitation=5,
+                k_neighbors=2,
+                seed=0,
+            )
+        )
+        with pytest.raises(ConfigError, match="rows"):
+            SpectralCombine(2).fit_network(
+                generated.network, np.ones((3, 2))
+            )
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            SpectralCombine(0)
+        with pytest.raises(ConfigError):
+            SpectralCombine(2, network_weight=-1.0)

@@ -1,0 +1,179 @@
+"""Tests for PLSA, NetPLSA and iTopicModel baselines."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.baselines.itopicmodel import ITopicModel
+from repro.baselines.netplsa import NetPLSA
+from repro.baselines.plsa import PLSA
+from repro.exceptions import ConfigError
+from repro.hin.attributes import TextAttribute
+from repro.hin.builder import NetworkBuilder
+
+
+def make_count_matrix(n_docs_per_topic=10, seed=0):
+    """Two clean topics over a 6-term vocabulary."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for topic in range(2):
+        for _ in range(n_docs_per_topic):
+            counts = np.zeros(6)
+            active = slice(0, 3) if topic == 0 else slice(3, 6)
+            counts[active] = rng.integers(2, 8, size=3)
+            rows.append(counts)
+    return sparse.csr_matrix(np.vstack(rows))
+
+
+def make_text_network(seed=0):
+    """Two communities: papers with text + authors without, linked."""
+    rng = np.random.default_rng(seed)
+    vocabularies = (
+        ["query", "index", "join"],
+        ["neural", "kernel", "gradient"],
+    )
+    text = TextAttribute("title")
+    builder = NetworkBuilder()
+    builder.object_type("paper").object_type("author")
+    builder.add_paired_relation(
+        "written_by", "paper", "author", inverse="write"
+    )
+    truth = {}
+    for community in range(2):
+        for a in range(3):
+            author = f"a{community}_{a}"
+            builder.node(author, "author")
+            truth[author] = community
+        for p in range(8):
+            paper = f"p{community}_{p}"
+            builder.node(paper, "paper")
+            truth[paper] = community
+            text.add_tokens(
+                paper,
+                rng.choice(vocabularies[community], size=6).tolist(),
+            )
+            builder.link_paired(
+                paper, f"a{community}_{p % 3}", "written_by"
+            )
+    builder.attribute(text)
+    return builder.build(), truth
+
+
+def label_agreement(theta, network, truth):
+    labels = np.argmax(theta, axis=1)
+    direct = swapped = 0
+    for node, community in truth.items():
+        label = labels[network.index_of(node)]
+        direct += label == community
+        swapped += label == 1 - community
+    return max(direct, swapped) / len(truth)
+
+
+class TestPLSA:
+    def test_separates_clean_topics(self):
+        counts = make_count_matrix()
+        result = PLSA(2, seed=0).fit(counts)
+        labels = np.argmax(result.theta, axis=1)
+        assert len(set(labels[:10].tolist())) == 1
+        assert len(set(labels[10:].tolist())) == 1
+        assert labels[0] != labels[10]
+
+    def test_shapes_and_normalization(self):
+        counts = make_count_matrix()
+        result = PLSA(3, seed=1).fit(counts)
+        assert result.theta.shape == (20, 3)
+        assert result.beta.shape == (3, 6)
+        np.testing.assert_allclose(result.theta.sum(axis=1), 1.0)
+        np.testing.assert_allclose(result.beta.sum(axis=1), 1.0)
+
+    def test_loglik_finite_and_improving(self):
+        counts = make_count_matrix()
+        short = PLSA(2, max_iterations=1, seed=2).fit(counts)
+        long = PLSA(2, max_iterations=50, seed=2).fit(counts)
+        assert np.isfinite(short.log_likelihood)
+        assert long.log_likelihood >= short.log_likelihood
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            PLSA(0)
+        with pytest.raises(ConfigError):
+            PLSA(2, max_iterations=0)
+        with pytest.raises(ConfigError, match="non-empty"):
+            PLSA(2).fit(sparse.csr_matrix((0, 5)))
+
+    def test_seeded_reproducibility(self):
+        counts = make_count_matrix()
+        r1 = PLSA(2, seed=9).fit(counts)
+        r2 = PLSA(2, seed=9).fit(counts)
+        np.testing.assert_array_equal(r1.theta, r2.theta)
+
+
+class TestNetPLSA:
+    def test_recovers_communities(self):
+        network, truth = make_text_network()
+        theta = NetPLSA(2, seed=0, max_iterations=60).fit_network(
+            network, "title"
+        )
+        assert theta.shape == (network.num_nodes, 2)
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0)
+        assert label_agreement(theta, network, truth) > 0.9
+
+    def test_lambda_zero_ignores_network(self):
+        """With lambda=0 text-free nodes never move from initialization."""
+        network, _ = make_text_network()
+        theta = NetPLSA(
+            2, lambda_=0.0, seed=3, max_iterations=20
+        ).fit_network(network, "title")
+        rng = np.random.default_rng(3)
+        initial = rng.dirichlet(np.ones(2), size=network.num_nodes)
+        author_idx = network.index_of("a0_0")
+        np.testing.assert_allclose(
+            theta[author_idx], initial[author_idx], atol=1e-9
+        )
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            NetPLSA(0)
+        with pytest.raises(ConfigError):
+            NetPLSA(2, lambda_=1.0)
+        with pytest.raises(ConfigError):
+            NetPLSA(2, smoothing_steps=-1)
+
+    def test_requires_text_attribute(self):
+        network, _ = make_text_network()
+        from repro.exceptions import AttributeSpecError
+
+        with pytest.raises(AttributeSpecError):
+            NetPLSA(2).fit_network(network, "missing")
+
+
+class TestITopicModel:
+    def test_recovers_communities_including_authors(self):
+        network, truth = make_text_network()
+        theta = ITopicModel(2, seed=0, max_iterations=80).fit_network(
+            network, "title"
+        )
+        assert label_agreement(theta, network, truth) > 0.9
+
+    def test_rows_on_simplex(self):
+        network, _ = make_text_network()
+        theta = ITopicModel(2, seed=1).fit_network(network, "title")
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0)
+        assert np.all(theta >= 0)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            ITopicModel(0)
+        with pytest.raises(ConfigError):
+            ITopicModel(2, link_weight=-1.0)
+
+    def test_seeded_reproducibility(self):
+        network, _ = make_text_network()
+        t1 = ITopicModel(2, seed=4, max_iterations=10).fit_network(
+            network, "title"
+        )
+        network2, _ = make_text_network()
+        t2 = ITopicModel(2, seed=4, max_iterations=10).fit_network(
+            network2, "title"
+        )
+        np.testing.assert_array_equal(t1, t2)

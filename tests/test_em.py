@@ -1,0 +1,201 @@
+"""Tests for repro.core.em (the cluster-optimization step)."""
+
+import numpy as np
+import pytest
+
+from repro.core.em import em_update, neighbor_term, run_em
+from repro.core.problem import compile_problem
+from repro.hin.attributes import TextAttribute
+from repro.hin.builder import NetworkBuilder
+from repro.hin.views import build_relation_matrices
+
+
+def make_two_community_network(n_per=6):
+    """Two communities of 'user' nodes with text on only half the nodes.
+
+    Community 0 talks about databases, community 1 about learning; links
+    ('follows') stay within communities.  Half of each community has no
+    text at all -- their membership must come from links alone.
+    """
+    text = TextAttribute("bio")
+    builder = NetworkBuilder()
+    builder.object_type("user")
+    builder.relation("follows", "user", "user")
+    names = [f"u{i}" for i in range(2 * n_per)]
+    builder.nodes(names, "user")
+    vocab = [["query", "index", "join"], ["neural", "learning", "gradient"]]
+    for i, name in enumerate(names):
+        community = i // n_per
+        if i % 2 == 0:  # only even nodes carry text
+            text.add_tokens(
+                name, vocab[community] * 3
+            )
+        lo = community * n_per
+        for j in range(lo, lo + n_per):
+            if j != i:
+                builder.link(name, names[j], "follows")
+    builder.attribute(text)
+    return builder.build()
+
+
+class TestNeighborTerm:
+    def test_matches_manual_accumulation(self):
+        network = make_two_community_network(3)
+        mats = build_relation_matrices(network)
+        rng = np.random.default_rng(0)
+        theta = rng.dirichlet(np.ones(2), size=network.num_nodes)
+        gamma = np.array([1.7])
+        expected = np.zeros_like(theta)
+        for edge in network.edges():
+            i = network.index_of(edge.source)
+            j = network.index_of(edge.target)
+            expected[i] += gamma[0] * edge.weight * theta[j]
+        np.testing.assert_allclose(
+            neighbor_term(theta, gamma, mats), expected
+        )
+
+    def test_zero_gamma_skips_relation(self):
+        network = make_two_community_network(3)
+        mats = build_relation_matrices(network)
+        theta = np.full((network.num_nodes, 2), 0.5)
+        out = neighbor_term(theta, np.zeros(1), mats)
+        np.testing.assert_array_equal(out, 0.0)
+
+
+class TestEMUpdate:
+    def test_rows_stay_on_simplex(self):
+        network = make_two_community_network()
+        problem = compile_problem(network, ["bio"], 2)
+        rng = np.random.default_rng(1)
+        for model in problem.attribute_models:
+            model.init_params(rng)
+        theta = rng.dirichlet(np.ones(2), size=network.num_nodes)
+        new_theta = em_update(
+            theta, np.ones(1), problem.matrices, problem.attribute_models
+        )
+        np.testing.assert_allclose(new_theta.sum(axis=1), 1.0)
+        assert np.all(new_theta > 0)
+
+    def test_isolated_uninformed_node_keeps_membership(self):
+        """No out-links + no observations -> previous membership kept."""
+        text = TextAttribute("bio")
+        text.add_tokens("a", ["x"])
+        builder = NetworkBuilder()
+        builder.object_type("u")
+        builder.relation("follows", "u", "u")
+        builder.nodes(["a", "b", "lonely"], "u")
+        builder.link("a", "b", "follows")
+        builder.link("b", "a", "follows")
+        builder.attribute(text)
+        network = builder.build()
+        problem = compile_problem(network, ["bio"], 2)
+        rng = np.random.default_rng(0)
+        for model in problem.attribute_models:
+            model.init_params(rng)
+        theta = np.array([[0.5, 0.5], [0.5, 0.5], [0.9, 0.1]])
+        new_theta = em_update(
+            theta, np.ones(1), problem.matrices, problem.attribute_models
+        )
+        np.testing.assert_allclose(new_theta[2], [0.9, 0.1], atol=1e-9)
+
+
+class TestRunEM:
+    def test_recovers_communities_with_incomplete_text(self):
+        network = make_two_community_network()
+        problem = compile_problem(network, ["bio"], 2)
+        rng = np.random.default_rng(7)
+        for model in problem.attribute_models:
+            model.init_params(rng)
+        theta0 = rng.dirichlet(np.ones(2), size=network.num_nodes)
+        outcome = run_em(
+            theta0,
+            np.ones(1),
+            problem.matrices,
+            problem.attribute_models,
+            max_iterations=100,
+            tol=1e-6,
+        )
+        labels = np.argmax(outcome.theta, axis=1)
+        n = network.num_nodes
+        first, second = labels[: n // 2], labels[n // 2:]
+        # perfect community recovery modulo label swap, including the
+        # attribute-free nodes
+        assert len(set(first.tolist())) == 1
+        assert len(set(second.tolist())) == 1
+        assert first[0] != second[0]
+
+    def test_convergence_flag(self):
+        network = make_two_community_network(4)
+        problem = compile_problem(network, ["bio"], 2)
+        rng = np.random.default_rng(3)
+        for model in problem.attribute_models:
+            model.init_params(rng)
+        theta0 = rng.dirichlet(np.ones(2), size=network.num_nodes)
+        outcome = run_em(
+            theta0,
+            np.ones(1),
+            problem.matrices,
+            problem.attribute_models,
+            max_iterations=500,
+            tol=1e-8,
+        )
+        assert outcome.converged
+        assert outcome.iterations < 500
+
+    def test_objective_trace_tracks_iterations(self):
+        network = make_two_community_network(4)
+        problem = compile_problem(network, ["bio"], 2)
+        rng = np.random.default_rng(3)
+        for model in problem.attribute_models:
+            model.init_params(rng)
+        theta0 = rng.dirichlet(np.ones(2), size=network.num_nodes)
+        outcome = run_em(
+            theta0,
+            np.ones(1),
+            problem.matrices,
+            problem.attribute_models,
+            max_iterations=10,
+            tol=0.0,
+            track_objective=True,
+        )
+        assert len(outcome.objective_trace) == outcome.iterations
+        assert outcome.objective == outcome.objective_trace[-1]
+
+    def test_objective_improves_overall(self):
+        network = make_two_community_network()
+        problem = compile_problem(network, ["bio"], 2)
+        rng = np.random.default_rng(5)
+        for model in problem.attribute_models:
+            model.init_params(rng)
+        theta0 = rng.dirichlet(np.ones(2), size=network.num_nodes)
+        outcome = run_em(
+            theta0,
+            np.ones(1),
+            problem.matrices,
+            problem.attribute_models,
+            max_iterations=50,
+            tol=0.0,
+            track_objective=True,
+        )
+        assert outcome.objective_trace[-1] > outcome.objective_trace[0]
+
+    def test_higher_gamma_tightens_link_agreement(self):
+        """With a huge gamma, linked nodes end up nearly identical."""
+        network = make_two_community_network()
+        problem = compile_problem(network, ["bio"], 2)
+        rng = np.random.default_rng(9)
+        for model in problem.attribute_models:
+            model.init_params(rng)
+        theta0 = rng.dirichlet(np.ones(2), size=network.num_nodes)
+        outcome = run_em(
+            theta0,
+            np.array([50.0]),
+            problem.matrices,
+            problem.attribute_models,
+            max_iterations=100,
+        )
+        theta = outcome.theta
+        for edge in network.edges():
+            i = network.index_of(edge.source)
+            j = network.index_of(edge.target)
+            assert np.max(np.abs(theta[i] - theta[j])) < 0.05

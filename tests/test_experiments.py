@@ -1,0 +1,123 @@
+"""Smoke tests for the experiment harness and its registry/CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    ExperimentReport,
+    check_scale,
+    dblp_config,
+    mean_std_over_runs,
+    nmi_by_type,
+    runs_for_scale,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "table1", "table2", "table3", "table4", "table5",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_get_experiment_unknown_raises(self):
+        with pytest.raises(KeyError, match="known ids"):
+            get_experiment("fig99")
+
+    def test_every_runner_has_docstring(self):
+        for runner in EXPERIMENTS.values():
+            assert runner.__doc__
+
+
+class TestCommonHelpers:
+    def test_check_scale(self):
+        assert check_scale("smoke") == "smoke"
+        with pytest.raises(ValueError, match="unknown scale"):
+            check_scale("huge")
+
+    def test_runs_for_scale_matches_paper_at_paper_scale(self):
+        assert runs_for_scale("paper") == 20  # Section 5.2.1
+
+    def test_dblp_config_sizes_increase_with_scale(self):
+        smoke = dblp_config("smoke", 0)
+        default = dblp_config("default", 0)
+        paper = dblp_config("paper", 0)
+        assert smoke.n_papers < default.n_papers < paper.n_papers
+
+    def test_mean_std_over_runs(self):
+        runs = [{"a": 1.0, "b": 0.0}, {"a": 3.0, "b": 0.0}]
+        means, stds = mean_std_over_runs(runs)
+        assert means == {"a": 2.0, "b": 0.0}
+        assert stds["a"] == pytest.approx(1.0)
+        assert stds["b"] == 0.0
+
+    def test_mean_std_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            mean_std_over_runs([])
+
+    def test_nmi_by_type(self):
+        from repro.hin.builder import NetworkBuilder
+
+        builder = NetworkBuilder()
+        builder.object_type("a").object_type("b")
+        builder.nodes(["a1", "a2"], "a").nodes(["b1", "b2"], "b")
+        network = builder.build()
+        theta = np.array(
+            [[0.9, 0.1], [0.1, 0.9], [0.9, 0.1], [0.1, 0.9]]
+        )
+        truth = {"a1": 0, "a2": 1, "b1": 0, "b2": 1}
+        scores = nmi_by_type(network, theta, truth, {"a": "A", "b": "B"})
+        assert scores["Overall"] == pytest.approx(1.0)
+        assert scores["A"] == pytest.approx(1.0)
+        assert scores["B"] == pytest.approx(1.0)
+
+
+class TestExperimentReport:
+    def test_render_contains_rows_and_notes(self):
+        report = ExperimentReport(
+            experiment_id="figX",
+            title="demo",
+            columns=("a", "b"),
+            rows=[{"a": 1.0, "b": "x"}],
+            notes="hello",
+        )
+        text = report.render()
+        assert "figX" in text
+        assert "1.0000" in text
+        assert "hello" in text
+
+
+class TestCLI:
+    def test_list_option(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "table5" in out
+
+    def test_no_arguments_errors(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([]) == 2
+
+    def test_runs_single_experiment(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table4", "--scale", "smoke", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "MAP" in out
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_every_experiment_runs_at_smoke_scale(experiment_id):
+    """Each artifact regenerates end-to-end and yields sane rows."""
+    report = EXPERIMENTS[experiment_id](scale="smoke", seed=3)
+    assert report.experiment_id == experiment_id
+    assert report.rows
+    assert report.columns
+    rendered = report.render()
+    assert experiment_id in rendered

@@ -1,0 +1,196 @@
+"""Tests for repro.core.feature.
+
+The Fig. 4 worked example from the paper pins exact values:
+with theta_1 = (5/6, 1/12, 1/12), theta_3 = (7/8, 1/16, 1/16),
+theta_4 = (1/3, 1/3, 1/3), theta_5 = (1/16, 1/16, 7/8) and unit weights,
+
+    f(<1,3>) = -0.4701 * gamma3
+    f(<1,4>) = -1.7174 * gamma3
+    f(<1,5>) = -2.3410 * gamma3
+    f(<4,1>) = -1.0986 * gamma1
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.feature import (
+    cross_entropy,
+    feature_function,
+    floor_distribution,
+    relation_consistency_totals,
+    structural_consistency,
+)
+from repro.hin.builder import NetworkBuilder
+from repro.hin.views import build_relation_matrices
+
+THETA_1 = np.array([5 / 6, 1 / 12, 1 / 12])
+THETA_3 = np.array([7 / 8, 1 / 16, 1 / 16])
+THETA_4 = np.array([1 / 3, 1 / 3, 1 / 3])
+THETA_5 = np.array([1 / 16, 1 / 16, 7 / 8])
+
+
+class TestFigure4WorkedExample:
+    def test_f_1_3(self):
+        # link <1,3>: source paper 1, target author 3
+        value = feature_function(THETA_1, THETA_3, gamma_r=1.0)
+        assert value == pytest.approx(-0.4701, abs=1e-4)
+
+    def test_f_1_4(self):
+        value = feature_function(THETA_1, THETA_4, gamma_r=1.0)
+        assert value == pytest.approx(-1.7174, abs=1e-4)
+
+    def test_f_1_5(self):
+        value = feature_function(THETA_1, THETA_5, gamma_r=1.0)
+        assert value == pytest.approx(-2.3410, abs=1e-4)
+
+    def test_f_4_1(self):
+        value = feature_function(THETA_4, THETA_1, gamma_r=1.0)
+        assert value == pytest.approx(-1.0986, abs=1e-4)
+
+    def test_paper_ordering_claim_1(self):
+        """f(<1,3>) >= f(<1,4>) >= f(<1,5>): more similar, more consistent."""
+        f13 = feature_function(THETA_1, THETA_3, 1.0)
+        f14 = feature_function(THETA_1, THETA_4, 1.0)
+        f15 = feature_function(THETA_1, THETA_5, 1.0)
+        assert f13 >= f14 >= f15
+
+    def test_paper_ordering_claim_3_asymmetry(self):
+        """f(<1,4>) != f(<4,1>) even at equal strengths."""
+        f14 = feature_function(THETA_1, THETA_4, 1.0)
+        f41 = feature_function(THETA_4, THETA_1, 1.0)
+        assert f14 != pytest.approx(f41)
+        assert f14 < f41  # neutral object deciding an expert is harder
+
+
+class TestDesiderata:
+    """The three desiderata of Section 3.3."""
+
+    def test_increases_with_similarity(self):
+        target = np.array([0.8, 0.1, 0.1])
+        close = np.array([0.75, 0.15, 0.1])
+        far = np.array([0.1, 0.1, 0.8])
+        assert feature_function(close, target, 1.0) > feature_function(
+            far, target, 1.0
+        )
+
+    def test_decreases_with_strength(self):
+        f_weak = feature_function(THETA_1, THETA_3, gamma_r=1.0)
+        f_strong = feature_function(THETA_1, THETA_3, gamma_r=5.0)
+        assert f_strong < f_weak
+
+    def test_decreases_with_weight(self):
+        f_light = feature_function(THETA_1, THETA_3, 1.0, weight=1.0)
+        f_heavy = feature_function(THETA_1, THETA_3, 1.0, weight=3.0)
+        assert f_heavy < f_light
+
+    def test_non_positive(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            a = rng.dirichlet(np.ones(4))
+            b = rng.dirichlet(np.ones(4))
+            assert feature_function(a, b, rng.random() * 5) <= 0.0
+
+    def test_maximal_when_identical_and_concentrated(self):
+        """Cross entropy is minimized by theta_j = theta_i concentrated."""
+        concentrated = np.array([1.0 - 2e-12, 1e-12, 1e-12])
+        assert cross_entropy(concentrated, concentrated) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            feature_function(THETA_1, THETA_3, -1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            feature_function(THETA_1, THETA_3, 1.0, weight=-2.0)
+
+
+class TestCrossEntropy:
+    def test_known_value(self):
+        # H(theta_4, theta_1) with uniform theta_4 = mean of -log theta_1
+        expected = -np.mean(np.log(THETA_1))
+        assert cross_entropy(THETA_4, THETA_1) == pytest.approx(expected)
+
+    def test_asymmetric(self):
+        assert cross_entropy(THETA_1, THETA_4) != pytest.approx(
+            cross_entropy(THETA_4, THETA_1)
+        )
+
+    def test_lower_bounded_by_entropy(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            p = rng.dirichlet(np.ones(3))
+            q = rng.dirichlet(np.ones(3))
+            entropy = -np.dot(p, np.log(p))
+            assert cross_entropy(p, q) >= entropy - 1e-9
+
+    def test_handles_zero_entries(self):
+        p = np.array([1.0, 0.0, 0.0])
+        q = np.array([0.5, 0.5, 0.0])
+        value = cross_entropy(p, q)
+        assert np.isfinite(value)
+
+
+class TestFloorDistribution:
+    def test_vector_renormalized(self):
+        out = floor_distribution(np.array([1.0, 0.0, 0.0]), floor=1e-6)
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out >= 1e-7)
+
+    def test_matrix_rows_renormalized(self):
+        theta = np.array([[1.0, 0.0], [0.3, 0.7]])
+        out = floor_distribution(theta, floor=1e-9)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+        assert out[0, 1] > 0
+
+    def test_already_valid_unchanged(self):
+        theta = np.array([0.25, 0.25, 0.5])
+        np.testing.assert_allclose(floor_distribution(theta), theta)
+
+
+@pytest.fixture
+def tiny_network():
+    builder = NetworkBuilder()
+    builder.object_type("paper").object_type("author")
+    builder.relation("written_by", "paper", "author")
+    builder.relation("write", "author", "paper")
+    builder.node("p1", "paper").node("a1", "author").node("a2", "author")
+    builder.link("p1", "a1", "written_by", weight=2.0)
+    builder.link("p1", "a2", "written_by", weight=1.0)
+    builder.link("a1", "p1", "write", weight=2.0)
+    return builder.build()
+
+
+class TestStructuralConsistency:
+    def test_matches_manual_edge_sum(self, tiny_network):
+        mats = build_relation_matrices(tiny_network)
+        rng = np.random.default_rng(5)
+        theta = rng.dirichlet(np.ones(3), size=3)
+        gamma = np.array([1.5, 0.7])
+        expected = 0.0
+        gamma_by_name = dict(zip(mats.relation_names, gamma))
+        for edge in tiny_network.edges():
+            i = tiny_network.index_of(edge.source)
+            j = tiny_network.index_of(edge.target)
+            expected += feature_function(
+                theta[i],
+                theta[j],
+                gamma_by_name[edge.relation],
+                edge.weight,
+            )
+        actual = structural_consistency(theta, gamma, mats)
+        assert actual == pytest.approx(expected)
+
+    def test_relation_totals_shape(self, tiny_network):
+        mats = build_relation_matrices(tiny_network)
+        theta = np.full((3, 3), 1 / 3)
+        totals = relation_consistency_totals(theta, mats)
+        assert totals.shape == (2,)
+        assert np.all(totals <= 0)
+
+    def test_gamma_shape_checked(self, tiny_network):
+        mats = build_relation_matrices(tiny_network)
+        theta = np.full((3, 3), 1 / 3)
+        with pytest.raises(ValueError, match="gamma must have shape"):
+            structural_consistency(theta, np.ones(5), mats)

@@ -1,0 +1,185 @@
+"""Tests for repro.hin.network."""
+
+import pytest
+
+from repro.exceptions import AttributeSpecError, NetworkError
+from repro.hin.attributes import NumericAttribute, TextAttribute
+from repro.hin.network import HeterogeneousNetwork
+from repro.hin.schema import NetworkSchema
+
+
+@pytest.fixture
+def schema() -> NetworkSchema:
+    s = NetworkSchema()
+    s.add_object_type("author")
+    s.add_object_type("conf")
+    s.add_relation("publish_in", "author", "conf", inverse="published_by")
+    s.add_relation("published_by", "conf", "author", inverse="publish_in")
+    s.add_relation("coauthor", "author", "author")
+    return s
+
+
+@pytest.fixture
+def network(schema) -> HeterogeneousNetwork:
+    net = HeterogeneousNetwork(schema)
+    net.add_node("alice", "author")
+    net.add_node("bob", "author")
+    net.add_node("SIGMOD", "conf")
+    net.add_node("KDD", "conf")
+    net.add_edge("alice", "SIGMOD", "publish_in", weight=3.0)
+    net.add_edge("SIGMOD", "alice", "published_by", weight=3.0)
+    net.add_edge("alice", "bob", "coauthor", weight=2.0)
+    net.add_edge("bob", "alice", "coauthor", weight=2.0)
+    return net
+
+
+class TestNodes:
+    def test_indices_are_insertion_order(self, network):
+        assert network.index_of("alice") == 0
+        assert network.index_of("bob") == 1
+        assert network.index_of("SIGMOD") == 2
+        assert network.node_at(3) == "KDD"
+
+    def test_reinsert_same_type_is_noop(self, network):
+        assert network.add_node("alice", "author") == 0
+        assert network.num_nodes == 4
+
+    def test_reinsert_different_type_raises(self, network):
+        with pytest.raises(NetworkError, match="already exists"):
+            network.add_node("alice", "conf")
+
+    def test_unknown_type_raises(self, network):
+        with pytest.raises(NetworkError, match="unknown object type"):
+            network.add_node("x", "venue")
+
+    def test_type_of(self, network):
+        assert network.type_of("alice") == "author"
+        assert network.type_of("KDD") == "conf"
+        assert network.type_at(2) == "conf"
+
+    def test_unknown_node_raises(self, network):
+        with pytest.raises(NetworkError, match="unknown node"):
+            network.index_of("carol")
+
+    def test_node_at_out_of_range(self, network):
+        with pytest.raises(NetworkError, match="out of range"):
+            network.node_at(99)
+
+    def test_nodes_of_type(self, network):
+        assert network.nodes_of_type("author") == ("alice", "bob")
+        assert network.nodes_of_type("conf") == ("SIGMOD", "KDD")
+
+    def test_indices_of_type(self, network):
+        assert network.indices_of_type("conf") == [2, 3]
+
+    def test_add_nodes_bulk(self, schema):
+        net = HeterogeneousNetwork(schema)
+        net.add_nodes(["a", "b", "c"], "author")
+        assert net.num_nodes == 3
+
+    def test_node_index_is_copy(self, network):
+        mapping = network.node_index
+        mapping["intruder"] = 99
+        assert not network.has_node("intruder")
+
+
+class TestEdges:
+    def test_edge_weight(self, network):
+        assert network.edge_weight("alice", "SIGMOD", "publish_in") == 3.0
+        assert network.edge_weight("bob", "SIGMOD", "publish_in") == 0.0
+
+    def test_weights_accumulate(self, network):
+        network.add_edge("alice", "SIGMOD", "publish_in", weight=2.0)
+        assert network.edge_weight("alice", "SIGMOD", "publish_in") == 5.0
+        # accumulation merges parallel edges: count unchanged
+        assert network.num_edges("publish_in") == 1
+
+    def test_zero_weight_ignored(self, network):
+        network.add_edge("bob", "KDD", "publish_in", weight=0.0)
+        assert network.num_edges("publish_in") == 1
+
+    def test_negative_weight_rejected(self, network):
+        with pytest.raises(NetworkError, match="negative weight"):
+            network.add_edge("bob", "KDD", "publish_in", weight=-1.0)
+
+    def test_type_mismatch_source(self, network):
+        with pytest.raises(NetworkError, match="expects source type"):
+            network.add_edge("SIGMOD", "KDD", "publish_in")
+
+    def test_type_mismatch_target(self, network):
+        with pytest.raises(NetworkError, match="expects target type"):
+            network.add_edge("alice", "bob", "publish_in")
+
+    def test_unknown_relation(self, network):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError, match="unknown relation"):
+            network.add_edge("alice", "SIGMOD", "cites")
+
+    def test_num_edges_total(self, network):
+        assert network.num_edges() == 4
+
+    def test_edges_iteration_single_relation(self, network):
+        edges = list(network.edges("coauthor"))
+        assert len(edges) == 2
+        assert {(e.source, e.target) for e in edges} == {
+            ("alice", "bob"),
+            ("bob", "alice"),
+        }
+        assert all(e.weight == 2.0 for e in edges)
+
+    def test_edge_arrays(self, network):
+        sources, targets, weights = network.edge_arrays("publish_in")
+        assert sources == [0]
+        assert targets == [2]
+        assert weights == [3.0]
+
+    def test_out_neighbors(self, network):
+        out = network.out_neighbors("alice")
+        assert ("SIGMOD", "publish_in", 3.0) in out
+        assert ("bob", "coauthor", 2.0) in out
+        assert len(out) == 2
+
+    def test_out_neighbors_filtered(self, network):
+        out = network.out_neighbors("alice", relation="coauthor")
+        assert out == [("bob", "coauthor", 2.0)]
+
+    def test_in_neighbors(self, network):
+        inn = network.in_neighbors("alice")
+        assert ("SIGMOD", "published_by", 3.0) in inn
+        assert ("bob", "coauthor", 2.0) in inn
+
+    def test_relation_types_present(self, network):
+        present = set(network.relation_types_present())
+        assert present == {"publish_in", "published_by", "coauthor"}
+
+
+class TestAttributes:
+    def test_attach_and_fetch(self, network):
+        text = TextAttribute("title")
+        text.add_tokens("alice", ["database", "query"])
+        network.add_attribute(text)
+        assert network.attribute_names == ("title",)
+        assert network.text_attribute("title") is text
+
+    def test_duplicate_attribute_rejected(self, network):
+        network.add_attribute(TextAttribute("title"))
+        with pytest.raises(AttributeSpecError, match="already attached"):
+            network.add_attribute(TextAttribute("title"))
+
+    def test_kind_mismatch_raises(self, network):
+        network.add_attribute(TextAttribute("title"))
+        network.add_attribute(NumericAttribute("temp"))
+        with pytest.raises(AttributeSpecError, match="is not numeric"):
+            network.numeric_attribute("title")
+        with pytest.raises(AttributeSpecError, match="is not text"):
+            network.text_attribute("temp")
+
+    def test_unknown_attribute_raises(self, network):
+        with pytest.raises(AttributeSpecError, match="unknown attribute"):
+            network.attribute("nope")
+
+    def test_has_attribute(self, network):
+        assert not network.has_attribute("title")
+        network.add_attribute(TextAttribute("title"))
+        assert network.has_attribute("title")

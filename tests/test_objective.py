@@ -1,0 +1,128 @@
+"""Tests for repro.core.objective (g1, g2', unified objective)."""
+
+import numpy as np
+import pytest
+from scipy.special import gammaln
+
+from repro.core.objective import (
+    attribute_log_likelihood,
+    dirichlet_alphas,
+    g1,
+    g2_prime,
+    log_local_partition,
+    unified_objective,
+)
+from repro.core.problem import compile_problem
+from repro.hin.attributes import TextAttribute
+from repro.hin.builder import NetworkBuilder
+
+
+@pytest.fixture
+def small_problem():
+    text = TextAttribute("title")
+    text.add_tokens("p1", ["a", "b", "a"])
+    text.add_tokens("p2", ["c", "c"])
+    builder = NetworkBuilder()
+    builder.object_type("paper")
+    builder.relation("cites", "paper", "paper")
+    builder.nodes(["p1", "p2", "p3"], "paper")
+    builder.link("p1", "p2", "cites", weight=2.0)
+    builder.link("p2", "p3", "cites")
+    builder.link("p3", "p1", "cites")
+    builder.attribute(text)
+    network = builder.build()
+    problem = compile_problem(network, ["title"], 2)
+    rng = np.random.default_rng(0)
+    for model in problem.attribute_models:
+        model.init_params(rng)
+    theta = rng.dirichlet(np.ones(2), size=3)
+    return problem, theta
+
+
+class TestDirichletAlphas:
+    def test_matches_manual_computation(self, small_problem):
+        problem, theta = small_problem
+        gamma = np.array([1.5])
+        alphas = dirichlet_alphas(theta, gamma, problem.matrices)
+        expected = np.ones((3, 2))
+        for edge in problem.network.edges():
+            i = problem.network.index_of(edge.source)
+            j = problem.network.index_of(edge.target)
+            expected[i] += gamma[0] * edge.weight * theta[j]
+        np.testing.assert_allclose(alphas, expected)
+
+    def test_no_links_gives_all_ones(self, small_problem):
+        problem, theta = small_problem
+        alphas = dirichlet_alphas(theta, np.zeros(1), problem.matrices)
+        np.testing.assert_array_equal(alphas, 1.0)
+
+
+class TestLogLocalPartition:
+    def test_uniform_dirichlet_value(self):
+        """B(1,...,1) = 1/Gamma(K), so log Z = -log Gamma(K)."""
+        alphas = np.ones((4, 3))
+        expected = -gammaln(3.0)
+        np.testing.assert_allclose(log_local_partition(alphas), expected)
+
+    def test_matches_beta_function(self):
+        alphas = np.array([[2.0, 3.0, 4.0]])
+        expected = (
+            gammaln(2.0) + gammaln(3.0) + gammaln(4.0) - gammaln(9.0)
+        )
+        assert log_local_partition(alphas)[0] == pytest.approx(expected)
+
+
+class TestObjectives:
+    def test_g1_decomposes(self, small_problem):
+        from repro.core.feature import structural_consistency
+
+        problem, theta = small_problem
+        gamma = np.array([1.2])
+        total = g1(theta, gamma, problem.matrices, problem.attribute_models)
+        parts = structural_consistency(
+            theta, gamma, problem.matrices
+        ) + attribute_log_likelihood(theta, problem.attribute_models)
+        assert total == pytest.approx(parts)
+
+    def test_g2_prime_matches_strength_module(self, small_problem):
+        from repro.core.strength import compute_statistics, objective_value
+
+        problem, theta = small_problem
+        gamma = np.array([0.8])
+        sigma = 0.3
+        direct = g2_prime(theta, gamma, problem.matrices, sigma)
+        stats = compute_statistics(theta, problem.matrices)
+        assert direct == pytest.approx(
+            objective_value(stats, gamma, sigma)
+        )
+
+    def test_prior_pulls_objective_down(self, small_problem):
+        problem, theta = small_problem
+        gamma = np.array([2.0])
+        tight = g2_prime(theta, gamma, problem.matrices, sigma=0.1)
+        loose = g2_prime(theta, gamma, problem.matrices, sigma=10.0)
+        assert tight < loose
+
+    def test_unified_objective_sums_parts(self, small_problem):
+        problem, theta = small_problem
+        gamma = np.array([1.0])
+        sigma = 0.5
+        total = unified_objective(
+            theta, gamma, problem.matrices, problem.attribute_models, sigma
+        )
+        expected = attribute_log_likelihood(
+            theta, problem.attribute_models
+        ) + g2_prime(theta, gamma, problem.matrices, sigma)
+        assert total == pytest.approx(expected)
+
+    def test_all_finite_on_degenerate_theta(self, small_problem):
+        """Hard memberships (zeros) must not produce -inf objectives."""
+        problem, _ = small_problem
+        theta = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        gamma = np.array([1.0])
+        assert np.isfinite(
+            g1(theta, gamma, problem.matrices, problem.attribute_models)
+        )
+        assert np.isfinite(
+            g2_prime(theta, gamma, problem.matrices, sigma=0.1)
+        )

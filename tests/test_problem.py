@@ -1,0 +1,75 @@
+"""Tests for repro.core.problem (problem compilation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute_models import CategoricalModel, GaussianModel
+from repro.core.problem import compile_problem
+from repro.exceptions import ConfigError
+from repro.hin.attributes import NumericAttribute, TextAttribute
+from repro.hin.builder import NetworkBuilder
+
+
+def make_network():
+    text = TextAttribute("title")
+    text.add_tokens("p1", ["a", "b"])
+    temp = NumericAttribute("temp")
+    temp.add_value("p2", 3.0)
+    builder = NetworkBuilder()
+    builder.object_type("paper")
+    builder.relation("cites", "paper", "paper")
+    builder.relation("extends", "paper", "paper")
+    builder.nodes(["p1", "p2"], "paper")
+    builder.link("p1", "p2", "cites")
+    builder.attribute(text).attribute(temp)
+    return builder.build()
+
+
+class TestCompileProblem:
+    def test_models_in_specified_order(self):
+        problem = compile_problem(make_network(), ["temp", "title"], 2)
+        assert problem.attribute_names == ("temp", "title")
+        assert isinstance(problem.attribute_models[0], GaussianModel)
+        assert isinstance(problem.attribute_models[1], CategoricalModel)
+
+    def test_empty_relations_dropped(self):
+        problem = compile_problem(make_network(), ["title"], 2)
+        assert problem.matrices.relation_names == ("cites",)
+        assert problem.num_relations == 1
+
+    def test_dimensions(self):
+        problem = compile_problem(make_network(), ["title"], 3)
+        assert problem.num_nodes == 2
+        assert problem.n_clusters == 3
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(ConfigError, match="at least one attribute"):
+            compile_problem(make_network(), [], 2)
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            compile_problem(make_network(), ["title", "title"], 2)
+
+    def test_unknown_attribute_raises(self):
+        from repro.exceptions import AttributeSpecError
+
+        with pytest.raises(AttributeSpecError, match="unknown attribute"):
+            compile_problem(make_network(), ["nope"], 2)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ConfigError, match="n_clusters"):
+            compile_problem(make_network(), ["title"], 0)
+
+    def test_empty_network_rejected(self):
+        builder = NetworkBuilder()
+        builder.object_type("paper")
+        builder.attribute(TextAttribute("title"))
+        with pytest.raises(ConfigError, match="empty network"):
+            compile_problem(builder.build(), ["title"], 2)
+
+    def test_variance_floor_forwarded(self):
+        problem = compile_problem(
+            make_network(), ["temp"], 2, variance_floor=0.5
+        )
+        model = problem.attribute_models[0]
+        assert model.variance_floor == 0.5

@@ -1,0 +1,195 @@
+"""Hypothesis property tests on the core model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feature import (
+    cross_entropy,
+    feature_function,
+    floor_distribution,
+)
+from repro.core.strength import (
+    compute_statistics,
+    gradient,
+    hessian,
+    objective_value,
+)
+from repro.hin.builder import NetworkBuilder
+from repro.hin.views import build_relation_matrices
+
+
+def simplex_vectors(k=3):
+    """Strategy producing a valid membership vector of dimension k."""
+    return st.lists(
+        st.floats(min_value=1e-6, max_value=1.0),
+        min_size=k,
+        max_size=k,
+    ).map(lambda xs: np.asarray(xs) / np.sum(xs))
+
+
+class TestFeatureFunctionProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        theta_i=simplex_vectors(),
+        theta_j=simplex_vectors(),
+        gamma=st.floats(min_value=0.0, max_value=10.0),
+        weight=st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_non_positive_everywhere(self, theta_i, theta_j, gamma, weight):
+        assert feature_function(theta_i, theta_j, gamma, weight) <= 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        theta_i=simplex_vectors(),
+        theta_j=simplex_vectors(),
+        gamma_small=st.floats(min_value=0.0, max_value=2.0),
+        gamma_extra=st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_monotone_decreasing_in_gamma(
+        self, theta_i, theta_j, gamma_small, gamma_extra
+    ):
+        """Desideratum 2: larger strength -> lower (more negative) f."""
+        low = feature_function(theta_i, theta_j, gamma_small)
+        high = feature_function(theta_i, theta_j, gamma_small + gamma_extra)
+        assert high <= low + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(theta=simplex_vectors())
+    def test_self_cross_entropy_is_entropy(self, theta):
+        entropy = -float(np.dot(theta, np.log(theta)))
+        assert cross_entropy(theta, theta) == pytest.approx(
+            entropy, abs=1e-8
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        theta_j=simplex_vectors(),
+        theta_i=simplex_vectors(),
+    )
+    def test_gibbs_inequality(self, theta_j, theta_i):
+        """H(p, q) >= H(p): coding with the wrong scheme never wins."""
+        entropy = -float(np.dot(theta_j, np.log(theta_j)))
+        assert cross_entropy(theta_j, theta_i) >= entropy - 1e-8
+
+
+class TestFloorDistributionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=6),
+        k=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_output_is_valid_distribution(self, rows, k, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.random((rows, k))
+        raw[rng.random((rows, k)) < 0.3] = 0.0  # inject zeros
+        out = floor_distribution(raw, floor=1e-9)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(out > 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(theta=simplex_vectors(4))
+    def test_idempotent_on_interior_points(self, theta):
+        once = floor_distribution(theta, floor=1e-12)
+        twice = floor_distribution(once, floor=1e-12)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+def make_ring_network(n=10):
+    builder = NetworkBuilder()
+    builder.object_type("node")
+    builder.relation("next", "node", "node")
+    builder.relation("skip", "node", "node")
+    names = [f"n{i}" for i in range(n)]
+    builder.nodes(names, "node")
+    for i in range(n):
+        builder.link(names[i], names[(i + 1) % n], "next")
+        builder.link(names[i], names[(i + 2) % n], "skip")
+    return builder.build()
+
+
+class TestStrengthObjectiveProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        gamma0=st.floats(min_value=0.01, max_value=4.0),
+        gamma1=st.floats(min_value=0.01, max_value=4.0),
+    )
+    def test_gradient_matches_finite_differences(
+        self, seed, gamma0, gamma1
+    ):
+        network = make_ring_network()
+        matrices = build_relation_matrices(network)
+        rng = np.random.default_rng(seed)
+        theta = rng.dirichlet(np.ones(3), size=network.num_nodes)
+        stats = compute_statistics(theta, matrices)
+        gamma = np.array([gamma0, gamma1])
+        analytic = gradient(stats, gamma, sigma=0.7)
+        eps = 1e-6
+        for r in range(2):
+            bump = np.zeros(2)
+            bump[r] = eps
+            numeric = (
+                objective_value(stats, gamma + bump, 0.7)
+                - objective_value(stats, gamma - bump, 0.7)
+            ) / (2 * eps)
+            assert analytic[r] == pytest.approx(
+                numeric, rel=1e-3, abs=1e-5
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        gamma0=st.floats(min_value=0.01, max_value=4.0),
+        gamma1=st.floats(min_value=0.01, max_value=4.0),
+    )
+    def test_hessian_always_negative_definite(self, seed, gamma0, gamma1):
+        network = make_ring_network()
+        matrices = build_relation_matrices(network)
+        rng = np.random.default_rng(seed)
+        theta = rng.dirichlet(np.ones(3), size=network.num_nodes)
+        stats = compute_statistics(theta, matrices)
+        hess = hessian(stats, np.array([gamma0, gamma1]), sigma=0.7)
+        assert np.all(np.linalg.eigvalsh(hess) < 0)
+
+
+class TestEMInvariantProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        gamma_scale=st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_em_update_preserves_simplex(self, seed, gamma_scale):
+        from repro.core.em import em_update
+        from repro.core.problem import compile_problem
+        from repro.hin.attributes import TextAttribute
+
+        rng = np.random.default_rng(seed)
+        text = TextAttribute("t")
+        builder = NetworkBuilder()
+        builder.object_type("node")
+        builder.relation("next", "node", "node")
+        names = [f"n{i}" for i in range(8)]
+        builder.nodes(names, "node")
+        for i, name in enumerate(names):
+            builder.link(name, names[(i + 1) % 8], "next")
+            if i % 2 == 0:
+                text.add_tokens(
+                    name, rng.choice(["a", "b", "c"], size=4).tolist()
+                )
+        builder.attribute(text)
+        problem = compile_problem(builder.build(), ["t"], 3)
+        for model in problem.attribute_models:
+            model.init_params(rng)
+        theta = rng.dirichlet(np.ones(3), size=8)
+        out = em_update(
+            theta,
+            np.full(1, gamma_scale),
+            problem.matrices,
+            problem.attribute_models,
+        )
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(out > 0)
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,153 @@
+"""Tests for repro.core.result and repro.core.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import IterationRecord, RunHistory
+from repro.core.result import GenClusResult
+from repro.hin.builder import NetworkBuilder
+
+
+def make_result():
+    builder = NetworkBuilder()
+    builder.object_type("author").object_type("conf")
+    builder.relation("publish_in", "author", "conf")
+    builder.nodes(["a1", "a2", "a3"], "author").nodes(["c1"], "conf")
+    builder.link("a1", "c1", "publish_in")
+    network = builder.build()
+    theta = np.array(
+        [
+            [0.9, 0.1],
+            [0.2, 0.8],
+            [0.6, 0.4],
+            [0.5, 0.5],
+        ]
+    )
+    history = RunHistory(relation_names=("publish_in",))
+    history.append(
+        IterationRecord(0, np.array([1.0]), -10.0, float("nan"))
+    )
+    history.append(
+        IterationRecord(
+            1, np.array([2.5]), -8.0, -3.0,
+            em_iterations=4, newton_iterations=2,
+            em_seconds=0.2, newton_seconds=0.1,
+        )
+    )
+    beta = np.array([[0.7, 0.2, 0.1], [0.1, 0.2, 0.7]])
+    return GenClusResult(
+        theta=theta,
+        gamma=np.array([2.5]),
+        relation_names=("publish_in",),
+        attribute_params={
+            "title": {
+                "kind": "categorical",
+                "beta": beta,
+                "vocabulary": ("query", "data", "learning"),
+            }
+        },
+        history=history,
+        network=network,
+    )
+
+
+class TestGenClusResult:
+    def test_membership_of(self):
+        result = make_result()
+        np.testing.assert_allclose(result.membership_of("a1"), [0.9, 0.1])
+
+    def test_membership_is_copy(self):
+        result = make_result()
+        vec = result.membership_of("a1")
+        vec[0] = 0.0
+        assert result.theta[0, 0] == 0.9
+
+    def test_strengths(self):
+        result = make_result()
+        assert result.strength_of("publish_in") == 2.5
+        assert result.strengths() == {"publish_in": 2.5}
+
+    def test_unknown_relation_raises(self):
+        result = make_result()
+        with pytest.raises(KeyError, match="carried no links"):
+            result.strength_of("coauthor")
+
+    def test_hard_labels(self):
+        result = make_result()
+        np.testing.assert_array_equal(
+            result.hard_labels(), [0, 1, 0, 0]
+        )
+
+    def test_hard_labels_for_type(self):
+        result = make_result()
+        ids, labels = result.hard_labels_for("author")
+        assert ids == ["a1", "a2", "a3"]
+        np.testing.assert_array_equal(labels, [0, 1, 0])
+
+    def test_theta_for_type(self):
+        result = make_result()
+        ids, theta = result.theta_for("conf")
+        assert ids == ["c1"]
+        np.testing.assert_allclose(theta, [[0.5, 0.5]])
+
+    def test_top_members(self):
+        result = make_result()
+        top = result.top_members(0, limit=2)
+        assert top[0] == ("a1", 0.9)
+        assert top[1] == ("a3", 0.6)
+
+    def test_top_members_filtered_by_type(self):
+        result = make_result()
+        top = result.top_members(1, object_type="author", limit=1)
+        assert top == [("a2", 0.8)]
+
+    def test_top_members_bad_cluster(self):
+        result = make_result()
+        with pytest.raises(IndexError, match="out of range"):
+            result.top_members(7)
+
+    def test_top_terms(self):
+        result = make_result()
+        terms = result.top_terms("title", 0, limit=2)
+        assert terms[0] == ("query", 0.7)
+        assert terms[1] == ("data", 0.2)
+
+    def test_top_terms_unknown_attribute(self):
+        result = make_result()
+        with pytest.raises(KeyError, match="was not fit"):
+            result.top_terms("abstract", 0)
+
+    def test_summary_mentions_strengths(self):
+        text = make_result().summary()
+        assert "publish_in" in text
+        assert "K=2" in text
+
+
+class TestRunHistory:
+    def test_gamma_trajectory(self):
+        history = make_result().history
+        trajectory = history.gamma_trajectory()
+        assert trajectory.shape == (2, 1)
+        np.testing.assert_allclose(trajectory[:, 0], [1.0, 2.5])
+
+    def test_gamma_series_by_name(self):
+        history = make_result().history
+        np.testing.assert_allclose(
+            history.gamma_series("publish_in"), [1.0, 2.5]
+        )
+
+    def test_g1_series(self):
+        history = make_result().history
+        np.testing.assert_allclose(history.g1_series(), [-10.0, -8.0])
+
+    def test_em_timing_accessors(self):
+        history = make_result().history
+        assert history.total_em_seconds() == pytest.approx(0.2)
+        assert history.mean_em_seconds_per_inner_iteration() == (
+            pytest.approx(0.05)
+        )
+
+    def test_describe_renders_table(self):
+        text = make_result().history.describe()
+        assert "publish_in" in text
+        assert "iter" in text

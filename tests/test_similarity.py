@@ -1,0 +1,123 @@
+"""Tests for repro.eval.similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.similarity import (
+    SIMILARITY_FUNCTIONS,
+    cosine_similarity,
+    negative_cross_entropy,
+    negative_euclidean,
+)
+
+
+def random_simplex(rng, rows, k):
+    return rng.dirichlet(np.ones(k), size=rows)
+
+
+class TestCosine:
+    def test_identical_vectors_score_one(self):
+        theta = np.array([[0.5, 0.5], [0.9, 0.1]])
+        scores = cosine_similarity(theta, theta)
+        np.testing.assert_allclose(np.diag(scores), 1.0)
+
+    def test_orthogonal_vectors_score_zero(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        assert cosine_similarity(a, b)[0, 0] == pytest.approx(0.0)
+
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        scores = cosine_similarity(
+            random_simplex(rng, 3, 4), random_simplex(rng, 5, 4)
+        )
+        assert scores.shape == (3, 5)
+
+    def test_zero_vector_guarded(self):
+        scores = cosine_similarity(
+            np.zeros((1, 3)), np.array([[0.2, 0.3, 0.5]])
+        )
+        assert np.isfinite(scores).all()
+
+
+class TestNegativeEuclidean:
+    def test_identical_vectors_score_zero(self):
+        theta = np.array([[0.3, 0.7]])
+        assert negative_euclidean(theta, theta)[0, 0] == pytest.approx(0.0)
+
+    def test_matches_norm(self):
+        a = np.array([[0.9, 0.1]])
+        b = np.array([[0.1, 0.9]])
+        expected = -np.linalg.norm(a[0] - b[0])
+        assert negative_euclidean(a, b)[0, 0] == pytest.approx(expected)
+
+    def test_always_non_positive(self):
+        rng = np.random.default_rng(1)
+        scores = negative_euclidean(
+            random_simplex(rng, 4, 3), random_simplex(rng, 6, 3)
+        )
+        assert np.all(scores <= 1e-12)
+
+
+class TestNegativeCrossEntropy:
+    def test_orientation_matches_feature_function(self):
+        """-H(theta_j, theta_i) with the query as coding distribution."""
+        from repro.core.feature import cross_entropy
+
+        query = np.array([[0.8, 0.1, 0.1]])
+        candidate = np.array([[0.3, 0.3, 0.4]])
+        expected = -cross_entropy(candidate[0], query[0])
+        assert negative_cross_entropy(query, candidate)[0, 0] == (
+            pytest.approx(expected, abs=1e-9)
+        )
+
+    def test_asymmetric(self):
+        a = np.array([[0.8, 0.2]])
+        b = np.array([[0.4, 0.6]])
+        assert negative_cross_entropy(a, b)[0, 0] != pytest.approx(
+            negative_cross_entropy(b, a)[0, 0]
+        )
+
+    def test_prefers_aligned_concentration(self):
+        query = np.array([[0.95, 0.05]])
+        aligned = np.array([[0.9, 0.1]])
+        opposed = np.array([[0.1, 0.9]])
+        s_aligned = negative_cross_entropy(query, aligned)[0, 0]
+        s_opposed = negative_cross_entropy(query, opposed)[0, 0]
+        assert s_aligned > s_opposed
+
+    def test_zero_entries_guarded(self):
+        query = np.array([[1.0, 0.0]])
+        candidate = np.array([[0.5, 0.5]])
+        assert np.isfinite(negative_cross_entropy(query, candidate)).all()
+
+
+class TestRegistry:
+    def test_contains_papers_three_functions(self):
+        assert set(SIMILARITY_FUNCTIONS) == {
+            "cosine",
+            "neg_euclidean",
+            "neg_cross_entropy",
+        }
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=2, max_value=6),
+    )
+    def test_self_similarity_is_maximal_for_symmetric_functions(
+        self, seed, k
+    ):
+        """cos and -euclid rank a vector as its own best match."""
+        rng = np.random.default_rng(seed)
+        candidates = random_simplex(rng, 8, k)
+        for name in ("cosine", "neg_euclidean"):
+            scores = SIMILARITY_FUNCTIONS[name](candidates, candidates)
+            best = np.argmax(scores, axis=1)
+            diagonal_scores = np.diag(scores)
+            chosen = scores[np.arange(8), best]
+            np.testing.assert_allclose(
+                chosen, diagonal_scores, atol=1e-9
+            )

@@ -1,0 +1,65 @@
+"""Tests for repro.hin.stats."""
+
+from repro.hin.attributes import NumericAttribute, TextAttribute
+from repro.hin.builder import NetworkBuilder
+from repro.hin.stats import network_stats
+
+
+def make_network():
+    title = TextAttribute("title")
+    title.add_tokens("p1", ["db", "query"])
+    title.add_tokens("p2", ["mining"])
+    temp = NumericAttribute("temp")
+    temp.add_values("a1", [1.0, 2.0, 3.0])
+    builder = NetworkBuilder()
+    builder.object_type("author").object_type("paper")
+    builder.add_paired_relation(
+        "write", "author", "paper", inverse="written_by"
+    )
+    builder.nodes(["a1", "a2"], "author").nodes(["p1", "p2"], "paper")
+    builder.link_paired("a1", "p1", "write", weight=2.0)
+    builder.link_paired("a1", "p2", "write")
+    builder.attribute(title).attribute(temp)
+    return builder.build()
+
+
+class TestNetworkStats:
+    def test_counts(self):
+        stats = network_stats(make_network())
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 4
+        assert stats.nodes_per_type == {"author": 2, "paper": 2}
+
+    def test_relation_stats(self):
+        stats = network_stats(make_network())
+        by_name = {r.name: r for r in stats.relations}
+        write = by_name["write"]
+        assert write.num_links == 2
+        assert write.total_weight == 3.0
+        assert write.mean_out_degree == 1.0  # 2 links / 2 authors
+        assert write.max_out_degree == 2
+
+    def test_attribute_stats(self):
+        stats = network_stats(make_network())
+        by_name = {a.name: a for a in stats.attributes}
+        title = by_name["title"]
+        assert title.kind == "text"
+        assert title.num_observed_nodes == 2
+        assert title.total_observations == 3.0
+        assert title.coverage == 0.5
+        temp = by_name["temp"]
+        assert temp.kind == "numeric"
+        assert temp.total_observations == 3.0
+
+    def test_describe_is_readable(self):
+        text = network_stats(make_network()).describe()
+        assert "nodes: 4" in text
+        assert "write" in text
+        assert "title" in text
+
+    def test_empty_network(self):
+        builder = NetworkBuilder()
+        builder.object_type("u")
+        stats = network_stats(builder.build())
+        assert stats.num_nodes == 0
+        assert stats.relations == ()

@@ -1,0 +1,84 @@
+"""Tests for repro.hin.validation."""
+
+from repro.hin.attributes import NumericAttribute, TextAttribute
+from repro.hin.builder import NetworkBuilder
+from repro.hin.validation import validate_network
+
+
+def codes(issues):
+    return {(i.severity, i.code) for i in issues}
+
+
+class TestValidateNetwork:
+    def test_clean_network_has_no_issues(self):
+        attr = TextAttribute("title")
+        attr.add_tokens("p1", ["db"])
+        builder = NetworkBuilder()
+        builder.object_type("a").object_type("p")
+        builder.add_paired_relation("write", "a", "p", inverse="written_by")
+        builder.node("a1", "a").node("p1", "p")
+        builder.link_paired("a1", "p1", "write")
+        builder.attribute(attr)
+        issues = validate_network(builder.build())
+        assert issues == []
+
+    def test_node_without_out_links_info(self):
+        attr = TextAttribute("title")
+        attr.add_tokens("p1", ["db"])
+        builder = NetworkBuilder()
+        builder.object_type("a").object_type("p")
+        builder.relation("write", "a", "p")
+        builder.node("a1", "a").node("p1", "p")
+        builder.link("a1", "p1", "write")
+        builder.attribute(attr)
+        issues = validate_network(builder.build())
+        assert ("info", "no-out-links") in codes(issues)
+        # p1 has an observation, so no warning-severity issue for it
+        assert ("warning", "no-out-links") not in codes(issues)
+
+    def test_node_without_links_or_observations_warns(self):
+        builder = NetworkBuilder()
+        builder.object_type("a").object_type("p")
+        builder.relation("write", "a", "p")
+        builder.node("a1", "a").node("p1", "p")
+        builder.link("a1", "p1", "write")
+        issues = validate_network(builder.build())
+        assert ("warning", "no-out-links") in codes(issues)
+
+    def test_empty_relation_reported(self):
+        builder = NetworkBuilder()
+        builder.object_type("u")
+        builder.relation("friend", "u", "u")
+        builder.node("u1", "u")
+        issues = validate_network(builder.build())
+        assert ("info", "empty-relation") in codes(issues)
+
+    def test_missing_inverse_links_warn(self):
+        builder = NetworkBuilder()
+        builder.object_type("a").object_type("p")
+        builder.add_paired_relation("write", "a", "p", inverse="written_by")
+        builder.node("a1", "a").node("p1", "p")
+        # insert only the forward edge, bypassing link_paired
+        builder.link("a1", "p1", "write")
+        issues = validate_network(builder.build())
+        assert ("warning", "missing-inverse-links") in codes(issues)
+
+    def test_isolated_node_warns(self):
+        builder = NetworkBuilder()
+        builder.object_type("u")
+        builder.relation("friend", "u", "u")
+        builder.nodes(["u1", "u2", "u3"], "u")
+        builder.link("u1", "u2", "friend")
+        issues = validate_network(builder.build())
+        assert ("warning", "isolated-node") in codes(issues)
+
+    def test_unobserved_attribute_warns(self):
+        builder = NetworkBuilder()
+        builder.object_type("u")
+        builder.relation("friend", "u", "u")
+        builder.nodes(["u1", "u2"], "u")
+        builder.link("u1", "u2", "friend")
+        builder.link("u2", "u1", "friend")
+        builder.attribute(NumericAttribute("temp"))
+        issues = validate_network(builder.build())
+        assert ("warning", "unobserved-attribute") in codes(issues)

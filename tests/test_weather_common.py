@@ -1,0 +1,102 @@
+"""Tests for repro.experiments.weather_common helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.weather import generate_weather_network
+from repro.experiments.weather_common import (
+    PAPER_WEATHER_LINKS,
+    observation_grid,
+    scaled_sigma,
+    sensor_counts,
+    weather_config,
+    weather_method_nmi,
+)
+
+
+class TestSensorCounts:
+    def test_paper_scale_matches_section_5_1(self):
+        n_temperature, precipitation_choices = sensor_counts("paper")
+        assert n_temperature == 1000
+        assert precipitation_choices == (250, 500, 1000)
+
+    def test_scales_are_ordered(self):
+        smoke_t, _ = sensor_counts("smoke")
+        default_t, _ = sensor_counts("default")
+        paper_t, _ = sensor_counts("paper")
+        assert smoke_t < default_t < paper_t
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            sensor_counts("galactic")
+
+
+class TestWeatherConfig:
+    def test_setting_one_uses_diagonal_means(self):
+        config = weather_config(1, 100, 50, 5, 0)
+        np.testing.assert_array_equal(
+            config.pattern_means[1], [2.0, 2.0]
+        )
+
+    def test_setting_two_uses_corner_means(self):
+        config = weather_config(2, 100, 50, 5, 0)
+        np.testing.assert_array_equal(
+            config.pattern_means[3], [1.0, -1.0]
+        )
+
+    def test_invalid_setting_rejected(self):
+        with pytest.raises(ValueError, match="setting must be"):
+            weather_config(3, 100, 50, 5, 0)
+
+    def test_paper_parameters(self):
+        config = weather_config(1, 1000, 250, 5, 0)
+        assert config.k_neighbors == 5
+        assert config.pattern_std == 0.2
+
+
+class TestScaledSigma:
+    def test_paper_scale_returns_paper_sigma(self):
+        generated = generate_weather_network(
+            weather_config(1, 1000, 250, 1, 0)
+        )
+        assert generated.network.num_edges() == PAPER_WEATHER_LINKS
+        assert scaled_sigma(generated) == pytest.approx(0.1)
+
+    def test_smaller_network_gets_weaker_prior(self):
+        generated = generate_weather_network(
+            weather_config(1, 100, 50, 1, 0)
+        )
+        assert scaled_sigma(generated) > 0.1
+
+    def test_larger_network_keeps_paper_sigma(self):
+        """sigma never drops below the paper's value."""
+        generated = generate_weather_network(
+            weather_config(1, 1000, 1000, 1, 0)
+        )
+        assert scaled_sigma(generated) == pytest.approx(0.1)
+
+
+class TestObservationGrid:
+    def test_smoke_drops_heaviest_cell(self):
+        assert observation_grid("smoke") == (1, 5)
+
+    def test_default_and_paper_use_full_grid(self):
+        assert observation_grid("default") == (1, 5, 20)
+        assert observation_grid("paper") == (1, 5, 20)
+
+
+class TestWeatherMethodNMI:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        return generate_weather_network(weather_config(1, 60, 30, 5, 0))
+
+    def test_unknown_method_rejected(self, generated):
+        with pytest.raises(KeyError, match="unknown method"):
+            weather_method_nmi("DBSCAN", generated, 0)
+
+    @pytest.mark.parametrize(
+        "method", ["Kmeans", "SpectralCombine", "GenClus"]
+    )
+    def test_each_method_returns_valid_nmi(self, generated, method):
+        value = weather_method_nmi(method, generated, 0)
+        assert 0.0 <= value <= 1.0
