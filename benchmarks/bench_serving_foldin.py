@@ -1,0 +1,126 @@
+"""Benchmarks of the serving layer: fold-in throughput and cached queries.
+
+Unlike the whole-experiment benches these time serving hot paths with
+multiple rounds: batch posterior assignment of new sensors against a
+fitted weather model (the bulk-scoring path, reported as nodes/sec in
+``extra_info``), single-node scoring (the cold query path), and a
+repeated memoized query (the LRU hit path that dominates under serving
+traffic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GenClusConfig
+from repro.core.genclus import GenClus
+from repro.datagen.weather import (
+    RELATION_TT,
+    TEMPERATURE_ATTR,
+    TEMPERATURE_TYPE,
+    WeatherConfig,
+    generate_weather_network,
+)
+from repro.experiments.weather_common import WEATHER_ATTRIBUTES
+from repro.serving import InferenceEngine, ModelArtifact, NewNode, fold_in
+from repro.serving.foldin import FrozenModel
+
+BATCH_SIZE = 200
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    """A fitted mid-size weather model frozen for serving."""
+    generated = generate_weather_network(
+        WeatherConfig(
+            n_temperature=400,
+            n_precipitation=200,
+            k_neighbors=5,
+            n_observations=5,
+            seed=0,
+        )
+    )
+    config = GenClusConfig(
+        n_clusters=4, outer_iterations=2, seed=0, n_init=2
+    )
+    result = GenClus(config).fit(
+        generated.network, attributes=WEATHER_ATTRIBUTES
+    )
+    artifact = ModelArtifact.from_result(result)
+    return FrozenModel.from_artifact(artifact), artifact
+
+
+@pytest.fixture(scope="module")
+def sensor_batch(served_model):
+    """New temperature sensors: kNN-style links plus observations."""
+    rng = np.random.default_rng(7)
+    batch = []
+    for i in range(BATCH_SIZE):
+        neighbors = rng.choice(400, size=5, replace=False)
+        links = tuple(
+            (RELATION_TT, f"T{int(t)}", 1.0) for t in neighbors
+        )
+        level = float(rng.integers(1, 5))
+        observations = rng.normal(level, 0.2, size=5).tolist()
+        batch.append(
+            NewNode(
+                f"new-T{i}",
+                TEMPERATURE_TYPE,
+                links=links,
+                numeric={TEMPERATURE_ATTR: observations},
+            )
+        )
+    return batch
+
+
+def test_batch_foldin_throughput(benchmark, served_model, sensor_batch):
+    """Bulk scoring: the whole batch through one vectorized fold-in."""
+    model, _ = served_model
+    outcome = benchmark(fold_in, model, sensor_batch)
+    assert outcome.theta.shape == (BATCH_SIZE, 4)
+    np.testing.assert_allclose(outcome.theta.sum(axis=1), 1.0, atol=1e-9)
+    assert outcome.converged
+    benchmark.extra_info["batch_size"] = BATCH_SIZE
+    benchmark.extra_info["nodes_per_sec"] = round(
+        BATCH_SIZE / benchmark.stats.stats.mean, 1
+    )
+
+
+def test_single_query_cold(benchmark, served_model, sensor_batch):
+    """Cold path: one transient node scored with an empty cache."""
+    _, artifact = served_model
+    engine = InferenceEngine(artifact, cache_size=0)
+    spec = sensor_batch[0]
+
+    def score():
+        return engine.query(
+            TEMPERATURE_TYPE,
+            links=spec.links,
+            numeric=spec.numeric,
+        )
+
+    membership = benchmark(score)
+    assert membership.shape == (4,)
+    benchmark.extra_info["nodes_per_sec"] = round(
+        1.0 / benchmark.stats.stats.mean, 1
+    )
+
+
+def test_repeated_query_cache_hit(benchmark, served_model, sensor_batch):
+    """Hot path: the memoized answer for a repeated identical query."""
+    _, artifact = served_model
+    engine = InferenceEngine(artifact)
+    spec = sensor_batch[0]
+
+    def score():
+        return engine.query(
+            TEMPERATURE_TYPE,
+            links=spec.links,
+            numeric=spec.numeric,
+        )
+
+    score()  # warm the cache
+    membership = benchmark(score)
+    assert membership.shape == (4,)
+    stats = engine.info()["cache"]
+    assert stats["hits"] > 0
+    assert stats["misses"] == 1

@@ -1,11 +1,72 @@
-"""Setup shim for environments whose setuptools lacks PEP 660 support.
+"""Packaging for the GenClus reproduction.
 
-``pip install -e . --no-build-isolation`` (or plain ``pip install -e .``
-when the sandbox has no network for build isolation) falls back to the
-legacy ``setup.py develop`` path through this file.  All metadata lives in
-``pyproject.toml``.
+The project ships as a plain ``src``-layout distribution; ``pip install .``
+(or ``pip install -e .``) makes ``import repro`` and the CLIs
+(``python -m repro.experiments``, ``python -m repro.serving``) available
+without the ``PYTHONPATH=src`` prefix the in-tree workflows use.
+
+Sandboxes without the ``wheel`` package (and without network for build
+isolation) cannot take pip's PEP 660 editable path; the legacy
+``python setup.py develop`` route works there and uninstalls with
+``python setup.py develop --uninstall``.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_HERE = Path(__file__).parent
+
+
+def _read_version() -> str:
+    """Single-source the version from ``repro.__version__``."""
+    text = (_HERE / "src" / "repro" / "__init__.py").read_text(
+        encoding="utf-8"
+    )
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="genclus-repro",
+    version=_read_version(),
+    description=(
+        "Reproduction of 'Relation Strength-Aware Clustering of "
+        "Heterogeneous Information Networks with Incomplete Attributes' "
+        "(Sun, Aggarwal, Han; PVLDB 5(5), 2012), with a serving layer "
+        "for persisted models and online fold-in inference."
+    ),
+    long_description=(_HERE / "PAPER.md").read_text(encoding="utf-8")
+    if (_HERE / "PAPER.md").exists()
+    else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7",
+            "pytest-benchmark>=4",
+            "hypothesis>=6",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

@@ -12,6 +12,8 @@ subpackages hold the full system:
 * :mod:`repro.datagen` -- weather-sensor and synthetic-DBLP generators.
 * :mod:`repro.eval` -- NMI, MAP, similarity functions, link prediction.
 * :mod:`repro.experiments` -- one module per paper table/figure.
+* :mod:`repro.serving` -- model artifacts, online fold-in inference,
+  and the query engine (``python -m repro.serving``).
 
 Quickstart::
 
@@ -38,12 +40,14 @@ from repro.exceptions import (
     ReproError,
     SchemaError,
     SerializationError,
+    ServingError,
 )
 from repro.hin.attributes import NumericAttribute, TextAttribute
 from repro.hin.builder import NetworkBuilder
 from repro.hin.io import load_network, save_network
 from repro.hin.network import HeterogeneousNetwork
 from repro.hin.schema import NetworkSchema
+from repro.serving import InferenceEngine, ModelArtifact, NewNode
 
 __version__ = "1.0.0"
 
@@ -55,13 +59,17 @@ __all__ = [
     "GenClusConfig",
     "GenClusResult",
     "HeterogeneousNetwork",
+    "InferenceEngine",
+    "ModelArtifact",
     "NetworkBuilder",
     "NetworkError",
     "NetworkSchema",
+    "NewNode",
     "NumericAttribute",
     "ReproError",
     "SchemaError",
     "SerializationError",
+    "ServingError",
     "TextAttribute",
     "__version__",
     "load_network",

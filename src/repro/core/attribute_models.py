@@ -26,6 +26,14 @@ Both expose the same interface:
 The multi-attribute case (Eq. 5 / Eq. 12) needs no special handling: the
 models are independent given Theta, so the solver simply sums their theta
 contributions and log-likelihoods.
+
+The E-step arithmetic is also exposed as module-level *frozen-parameter*
+functions (:func:`categorical_theta_term`, :func:`gaussian_theta_term`):
+given memberships, observations, and fixed component parameters they
+return the responsibility sums of Eqs. 10-12 without touching any model
+state.  ``em_step`` routes through them, and the serving fold-in engine
+(:mod:`repro.serving.foldin`) calls them directly to score *new*
+observations against a fitted model whose parameters stay frozen.
 """
 
 from __future__ import annotations
@@ -40,6 +48,122 @@ from repro.hin.attributes import (
 )
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+# ----------------------------------------------------------------------
+# frozen-parameter responsibility scoring
+# ----------------------------------------------------------------------
+def _categorical_denominators(
+    theta_rows: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    beta: np.ndarray,
+) -> np.ndarray:
+    """``d_{v,l} = sum_k theta_vk beta_kl`` at each nonzero count."""
+    # einsum over the nonzero pattern only: O(nnz * K)
+    return np.einsum(
+        "nk,nk->n", theta_rows[rows], beta[:, cols].T
+    )
+
+
+def _categorical_pieces(
+    theta_rows: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    shape: tuple[int, int],
+    beta: np.ndarray,
+) -> tuple[np.ndarray, sparse.csr_matrix]:
+    """Theta term plus the ``c_vl / d_vl`` ratio matrix (for the M-step)."""
+    denom = _categorical_denominators(theta_rows, rows, cols, beta)
+    # guard: denom is 0 only if theta_v and beta share no support
+    denom = np.maximum(denom, 1e-300)
+    ratio = sparse.csr_matrix((vals / denom, (rows, cols)), shape=shape)
+    # theta part: theta_vk * sum_l (c_vl / d_vl) beta_kl
+    return theta_rows * (ratio @ beta.T), ratio
+
+
+def categorical_theta_term(
+    theta_rows: np.ndarray,
+    counts: sparse.spmatrix,
+    beta: np.ndarray,
+) -> np.ndarray:
+    """Frozen-``beta`` responsibility sums of Eq. 10 for a batch of rows.
+
+    Parameters
+    ----------
+    theta_rows:
+        ``(m, K)`` memberships of the ``m`` observed objects, aligned
+        with the rows of ``counts``.
+    counts:
+        ``(m, vocab)`` sparse term counts ``c_{v,l}``.
+    beta:
+        ``(K, vocab)`` fixed component term distributions.
+
+    Returns
+    -------
+    ``(m, K)`` array: ``sum_l c_{v,l} p(z_{v,l} = k | theta_v, beta)``
+    per row.  No parameters are updated.
+    """
+    coo = counts.tocoo()
+    if coo.data.size == 0:
+        return np.zeros((counts.shape[0], beta.shape[0]))
+    term, _ = _categorical_pieces(
+        theta_rows, coo.row, coo.col, coo.data, counts.shape, beta
+    )
+    return term
+
+
+def gaussian_log_pdf(
+    values: np.ndarray, means: np.ndarray, variances: np.ndarray
+) -> np.ndarray:
+    """``(n_obs, K)`` log densities of every observation per cluster."""
+    x = np.asarray(values, dtype=np.float64)[:, None]
+    return (
+        -0.5 * (_LOG_2PI + np.log(variances)[None, :])
+        - 0.5 * (x - means[None, :]) ** 2 / variances[None, :]
+    )
+
+
+def gaussian_responsibilities(
+    theta_rows: np.ndarray,
+    values: np.ndarray,
+    owners: np.ndarray,
+    means: np.ndarray,
+    variances: np.ndarray,
+) -> np.ndarray:
+    """``p(z_{v,x} = k)`` per observation with frozen parameters (Eq. 11).
+
+    ``theta_rows`` holds one membership row per observed *object*;
+    ``owners[i]`` is the row of observation ``values[i]``.
+    """
+    log_mix = np.log(
+        np.maximum(theta_rows[owners], 1e-300)
+    ) + gaussian_log_pdf(values, means, variances)
+    log_mix -= log_mix.max(axis=1, keepdims=True)
+    resp = np.exp(log_mix)
+    resp /= resp.sum(axis=1, keepdims=True)
+    return resp
+
+
+def gaussian_theta_term(
+    theta_rows: np.ndarray,
+    values: np.ndarray,
+    owners: np.ndarray,
+    means: np.ndarray,
+    variances: np.ndarray,
+) -> np.ndarray:
+    """Frozen-parameter responsibility sums of Eq. 11 for a batch of rows.
+
+    Returns ``(m, K)``: ``sum_{x in v[X]} p(z_{v,x} = k)`` per row of
+    ``theta_rows``.  No parameters are updated.
+    """
+    resp = gaussian_responsibilities(
+        theta_rows, values, owners, means, variances
+    )
+    per_node = np.zeros_like(theta_rows)
+    np.add.at(per_node, owners, resp)
+    return per_node
 
 
 class CategoricalModel:
@@ -117,10 +241,8 @@ class CategoricalModel:
     # ------------------------------------------------------------------
     def _nonzero_denominators(self, theta_obs: np.ndarray) -> np.ndarray:
         """``d_{v,l} = sum_k theta_vk beta_kl`` at each nonzero count."""
-        beta = self._require_params()
-        # einsum over the nonzero pattern only: O(nnz * K)
-        return np.einsum(
-            "nk,nk->n", theta_obs[self._rows], beta[:, self._cols].T
+        return _categorical_denominators(
+            theta_obs, self._rows, self._cols, self._require_params()
         )
 
     def em_step(self, theta: np.ndarray) -> np.ndarray:
@@ -140,15 +262,14 @@ class CategoricalModel:
         if self._vals.size == 0:
             return contribution
         theta_obs = theta[self.compiled.node_indices]
-        denom = self._nonzero_denominators(theta_obs)
-        # guard: denom is 0 only if theta_v and beta share no support
-        denom = np.maximum(denom, 1e-300)
-        ratio = sparse.csr_matrix(
-            (self._vals / denom, (self._rows, self._cols)),
-            shape=self.compiled.counts.shape,
+        theta_term, ratio = _categorical_pieces(
+            theta_obs,
+            self._rows,
+            self._cols,
+            self._vals,
+            self.compiled.counts.shape,
+            beta,
         )
-        # theta part: theta_vk * sum_l (c_vl / d_vl) beta_kl
-        theta_term = theta_obs * (ratio @ beta.T)
         contribution[self.compiled.node_indices] = theta_term
         # beta M-step: beta_kl  propto  sum_v c_vl p(z=k) = beta_kl * [theta^T (C/d)]_kl
         beta_new = beta * (theta_obs.T @ ratio)
@@ -272,22 +393,18 @@ class GaussianModel:
     def _log_pdf(self) -> np.ndarray:
         """``(n_obs, K)`` log densities of every observation per cluster."""
         means, variances = self._require_params()
-        x = self.compiled.values[:, None]
-        return (
-            -0.5 * (_LOG_2PI + np.log(variances)[None, :])
-            - 0.5 * (x - means[None, :]) ** 2 / variances[None, :]
-        )
+        return gaussian_log_pdf(self.compiled.values, means, variances)
 
     def _responsibilities(self, theta: np.ndarray) -> np.ndarray:
         """``p(z_{v,x} = k)`` for each observation (Eq. 11 E-step)."""
-        theta_obs = theta[self.compiled.node_indices]
-        log_mix = np.log(
-            np.maximum(theta_obs[self.compiled.owners], 1e-300)
-        ) + self._log_pdf()
-        log_mix -= log_mix.max(axis=1, keepdims=True)
-        resp = np.exp(log_mix)
-        resp /= resp.sum(axis=1, keepdims=True)
-        return resp
+        means, variances = self._require_params()
+        return gaussian_responsibilities(
+            theta[self.compiled.node_indices],
+            self.compiled.values,
+            self.compiled.owners,
+            means,
+            variances,
+        )
 
     def em_step(self, theta: np.ndarray) -> np.ndarray:
         """One EM pass (Eq. 11): returns the theta contribution.

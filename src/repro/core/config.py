@@ -54,6 +54,13 @@ class GenClusConfig:
     gamma_tol:
         Outer loop stops early when ``max |gamma_t - gamma_{t-1}|`` drops
         below this (set to 0 to always run ``outer_iterations``).
+    track_em_objective:
+        When true, ``g1`` is evaluated after every *inner* EM iteration
+        and the per-outer-iteration traces land in the run history
+        (:attr:`~repro.core.diagnostics.IterationRecord.em_objective_trace`)
+        -- monotonicity diagnostics without editing source.  Off by
+        default: each evaluation costs an extra pass over links and
+        observations.
     """
 
     n_clusters: int
@@ -69,6 +76,7 @@ class GenClusConfig:
     variance_floor: float = 1e-8
     seed: int | None = None
     gamma_tol: float = 1e-5
+    track_em_objective: bool = False
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:

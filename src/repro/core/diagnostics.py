@@ -35,6 +35,10 @@ class IterationRecord:
         Wall-clock seconds in the EM step.
     newton_seconds:
         Wall-clock seconds in the Newton step.
+    em_objective_trace:
+        ``g1`` after every inner EM iteration of this outer step; empty
+        unless the fit ran with
+        :attr:`~repro.core.config.GenClusConfig.track_em_objective`.
     """
 
     outer_iteration: int
@@ -45,6 +49,7 @@ class IterationRecord:
     newton_iterations: int = 0
     em_seconds: float = 0.0
     newton_seconds: float = 0.0
+    em_objective_trace: tuple[float, ...] = ()
 
 
 @dataclass
@@ -71,6 +76,11 @@ class RunHistory:
 
     def g1_series(self) -> np.ndarray:
         return np.asarray([record.g1_value for record in self.records])
+
+    def em_objective_traces(self) -> tuple[tuple[float, ...], ...]:
+        """Inner ``g1`` traces per outer iteration (empty when the fit
+        ran without ``track_em_objective``)."""
+        return tuple(record.em_objective_trace for record in self.records)
 
     def total_em_seconds(self) -> float:
         return float(sum(record.em_seconds for record in self.records))

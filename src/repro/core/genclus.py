@@ -148,7 +148,7 @@ class GenClus:
                 max_iterations=config.em_iterations,
                 tol=config.em_tol,
                 floor=config.theta_floor,
-                track_objective=False,
+                track_objective=config.track_em_objective,
             )
             em_seconds = time.perf_counter() - em_start
             theta = em_outcome.theta
@@ -194,6 +194,7 @@ class GenClus:
                     newton_iterations=newton_iterations,
                     em_seconds=em_seconds,
                     newton_seconds=newton_seconds,
+                    em_objective_trace=em_outcome.objective_trace,
                 )
             )
             if callback is not None:

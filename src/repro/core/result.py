@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -132,6 +133,28 @@ class GenClusResult:
         vocabulary = params["vocabulary"]
         order = np.argsort(beta[cluster])[::-1][:limit]
         return [(vocabulary[i], float(beta[cluster, i])) for i in order]
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Persist the fit as a serving artifact bundle (one ``.npz``).
+
+        The bundle carries theta, gamma, attribute parameters, the node
+        id/type map, and the run history -- everything
+        :class:`~repro.serving.engine.InferenceEngine` needs.  Training
+        links are not persisted (see :mod:`repro.serving.artifact`), so
+        the network reloaded by :meth:`load` has nodes but no edges.
+        """
+        # local import: repro.serving depends on this module
+        from repro.serving.artifact import ModelArtifact
+
+        return ModelArtifact.from_result(self).save(path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> GenClusResult:
+        """Reload a fit persisted by :meth:`save`."""
+        from repro.serving.artifact import ModelArtifact
+
+        return ModelArtifact.load(path).to_result()
 
     def summary(self) -> str:
         """Readable overview: sizes, strengths, history length."""

@@ -13,6 +13,8 @@ single base class.  Each subclass marks one failure category:
 * :class:`ConvergenceError` -- an optimizer failed in a way that cannot be
   recovered (for example, a non-finite objective).
 * :class:`SerializationError` -- malformed persisted network payloads.
+* :class:`ServingError` -- invalid serving-time requests (fold-in nodes
+  referencing unknown targets, deltas against frozen base rows, ...).
 """
 
 from __future__ import annotations
@@ -44,3 +46,7 @@ class ConvergenceError(ReproError):
 
 class SerializationError(ReproError):
     """A persisted network payload cannot be parsed."""
+
+
+class ServingError(ReproError):
+    """A serving-time request (fold-in, query, delta) is invalid."""

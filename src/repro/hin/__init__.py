@@ -33,7 +33,12 @@ from repro.hin.network import HeterogeneousNetwork
 from repro.hin.schema import NetworkSchema, ObjectType, RelationType
 from repro.hin.stats import NetworkStats, network_stats
 from repro.hin.validation import ValidationIssue, validate_network
-from repro.hin.views import RelationMatrices, build_relation_matrices
+from repro.hin.views import (
+    RelationMatrices,
+    build_relation_matrices,
+    empty_relation_matrices,
+    extend_relation_matrices,
+)
 
 __all__ = [
     "AttributeKind",
@@ -51,6 +56,8 @@ __all__ = [
     "TextAttribute",
     "ValidationIssue",
     "build_relation_matrices",
+    "empty_relation_matrices",
+    "extend_relation_matrices",
     "network_stats",
     "validate_network",
 ]

@@ -11,6 +11,7 @@ complexity analysis requires.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -126,4 +127,103 @@ def build_relation_matrices(
         relation_names=tuple(names),
         matrices=tuple(mats),
         num_nodes=n,
+    )
+
+
+def empty_relation_matrices(
+    relation_names: Sequence[str], num_nodes: int
+) -> RelationMatrices:
+    """All-zero matrices for a fixed relation list over ``num_nodes``.
+
+    Starting point for incrementally grown views -- e.g. rebuilding
+    link views for a model reloaded from an artifact (which carries no
+    training edges) before feeding deltas to
+    :func:`extend_relation_matrices`.
+    """
+    return RelationMatrices(
+        relation_names=tuple(relation_names),
+        matrices=tuple(
+            sparse.csr_matrix((num_nodes, num_nodes), dtype=np.float64)
+            for _ in relation_names
+        ),
+        num_nodes=num_nodes,
+    )
+
+
+def extend_relation_matrices(
+    base: RelationMatrices,
+    num_new_nodes: int,
+    links: Mapping[str, Sequence[tuple[int, int, float]]],
+) -> RelationMatrices:
+    """Grow matrices to ``(n + m, n + m)`` with appended delta links.
+
+    New nodes extend the global index space (rows/columns
+    ``n .. n + m - 1``) and their links are summed in *without
+    recompiling the full problem* -- the existing CSR storage is reused
+    verbatim (columns extend for free; rows extend by padding the index
+    pointer), so the cost is ``O(m + nnz(delta))`` rather than a fresh
+    pass over the whole network.  This is the general-purpose growth
+    path (e.g. warm-starting a refit from served deltas, see ROADMAP);
+    serving fold-in itself compiles only the ``m`` new *rows* of this
+    product directly, since frozen base rows are never multiplied.
+
+    Parameters
+    ----------
+    base:
+        The matrices being extended.
+    num_new_nodes:
+        ``m >= 0``, how many rows/columns to append.
+    links:
+        ``{relation: [(source, target, weight), ...]}`` with endpoints in
+        the *extended* index space ``0 .. n + m - 1``.  Repeated pairs
+        accumulate, matching the network container's semantics.  A
+        relation absent from ``base.relation_names`` is a ``KeyError``:
+        it has no strength slot, so the solvers could not use it.
+    """
+    if num_new_nodes < 0:
+        raise ValueError(
+            f"num_new_nodes must be >= 0, got {num_new_nodes}"
+        )
+    n = base.num_nodes
+    total = n + num_new_nodes
+    for relation in links:
+        if relation not in base.relation_names:
+            raise KeyError(
+                f"relation {relation!r} has no matrix (and no gamma "
+                f"slot) in the base views"
+            )
+    extended: list[sparse.csr_matrix] = []
+    for name, mat in zip(base.relation_names, base.matrices):
+        indptr = np.concatenate(
+            [mat.indptr, np.full(num_new_nodes, mat.indptr[-1])]
+        )
+        resized = sparse.csr_matrix(
+            (mat.data, mat.indices, indptr), shape=(total, total)
+        )
+        delta = links.get(name)
+        if delta:
+            sources = np.asarray([d[0] for d in delta], dtype=np.int64)
+            targets = np.asarray([d[1] for d in delta], dtype=np.int64)
+            weights = np.asarray([d[2] for d in delta], dtype=np.float64)
+            if sources.size and (
+                sources.min() < 0
+                or targets.min() < 0
+                or sources.max() >= total
+                or targets.max() >= total
+            ):
+                raise IndexError(
+                    f"relation {name!r}: link endpoints must lie in "
+                    f"0..{total - 1}"
+                )
+            resized = (
+                resized
+                + sparse.csr_matrix(
+                    (weights, (sources, targets)), shape=(total, total)
+                )
+            ).tocsr()
+        extended.append(resized)
+    return RelationMatrices(
+        relation_names=base.relation_names,
+        matrices=tuple(extended),
+        num_nodes=total,
     )

@@ -1,0 +1,58 @@
+"""Model serving: persisted artifacts plus online fold-in inference.
+
+The batch reproduction fits a model and exits; this package turns a fit
+into something that can answer queries:
+
+* :mod:`repro.serving.artifact` -- versioned single-file persistence of
+  a fitted model (``.npz`` arrays + JSON manifest), with a
+  ``GenClusResult.save()/load()`` façade on the result object itself.
+* :mod:`repro.serving.foldin` -- batch posterior assignment for unseen
+  nodes: the paper's EM theta update (Eqs. 10-12) iterated to a fixed
+  point with every fitted parameter frozen, vectorized over the batch.
+* :mod:`repro.serving.engine` -- :class:`InferenceEngine`: holds a
+  loaded artifact, accepts incremental deltas (new nodes and links
+  appended to the network views without recompiling), and memoizes
+  repeated transient queries with an LRU cache.
+
+A small CLI ships as ``python -m repro.serving`` (``info`` / ``score``).
+
+Typical round trip::
+
+    result = GenClus(config).fit(network, attributes=["title"])
+    result.save("model.npz")
+
+    engine = InferenceEngine.load("model.npz")
+    membership = engine.query(
+        "paper",
+        links=[("written_by", "author-4", 1.0)],
+        text={"title": ["database", "query"]},
+    )
+"""
+
+from repro.serving.artifact import (
+    FORMAT,
+    SCHEMA_VERSION,
+    ModelArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.serving.engine import InferenceEngine
+from repro.serving.foldin import (
+    FoldInOutcome,
+    FrozenModel,
+    NewNode,
+    fold_in,
+)
+
+__all__ = [
+    "FORMAT",
+    "FoldInOutcome",
+    "FrozenModel",
+    "InferenceEngine",
+    "ModelArtifact",
+    "NewNode",
+    "SCHEMA_VERSION",
+    "fold_in",
+    "load_artifact",
+    "save_artifact",
+]

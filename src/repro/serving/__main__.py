@@ -1,0 +1,186 @@
+"""Command-line serving front end: ``python -m repro.serving``.
+
+Two subcommands against a saved model artifact:
+
+* ``info ARTIFACT`` -- print the persisted model's summary (or the full
+  engine snapshot with ``--json``).
+* ``score ARTIFACT --type TYPE [--link REL=TARGET[:WEIGHT]] ...``
+  -- fold one hypothetical node in and print its posterior membership
+  and hard cluster label.
+
+Node ids on the command line are always strings; models whose ids are
+other scalar types need the Python API.  Link weights ride after a
+trailing ``:`` (``REL=TARGET:2.0``); a target id whose own suffix after
+a ``:`` parses as a number is ambiguous here -- score such models
+through the Python API instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.exceptions import ReproError
+from repro.serving.engine import InferenceEngine
+
+
+def _parse_link(raw: str) -> tuple[str, str, float]:
+    """``REL=TARGET[:WEIGHT]`` -> (relation, target, weight)."""
+    relation, separator, rest = raw.partition("=")
+    if not separator or not relation or not rest:
+        raise argparse.ArgumentTypeError(
+            f"link {raw!r} must look like REL=TARGET[:WEIGHT]"
+        )
+    target, separator, weight = rest.rpartition(":")
+    if not separator:
+        return relation, rest, 1.0
+    try:
+        return relation, target, float(weight)
+    except ValueError:
+        # the ':' belonged to the target id itself
+        return relation, rest, 1.0
+
+
+def _parse_text(raw: str) -> tuple[str, list[str]]:
+    """``ATTR=tok1,tok2,...`` -> (attribute, tokens)."""
+    attribute, separator, rest = raw.partition("=")
+    if not separator or not attribute or not rest:
+        raise argparse.ArgumentTypeError(
+            f"text {raw!r} must look like ATTR=tok1,tok2,..."
+        )
+    return attribute, [token for token in rest.split(",") if token]
+
+
+def _parse_numeric(raw: str) -> tuple[str, list[float]]:
+    """``ATTR=v1,v2,...`` -> (attribute, values)."""
+    attribute, separator, rest = raw.partition("=")
+    if not separator or not attribute or not rest:
+        raise argparse.ArgumentTypeError(
+            f"numeric {raw!r} must look like ATTR=v1,v2,..."
+        )
+    try:
+        values = [float(piece) for piece in rest.split(",") if piece]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"numeric {raw!r}: {exc}"
+        ) from exc
+    return attribute, values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Serve cluster-membership queries from a saved "
+        "GenClus model artifact.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser(
+        "info", help="describe a saved model artifact"
+    )
+    info.add_argument("artifact", help="path to the .npz bundle")
+    info.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the engine info() snapshot as JSON",
+    )
+
+    score = commands.add_parser(
+        "score", help="fold a hypothetical node in and print its scores"
+    )
+    score.add_argument("artifact", help="path to the .npz bundle")
+    score.add_argument(
+        "--type",
+        required=True,
+        dest="object_type",
+        help="object type of the scored node",
+    )
+    score.add_argument(
+        "--link",
+        action="append",
+        default=[],
+        type=_parse_link,
+        metavar="REL=TARGET[:WEIGHT]",
+        help="out-link into the fitted network (repeatable)",
+    )
+    score.add_argument(
+        "--text",
+        action="append",
+        default=[],
+        type=_parse_text,
+        metavar="ATTR=tok1,tok2",
+        help="text observations for one attribute (repeatable)",
+    )
+    score.add_argument(
+        "--numeric",
+        action="append",
+        default=[],
+        type=_parse_numeric,
+        metavar="ATTR=v1,v2",
+        help="numeric observations for one attribute (repeatable)",
+    )
+    score.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    return parser
+
+
+def _run_info(args: argparse.Namespace) -> int:
+    engine = InferenceEngine.load(args.artifact)
+    if args.json:
+        print(json.dumps(engine.info(), indent=2, sort_keys=True))
+    else:
+        print(engine.artifact.summary())
+    return 0
+
+
+def _run_score(args: argparse.Namespace) -> int:
+    engine = InferenceEngine.load(args.artifact)
+    text: dict[str, list[str]] = {}
+    for attribute, tokens in args.text:
+        text.setdefault(attribute, []).extend(tokens)
+    numeric: dict[str, list[float]] = {}
+    for attribute, values in args.numeric:
+        numeric.setdefault(attribute, []).extend(values)
+    membership = engine.query(
+        args.object_type,
+        links=args.link,
+        text=text,
+        numeric=numeric,
+    )
+    cluster = int(membership.argmax())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "cluster": cluster,
+                    "membership": [float(p) for p in membership],
+                }
+            )
+        )
+    else:
+        rendered = ", ".join(f"{p:.4f}" for p in membership)
+        print(f"cluster: {cluster}")
+        print(f"membership: [{rendered}]")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "info":
+            return _run_info(args)
+        return _run_score(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # output piped into a closed reader (e.g. `info ... | head`)
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,412 @@
+"""Versioned persistence of a fitted GenClus model.
+
+A fitted model is frozen into a :class:`ModelArtifact` -- everything the
+serving layer needs to answer membership queries without refitting:
+
+* the ``(n, K)`` membership matrix Theta and the strength vector gamma,
+* the relation list (fixing gamma's order) and the relation type
+  declarations (for validating fold-in links),
+* the node id / object-type map (fixing Theta's row order),
+* the learned attribute component parameters (beta / mu, sigma^2) with
+  their vocabularies,
+* the per-outer-iteration diagnostics history (scalar fields only; the
+  variable-length inner-EM objective traces are not persisted).
+
+On disk an artifact is a **single ``.npz`` bundle**: every numeric array
+is stored under a registry key, and one ``manifest`` entry carries a
+UTF-8 JSON document with the schema version, the structural metadata, and
+the array registry.  ``np.load`` never needs ``allow_pickle`` -- the
+format is plain arrays plus JSON, so loading untrusted artifacts cannot
+execute code.
+
+Versioning: ``SCHEMA_VERSION`` is bumped whenever the layout changes;
+:func:`load_artifact` rejects bundles whose major version it does not
+understand with a :class:`~repro.exceptions.SerializationError` naming
+both versions.
+
+Training *edges* are deliberately not persisted: frozen base rows never
+re-read their neighbours (only new nodes' out-links enter the fold-in
+update), so the bundle stays ``O(nK)`` instead of ``O(|E|)``.  The
+network reconstructed by :meth:`ModelArtifact.to_result` therefore has
+nodes and schema but no links.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.diagnostics import IterationRecord, RunHistory
+from repro.core.result import GenClusResult
+from repro.exceptions import SerializationError
+from repro.hin.network import HeterogeneousNetwork
+from repro.hin.schema import NetworkSchema
+
+FORMAT = "repro.serving/artifact"
+SCHEMA_VERSION = 1
+
+_SCALARS = (str, int, float, bool)
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A fitted model frozen for persistence and serving.
+
+    Attributes
+    ----------
+    theta:
+        ``(n, K)`` membership matrix, rows ordered like ``node_ids``.
+    gamma:
+        ``(R,)`` strengths aligned with ``relation_names``.
+    relation_names:
+        Relations that carried links in the fit (gamma order).
+    relation_types:
+        ``{relation: (source_type, target_type)}`` for *every* relation
+        declared in the training schema -- fold-in validates new links
+        against these.
+    node_ids:
+        All fitted node ids in index order (JSON scalars).
+    node_types:
+        Object type of each node, aligned with ``node_ids``.
+    object_types:
+        All object type names declared in the training schema.
+    attribute_params:
+        Learned per-attribute component parameters, in the shape
+        :class:`~repro.core.result.GenClusResult` uses.
+    history:
+        The fit's :class:`~repro.core.diagnostics.RunHistory`.
+    """
+
+    theta: np.ndarray
+    gamma: np.ndarray
+    relation_names: tuple[str, ...]
+    relation_types: dict[str, tuple[str, str]]
+    node_ids: tuple[object, ...]
+    node_types: tuple[str, ...]
+    object_types: tuple[str, ...]
+    attribute_params: dict[str, dict]
+    history: RunHistory
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self.theta.shape[0])
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.theta.shape[1])
+
+    def node_index(self) -> dict[object, int]:
+        """``{node id: theta row}`` (a fresh dict)."""
+        return {node: i for i, node in enumerate(self.node_ids)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(cls, result: GenClusResult) -> ModelArtifact:
+        """Freeze a fit into an artifact (arrays are copied)."""
+        network = result.network
+        for node in network.node_ids:
+            if not isinstance(node, _SCALARS):
+                raise SerializationError(
+                    f"node id {node!r} is not a JSON scalar; only "
+                    f"str/int/float/bool ids can be persisted"
+                )
+        relation_types = {
+            rel.name: (rel.source, rel.target)
+            for rel in network.schema.relations
+        }
+        return cls(
+            theta=np.asarray(result.theta, dtype=np.float64).copy(),
+            gamma=np.asarray(result.gamma, dtype=np.float64).copy(),
+            relation_names=tuple(result.relation_names),
+            relation_types=relation_types,
+            node_ids=tuple(network.node_ids),
+            node_types=tuple(
+                network.type_at(i) for i in range(network.num_nodes)
+            ),
+            object_types=tuple(
+                t.name for t in network.schema.object_types
+            ),
+            attribute_params=_copy_params(result.attribute_params),
+            history=result.history,
+        )
+
+    def to_result(self) -> GenClusResult:
+        """Rebuild a :class:`GenClusResult` (node-only network, no links)."""
+        schema = NetworkSchema()
+        for name in self.object_types:
+            schema.add_object_type(name)
+        for name, (source, target) in self.relation_types.items():
+            schema.add_relation(name, source, target)
+        network = HeterogeneousNetwork(schema)
+        for node, object_type in zip(self.node_ids, self.node_types):
+            network.add_node(node, object_type)
+        return GenClusResult(
+            theta=self.theta.copy(),
+            gamma=self.gamma.copy(),
+            relation_names=self.relation_names,
+            attribute_params=_copy_params(self.attribute_params),
+            history=self.history,
+            network=network,
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact as a single ``.npz`` bundle; returns path."""
+        return save_artifact(self, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> ModelArtifact:
+        """Read an artifact written by :meth:`save`."""
+        return load_artifact(path)
+
+    def summary(self) -> str:
+        """Readable overview of the persisted model."""
+        lines = [
+            f"GenClus artifact (schema v{SCHEMA_VERSION}): "
+            f"{self.num_nodes} nodes, K={self.n_clusters}",
+            "object types: " + ", ".join(self.object_types),
+            "link-type strengths:",
+        ]
+        for name, gamma in sorted(
+            zip(self.relation_names, self.gamma), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {name:<24} {float(gamma):>10.4f}")
+        for name, params in self.attribute_params.items():
+            if params["kind"] == "categorical":
+                detail = f"vocabulary of {len(params['vocabulary'])}"
+            else:
+                detail = f"{params['means'].shape[0]} components"
+            lines.append(f"attribute {name!r}: {params['kind']}, {detail}")
+        lines.append(
+            f"outer iterations recorded: {len(self.history)}"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# on-disk format
+# ----------------------------------------------------------------------
+def save_artifact(artifact: ModelArtifact, path: str | Path) -> Path:
+    """Serialize to one ``.npz``: arrays + a JSON ``manifest`` entry."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        "theta": np.asarray(artifact.theta, dtype=np.float64),
+        "gamma": np.asarray(artifact.gamma, dtype=np.float64),
+    }
+    attributes: list[dict[str, Any]] = []
+    for name, params in artifact.attribute_params.items():
+        entry: dict[str, Any] = {"name": name, "kind": params["kind"]}
+        if params["kind"] == "categorical":
+            arrays[f"attr/{name}/beta"] = np.asarray(
+                params["beta"], dtype=np.float64
+            )
+            entry["vocabulary"] = list(params["vocabulary"])
+        elif params["kind"] == "gaussian":
+            arrays[f"attr/{name}/means"] = np.asarray(
+                params["means"], dtype=np.float64
+            )
+            arrays[f"attr/{name}/variances"] = np.asarray(
+                params["variances"], dtype=np.float64
+            )
+        else:  # pragma: no cover - defensive
+            raise SerializationError(
+                f"attribute {name!r} has unknown kind {params['kind']!r}"
+            )
+        attributes.append(entry)
+
+    records = artifact.history.records
+    arrays["history/gamma"] = (
+        np.stack([r.gamma for r in records])
+        if records
+        else np.zeros((0, len(artifact.relation_names)))
+    )
+    arrays["history/scalars"] = np.asarray(
+        [
+            [
+                float(r.outer_iteration),
+                r.g1_value,
+                r.g2_value,
+                float(r.em_iterations),
+                float(r.newton_iterations),
+                r.em_seconds,
+                r.newton_seconds,
+            ]
+            for r in records
+        ],
+        dtype=np.float64,
+    ).reshape(len(records), 7)
+
+    manifest = {
+        "format": FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "n_clusters": artifact.n_clusters,
+        "relation_names": list(artifact.relation_names),
+        "relation_types": {
+            name: list(pair)
+            for name, pair in artifact.relation_types.items()
+        },
+        "object_types": list(artifact.object_types),
+        "nodes": [
+            {"id": node, "type": typ}
+            for node, typ in zip(artifact.node_ids, artifact.node_types)
+        ],
+        "attributes": attributes,
+        "arrays": sorted(arrays),
+    }
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+def load_artifact(path: str | Path) -> ModelArtifact:
+    """Deserialize an artifact bundle, checking format and version."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as bundle:
+            payload = {key: bundle[key] for key in bundle.files}
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise SerializationError(
+            f"{path} is not a readable artifact bundle: {exc}"
+        ) from exc
+    if "manifest" not in payload:
+        raise SerializationError(
+            f"{path} has no manifest entry; not a serving artifact"
+        )
+    try:
+        manifest = json.loads(bytes(payload["manifest"]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"{path} carries a malformed manifest: {exc}"
+        ) from exc
+    if manifest.get("format") != FORMAT:
+        raise SerializationError(
+            f"unsupported format marker {manifest.get('format')!r}; "
+            f"expected {FORMAT!r}"
+        )
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SerializationError(
+            f"artifact schema version {version!r} is not supported by "
+            f"this library (supported: {SCHEMA_VERSION}); "
+            f"re-export the model or upgrade the library"
+        )
+    try:
+        return _decode(manifest, payload)
+    except (KeyError, TypeError, IndexError) as exc:
+        raise SerializationError(
+            f"malformed artifact payload in {path}: {exc}"
+        ) from exc
+
+
+def _decode(
+    manifest: dict[str, Any], payload: dict[str, np.ndarray]
+) -> ModelArtifact:
+    missing = [key for key in manifest["arrays"] if key not in payload]
+    if missing:
+        raise SerializationError(
+            f"artifact is missing declared arrays: {missing}"
+        )
+    theta = np.asarray(payload["theta"], dtype=np.float64)
+    gamma = np.asarray(payload["gamma"], dtype=np.float64)
+    relation_names = tuple(manifest["relation_names"])
+    if theta.ndim != 2:
+        raise SerializationError(
+            f"theta must be 2-D, got shape {theta.shape}"
+        )
+    if theta.shape[1] != int(manifest["n_clusters"]):
+        raise SerializationError(
+            f"theta has {theta.shape[1]} columns but the manifest "
+            f"declares n_clusters={manifest['n_clusters']}"
+        )
+    nodes = manifest["nodes"]
+    if theta.shape[0] != len(nodes):
+        raise SerializationError(
+            f"theta has {theta.shape[0]} rows but the manifest lists "
+            f"{len(nodes)} nodes"
+        )
+    if gamma.shape != (len(relation_names),):
+        raise SerializationError(
+            f"gamma has shape {gamma.shape} but the manifest lists "
+            f"{len(relation_names)} relations"
+        )
+
+    attribute_params: dict[str, dict] = {}
+    for entry in manifest["attributes"]:
+        name = entry["name"]
+        if entry["kind"] == "categorical":
+            attribute_params[name] = {
+                "kind": "categorical",
+                "beta": np.asarray(
+                    payload[f"attr/{name}/beta"], dtype=np.float64
+                ),
+                "vocabulary": tuple(entry["vocabulary"]),
+            }
+        elif entry["kind"] == "gaussian":
+            attribute_params[name] = {
+                "kind": "gaussian",
+                "means": np.asarray(
+                    payload[f"attr/{name}/means"], dtype=np.float64
+                ),
+                "variances": np.asarray(
+                    payload[f"attr/{name}/variances"], dtype=np.float64
+                ),
+            }
+        else:
+            raise SerializationError(
+                f"unknown attribute kind {entry['kind']!r}"
+            )
+
+    history = RunHistory(relation_names=relation_names)
+    gammas = payload["history/gamma"]
+    scalars = payload["history/scalars"]
+    for row, gamma_row in zip(scalars, gammas):
+        history.append(
+            IterationRecord(
+                outer_iteration=int(row[0]),
+                gamma=np.asarray(gamma_row, dtype=np.float64),
+                g1_value=float(row[1]),
+                g2_value=float(row[2]),
+                em_iterations=int(row[3]),
+                newton_iterations=int(row[4]),
+                em_seconds=float(row[5]),
+                newton_seconds=float(row[6]),
+            )
+        )
+
+    return ModelArtifact(
+        theta=theta,
+        gamma=gamma,
+        relation_names=relation_names,
+        relation_types={
+            name: (pair[0], pair[1])
+            for name, pair in manifest["relation_types"].items()
+        },
+        node_ids=tuple(entry["id"] for entry in nodes),
+        node_types=tuple(entry["type"] for entry in nodes),
+        object_types=tuple(manifest["object_types"]),
+        attribute_params=attribute_params,
+        history=history,
+    )
+
+
+def _copy_params(params: dict[str, dict]) -> dict[str, dict]:
+    """Deep-enough copy of the attribute parameter dict (arrays copied)."""
+    copied: dict[str, dict] = {}
+    for name, entry in params.items():
+        fresh = dict(entry)
+        for key in ("beta", "means", "variances"):
+            if key in fresh:
+                fresh[key] = np.asarray(
+                    fresh[key], dtype=np.float64
+                ).copy()
+        copied[name] = fresh
+    return copied

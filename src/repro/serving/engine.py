@@ -1,0 +1,369 @@
+"""The online inference engine: a loaded model that answers queries.
+
+:class:`InferenceEngine` wraps a frozen fitted model and supports two
+serving modes:
+
+* **Durable deltas** -- :meth:`InferenceEngine.extend` folds a batch of
+  new nodes in and *appends* them to the engine's index space, so later
+  queries and deltas can link to them; :meth:`InferenceEngine.add_links`
+  accumulates new out-links onto already-folded nodes and re-folds the
+  extension (never the frozen base).  The full problem is never
+  recompiled; note that ``add_links`` does re-fold the whole extension
+  set (new links into an extension node can shift other extension
+  nodes transitively), so high-rate streaming deltas should be batched
+  (see ROADMAP for the O(delta) follow-up).
+* **Transient queries** -- :meth:`InferenceEngine.query` scores a
+  hypothetical node (links + observations) without mutating any state.
+  Results are memoized in an LRU cache keyed on the canonicalized query,
+  so repeated identical queries -- the dominant pattern under serving
+  traffic -- cost a dictionary hit.  Any delta invalidates the cache.
+
+Everything learned in the fit stays frozen: base memberships, gamma,
+and attribute component parameters are never touched by serving.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.serving.artifact import SCHEMA_VERSION, ModelArtifact
+from repro.serving.foldin import (
+    FoldInOutcome,
+    FrozenModel,
+    NewNode,
+    fold_in,
+)
+
+_QUERY_ID = "__repro.serving.query__"
+
+
+class InferenceEngine:
+    """Serves cluster-membership queries from a fitted model.
+
+    Parameters
+    ----------
+    artifact:
+        The fitted model to serve.
+    cache_size:
+        Maximum memoized transient queries (0 disables the cache).
+    max_iterations, tol:
+        Fold-in fixed-point controls, applied to every scoring path.
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        cache_size: int = 1024,
+        max_iterations: int = 100,
+        tol: float = 1e-6,
+    ) -> None:
+        if cache_size < 0:
+            raise ServingError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
+        if max_iterations < 1:
+            raise ServingError(
+                f"max_iterations must be >= 1, got {max_iterations}"
+            )
+        self._artifact = artifact
+        self._base = FrozenModel.from_artifact(artifact)
+        self._model = self._base
+        self._extensions: dict[object, NewNode] = {}
+        self._max_iterations = max_iterations
+        self._tol = tol
+        self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._cache_size = cache_size
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path, **kwargs: Any) -> InferenceEngine:
+        """Build an engine straight from an artifact bundle on disk."""
+        return cls(ModelArtifact.load(path), **kwargs)
+
+    @classmethod
+    def from_result(cls, result, **kwargs: Any) -> InferenceEngine:
+        """Build an engine from an in-memory fit (no disk roundtrip)."""
+        return cls(ModelArtifact.from_result(result), **kwargs)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def artifact(self) -> ModelArtifact:
+        """The artifact the engine was built from (frozen base model)."""
+        return self._artifact
+
+    @property
+    def n_clusters(self) -> int:
+        return self._model.n_clusters
+
+    @property
+    def num_nodes(self) -> int:
+        """Base plus folded-in extension nodes."""
+        return self._model.num_nodes
+
+    @property
+    def num_base_nodes(self) -> int:
+        return self._base.num_nodes
+
+    @property
+    def num_extension_nodes(self) -> int:
+        return self._model.num_nodes - self._base.num_nodes
+
+    def has_node(self, node: object) -> bool:
+        return node in self._model.node_index
+
+    def membership_of(self, node: object) -> np.ndarray:
+        """Membership row of any served node, base or folded (a copy)."""
+        index = self._model.node_index.get(node)
+        if index is None:
+            raise ServingError(
+                f"node {node!r} is not served by this engine"
+            )
+        return self._model.theta[index].copy()
+
+    def hard_label_of(self, node: object) -> int:
+        """Arg-max cluster of any served node."""
+        return int(np.argmax(self.membership_of(node)))
+
+    def strengths(self) -> dict[str, float]:
+        """Learned per-relation strengths (gamma)."""
+        return {
+            name: float(g)
+            for name, g in zip(
+                self._model.relation_names, self._model.gamma
+            )
+        }
+
+    def info(self) -> dict[str, Any]:
+        """Operational snapshot: model shape, strengths, cache stats."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "n_clusters": self.n_clusters,
+            "num_base_nodes": self.num_base_nodes,
+            "num_extension_nodes": self.num_extension_nodes,
+            "object_types": list(self._model.object_types),
+            "relations": self.strengths(),
+            "attributes": {
+                name: params["kind"]
+                for name, params in self._model.attribute_params.items()
+            },
+            "cache": {
+                "size": len(self._cache),
+                "max_size": self._cache_size,
+                "hits": self._hits,
+                "misses": self._misses,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # durable deltas
+    # ------------------------------------------------------------------
+    def extend(self, nodes: Sequence[NewNode]) -> FoldInOutcome:
+        """Fold a batch in and append it to the served index space.
+
+        Later queries, extensions, and link deltas may reference the
+        appended nodes.  The transient-query cache is invalidated.
+        """
+        outcome = fold_in(
+            self._model,
+            nodes,
+            max_iterations=self._max_iterations,
+            tol=self._tol,
+        )
+        if nodes:
+            self._append(nodes, outcome.theta)
+            for spec in nodes:
+                self._extensions[spec.node] = spec
+            self._invalidate_cache()
+        return outcome
+
+    def add_links(
+        self,
+        links: Iterable[tuple[object, str, object] | tuple[object, str, object, float]],
+    ) -> FoldInOutcome:
+        """Append out-links ``(source, relation, target[, weight])``.
+
+        Sources must be *extension* nodes: base memberships are frozen,
+        so a new out-link on a base node could never change a score --
+        rejecting it loudly beats silently ignoring it.  The extension
+        is then re-folded against the frozen base with the accumulated
+        link sets, and the served rows are refreshed in place.
+        """
+        merged: dict[object, list[tuple[str, object, float]]] = {}
+        for link in links:
+            if len(link) == 3:
+                source, relation, target = link
+                weight = 1.0
+            elif len(link) == 4:
+                source, relation, target, weight = link
+            else:
+                raise ServingError(
+                    f"link {link!r} must be "
+                    f"(source, relation, target[, weight])"
+                )
+            if source not in self._extensions:
+                if source in self._base.node_index:
+                    raise ServingError(
+                        f"node {source!r} belongs to the frozen base "
+                        f"model; its membership cannot change, so the "
+                        f"engine rejects new out-links on it"
+                    )
+                raise ServingError(
+                    f"link source {source!r} is not served by this "
+                    f"engine"
+                )
+            merged.setdefault(source, []).append(
+                (relation, target, float(weight))
+            )
+        updated = dict(self._extensions)
+        for source, new_links in merged.items():
+            spec = updated[source]
+            updated[source] = NewNode(
+                node=spec.node,
+                object_type=spec.object_type,
+                links=spec.links + tuple(new_links),
+                text=spec.text,
+                numeric=spec.numeric,
+            )
+        # validate + score first; commit only on success so a bad delta
+        # cannot leave the engine half-updated
+        specs = list(updated.values())
+        outcome = fold_in(
+            self._base,
+            specs,
+            max_iterations=self._max_iterations,
+            tol=self._tol,
+        )
+        self._extensions = updated
+        self._model = self._base
+        if specs:
+            self._append(specs, outcome.theta)
+        self._invalidate_cache()
+        return outcome
+
+    def _append(
+        self, nodes: Sequence[NewNode], theta_new: np.ndarray
+    ) -> None:
+        """Grow the served FrozenModel with freshly folded rows."""
+        model = self._model
+        node_index = dict(model.node_index)
+        for offset, spec in enumerate(nodes):
+            node_index[spec.node] = model.num_nodes + offset
+        self._model = FrozenModel(
+            theta=np.vstack([model.theta, theta_new]),
+            gamma=model.gamma,
+            relation_names=model.relation_names,
+            relation_types=model.relation_types,
+            object_types=model.object_types,
+            node_index=node_index,
+            node_types=model.node_types
+            + tuple(spec.object_type for spec in nodes),
+            attribute_params=model.attribute_params,
+        )
+
+    # ------------------------------------------------------------------
+    # transient queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        object_type: str,
+        links: Sequence[tuple] = (),
+        text: Mapping[str, Any] | None = None,
+        numeric: Mapping[str, Sequence[float]] | None = None,
+    ) -> np.ndarray:
+        """Score a hypothetical node without mutating the engine.
+
+        Returns the ``(K,)`` posterior membership.  Identical queries
+        are answered from the LRU cache until the next delta.
+        """
+        try:
+            spec = NewNode(
+                node=_QUERY_ID,
+                object_type=object_type,
+                links=tuple(links),
+                text=dict(text or {}),
+                numeric=dict(numeric or {}),
+            )
+        except ServingError as exc:
+            raise _dequalify(exc) from None
+        key = _canonical_key(spec)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return cached.copy()
+        self._misses += 1
+        try:
+            outcome = fold_in(
+                self._model,
+                [spec],
+                max_iterations=self._max_iterations,
+                tol=self._tol,
+            )
+        except ServingError as exc:
+            raise _dequalify(exc) from None
+        membership = outcome.theta[0]
+        if self._cache_size > 0:
+            self._cache[key] = membership.copy()
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return membership.copy()
+
+    def assign(
+        self,
+        object_type: str,
+        links: Sequence[tuple] = (),
+        text: Mapping[str, Any] | None = None,
+        numeric: Mapping[str, Sequence[float]] | None = None,
+    ) -> int:
+        """Hard cluster label for a hypothetical node."""
+        return int(
+            np.argmax(self.query(object_type, links, text, numeric))
+        )
+
+    def _invalidate_cache(self) -> None:
+        self._cache.clear()
+
+
+def _dequalify(exc: ServingError) -> ServingError:
+    """Validation errors name the internal query sentinel id;
+    re-phrase them for users of the transient-query API."""
+    return ServingError(
+        str(exc).replace(f"node {_QUERY_ID!r}", "query")
+    )
+
+
+def _canonical_key(spec: NewNode) -> tuple:
+    """Order-insensitive hashable form of a transient query."""
+    links = tuple(
+        sorted(
+            spec.links,
+            key=lambda link: (link[0], str(link[1]), link[2]),
+        )
+    )
+    text_items = []
+    for attribute in sorted(spec.text):
+        bag = spec.text[attribute]
+        if isinstance(bag, Mapping):
+            canonical = tuple(
+                sorted((str(t), float(c)) for t, c in bag.items())
+            )
+        else:
+            canonical = tuple(sorted(str(t) for t in bag))
+        text_items.append((attribute, canonical))
+    numeric_items = tuple(
+        (attribute, tuple(sorted(float(v) for v in spec.numeric[attribute])))
+        for attribute in sorted(spec.numeric)
+    )
+    return (spec.object_type, links, tuple(text_items), numeric_items)

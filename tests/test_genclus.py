@@ -188,6 +188,47 @@ class TestCallbacksAndOptions:
         result = GenClus(config).fit(network, ["title"])
         assert len(result.history) == 2  # initial + one outer
 
+    def test_track_em_objective_off_by_default(self):
+        network, _ = make_bibliographic_toy(papers_per_area=6)
+        config = GenClusConfig(
+            n_clusters=2, outer_iterations=2, seed=0, n_init=1
+        )
+        result = GenClus(config).fit(network, ["title"])
+        assert all(
+            trace == ()
+            for trace in result.history.em_objective_traces()
+        )
+
+    def test_track_em_objective_records_traces(self):
+        network, _ = make_bibliographic_toy(papers_per_area=6)
+        config = GenClusConfig(
+            n_clusters=2, outer_iterations=2, seed=0, n_init=1,
+            track_em_objective=True, gamma_tol=0.0,
+        )
+        result = GenClus(config).fit(network, ["title"])
+        traces = result.history.em_objective_traces()
+        # the initial record has no EM step; every outer record does
+        assert traces[0] == ()
+        for record in result.history.records[1:]:
+            assert len(record.em_objective_trace) == record.em_iterations
+            # the trace ends at the recorded g1 value
+            assert record.em_objective_trace[-1] == record.g1_value
+
+    def test_tracking_does_not_change_fit(self):
+        network, _ = make_bibliographic_toy(papers_per_area=6)
+        base = GenClusConfig(
+            n_clusters=2, outer_iterations=2, seed=0, n_init=1
+        )
+        tracked = GenClusConfig(
+            n_clusters=2, outer_iterations=2, seed=0, n_init=1,
+            track_em_objective=True,
+        )
+        network2, _ = make_bibliographic_toy(papers_per_area=6)
+        r1 = GenClus(base).fit(network, ["title"])
+        r2 = GenClus(tracked).fit(network2, ["title"])
+        np.testing.assert_array_equal(r1.theta, r2.theta)
+        np.testing.assert_array_equal(r1.gamma, r2.gamma)
+
 
 class TestGaussianEndToEnd:
     def test_two_numeric_attributes(self):

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.diagnostics import IterationRecord, RunHistory
 from repro.core.result import GenClusResult
+from repro.exceptions import NetworkError, SchemaError
 from repro.hin.builder import NetworkBuilder
 
 
@@ -121,6 +122,70 @@ class TestGenClusResult:
         text = make_result().summary()
         assert "publish_in" in text
         assert "K=2" in text
+
+    # -- edge cases ----------------------------------------------------
+    def test_membership_of_unknown_node_raises(self):
+        result = make_result()
+        with pytest.raises(NetworkError, match="unknown node"):
+            result.membership_of("nobody")
+
+    def test_hard_labels_for_unknown_type_raises(self):
+        result = make_result()
+        with pytest.raises(SchemaError):
+            result.hard_labels_for("venue")
+
+    def test_hard_labels_for_type_with_no_nodes(self):
+        builder = NetworkBuilder()
+        builder.object_type("author").object_type("conf")
+        builder.nodes(["a1"], "author")
+        network = builder.build()
+        result = GenClusResult(
+            theta=np.array([[1.0]]),
+            gamma=np.zeros(0),
+            relation_names=(),
+            attribute_params={},
+            history=RunHistory(relation_names=()),
+            network=network,
+        )
+        ids, labels = result.hard_labels_for("conf")
+        assert ids == []
+        assert labels.shape == (0,)
+
+    def test_single_cluster_fit(self):
+        """K=1: every membership is the point mass, every label 0."""
+        builder = NetworkBuilder()
+        builder.object_type("author")
+        builder.nodes(["a1", "a2"], "author")
+        network = builder.build()
+        result = GenClusResult(
+            theta=np.ones((2, 1)),
+            gamma=np.zeros(0),
+            relation_names=(),
+            attribute_params={},
+            history=RunHistory(relation_names=()),
+            network=network,
+        )
+        assert result.n_clusters == 1
+        np.testing.assert_array_equal(result.membership_of("a1"), [1.0])
+        np.testing.assert_array_equal(result.hard_labels(), [0, 0])
+        ids, labels = result.hard_labels_for("author")
+        assert ids == ["a1", "a2"]
+        np.testing.assert_array_equal(labels, [0, 0])
+
+    def test_save_load_score_roundtrip(self, tmp_path):
+        """Satellite acceptance: save -> load -> identical scores."""
+        result = make_result()
+        path = result.save(tmp_path / "result.npz")
+        loaded = GenClusResult.load(path)
+        for node in ("a1", "a2", "a3", "c1"):
+            np.testing.assert_array_equal(
+                loaded.membership_of(node), result.membership_of(node)
+            )
+        np.testing.assert_array_equal(
+            loaded.hard_labels(), result.hard_labels()
+        )
+        assert loaded.strengths() == result.strengths()
+        assert loaded.top_terms("title", 0) == result.top_terms("title", 0)
 
 
 class TestRunHistory:

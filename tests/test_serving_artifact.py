@@ -1,0 +1,208 @@
+"""Tests for repro.serving.artifact (persist/load of fitted models)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import GenClus, GenClusConfig, GenClusResult
+from repro.datagen.toy import political_forum_network
+from repro.datagen.weather import WeatherConfig, generate_weather_network
+from repro.exceptions import SerializationError
+from repro.experiments.weather_common import WEATHER_ATTRIBUTES
+from repro.serving.artifact import (
+    SCHEMA_VERSION,
+    ModelArtifact,
+    load_artifact,
+    save_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def forum_result():
+    network = political_forum_network()
+    config = GenClusConfig(
+        n_clusters=2, outer_iterations=5, seed=0, n_init=3
+    )
+    return GenClus(config).fit(network, attributes=["text"])
+
+
+@pytest.fixture(scope="module")
+def weather_result():
+    generated = generate_weather_network(
+        WeatherConfig(
+            n_temperature=30,
+            n_precipitation=15,
+            k_neighbors=3,
+            n_observations=3,
+            seed=0,
+        )
+    )
+    config = GenClusConfig(
+        n_clusters=4, outer_iterations=2, seed=0, n_init=2
+    )
+    return GenClus(config).fit(
+        generated.network, attributes=WEATHER_ATTRIBUTES
+    )
+
+
+class TestArtifactRoundtrip:
+    def test_save_load_arrays_equal(self, forum_result, tmp_path):
+        path = tmp_path / "model.npz"
+        forum_result.save(path)
+        loaded = GenClusResult.load(path)
+        np.testing.assert_array_equal(loaded.theta, forum_result.theta)
+        np.testing.assert_array_equal(loaded.gamma, forum_result.gamma)
+        assert loaded.relation_names == forum_result.relation_names
+
+    def test_categorical_params_roundtrip(self, forum_result, tmp_path):
+        path = forum_result.save(tmp_path / "model.npz")
+        loaded = load_artifact(path)
+        params = loaded.attribute_params["text"]
+        np.testing.assert_array_equal(
+            params["beta"], forum_result.attribute_params["text"]["beta"]
+        )
+        assert params["vocabulary"] == tuple(
+            forum_result.attribute_params["text"]["vocabulary"]
+        )
+
+    def test_gaussian_params_roundtrip(self, weather_result, tmp_path):
+        path = weather_result.save(tmp_path / "model.npz")
+        loaded = load_artifact(path)
+        for name in WEATHER_ATTRIBUTES:
+            params = loaded.attribute_params[name]
+            np.testing.assert_array_equal(
+                params["means"],
+                weather_result.attribute_params[name]["means"],
+            )
+            np.testing.assert_array_equal(
+                params["variances"],
+                weather_result.attribute_params[name]["variances"],
+            )
+
+    def test_node_map_roundtrip(self, forum_result, tmp_path):
+        path = forum_result.save(tmp_path / "model.npz")
+        loaded = GenClusResult.load(path)
+        source = forum_result.network
+        assert loaded.network.node_ids == source.node_ids
+        for node in source.node_ids:
+            assert loaded.network.type_of(node) == source.type_of(node)
+            np.testing.assert_array_equal(
+                loaded.membership_of(node),
+                forum_result.membership_of(node),
+            )
+
+    def test_history_roundtrip(self, forum_result, tmp_path):
+        path = forum_result.save(tmp_path / "model.npz")
+        loaded = GenClusResult.load(path)
+        assert len(loaded.history) == len(forum_result.history)
+        np.testing.assert_allclose(
+            loaded.history.gamma_trajectory(),
+            forum_result.history.gamma_trajectory(),
+        )
+        np.testing.assert_allclose(
+            loaded.history.g1_series(), forum_result.history.g1_series()
+        )
+
+    def test_loaded_network_has_no_edges(self, forum_result, tmp_path):
+        """Training links are deliberately not persisted."""
+        path = forum_result.save(tmp_path / "model.npz")
+        loaded = GenClusResult.load(path)
+        assert loaded.network.num_edges() == 0
+        # ... but the relation declarations survive for fold-in checks
+        assert set(loaded.network.schema.relation_names) == set(
+            forum_result.network.schema.relation_names
+        )
+
+    def test_result_api_works_after_reload(self, forum_result, tmp_path):
+        path = forum_result.save(tmp_path / "model.npz")
+        loaded = GenClusResult.load(path)
+        ids, labels = loaded.hard_labels_for("user")
+        source_ids, source_labels = forum_result.hard_labels_for("user")
+        assert ids == source_ids
+        np.testing.assert_array_equal(labels, source_labels)
+        assert loaded.strengths() == forum_result.strengths()
+        assert loaded.top_terms("text", 0, limit=3) == (
+            forum_result.top_terms("text", 0, limit=3)
+        )
+
+    def test_summary_mentions_shape(self, forum_result, tmp_path):
+        artifact = ModelArtifact.from_result(forum_result)
+        text = artifact.summary()
+        assert "K=2" in text
+        assert "likes" in text
+        assert f"schema v{SCHEMA_VERSION}" in text
+
+
+class TestArtifactValidation:
+    def test_rejects_unknown_schema_version(self, forum_result, tmp_path):
+        path = forum_result.save(tmp_path / "model.npz")
+        bundle = dict(np.load(path, allow_pickle=False))
+        manifest = json.loads(bytes(bundle["manifest"]).decode())
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        bundle["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        np.savez(tmp_path / "future.npz", **bundle)
+        with pytest.raises(SerializationError, match="schema version"):
+            load_artifact(tmp_path / "future.npz")
+
+    def test_rejects_foreign_format(self, forum_result, tmp_path):
+        path = forum_result.save(tmp_path / "model.npz")
+        bundle = dict(np.load(path, allow_pickle=False))
+        manifest = json.loads(bytes(bundle["manifest"]).decode())
+        manifest["format"] = "something/else"
+        bundle["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        np.savez(tmp_path / "foreign.npz", **bundle)
+        with pytest.raises(SerializationError, match="format marker"):
+            load_artifact(tmp_path / "foreign.npz")
+
+    def test_rejects_npz_without_manifest(self, tmp_path):
+        np.savez(tmp_path / "plain.npz", theta=np.ones((2, 2)))
+        with pytest.raises(SerializationError, match="manifest"):
+            load_artifact(tmp_path / "plain.npz")
+
+    def test_rejects_non_npz_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(SerializationError, match="not a readable"):
+            load_artifact(path)
+
+    def test_rejects_truncated_bundle(self, forum_result, tmp_path):
+        """A corrupt file that still starts with zip magic raises the
+        documented SerializationError, not a bare BadZipFile."""
+        path = forum_result.save(tmp_path / "model.npz")
+        data = path.read_bytes()
+        truncated = tmp_path / "truncated-zip.npz"
+        truncated.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SerializationError, match="not a readable"):
+            load_artifact(truncated)
+
+    def test_rejects_shape_mismatch(self, forum_result, tmp_path):
+        path = forum_result.save(tmp_path / "model.npz")
+        bundle = dict(np.load(path, allow_pickle=False))
+        bundle["theta"] = bundle["theta"][:-1]
+        np.savez(tmp_path / "truncated.npz", **bundle)
+        with pytest.raises(SerializationError, match="rows"):
+            load_artifact(tmp_path / "truncated.npz")
+
+    def test_rejects_non_scalar_node_ids(self):
+        from repro.core.diagnostics import RunHistory
+        from repro.hin.builder import NetworkBuilder
+
+        builder = NetworkBuilder()
+        builder.object_type("user")
+        builder.node(("tuple", "id"), "user")
+        network = builder.build()
+        bad = GenClusResult(
+            theta=np.array([[1.0]]),
+            gamma=np.zeros(0),
+            relation_names=(),
+            attribute_params={},
+            history=RunHistory(relation_names=()),
+            network=network,
+        )
+        with pytest.raises(SerializationError, match="JSON scalar"):
+            ModelArtifact.from_result(bad)
