@@ -1,12 +1,33 @@
-"""Micro-benchmarks of the two GenClus kernels.
+"""Micro-benchmarks of the two GenClus kernels + the perf-trajectory harness.
 
 Unlike the whole-experiment benches, these time the hot loops properly
 (multiple rounds): one EM update (the Fig. 11 bottleneck) and one full
-strength-learning call, both on a mid-size weather network.
+strength-learning call, on the same problem shapes at two network
+scales.  Two entry points share the measurement code:
+
+* **pytest-benchmark tests** (``pytest benchmarks/bench_core_kernels.py``)
+  -- the per-PR regression smoke run; CI executes these in quick mode
+  and uploads the pytest-benchmark JSON as an artifact.
+* **standalone harness** (``python benchmarks/bench_core_kernels.py
+  --json out.json [--baseline before.json]``) -- times both kernels at
+  both scales and writes a JSON report; with ``--baseline`` it merges a
+  previously recorded run and computes speedups.  ``BENCH_core.json``
+  at the repo root records the before/after trajectory of the fused
+  propagation-operator / zero-allocation kernel rewrite this way (see
+  the ROADMAP "Performance" section for how to read and refresh it).
 """
 
+import argparse
+import json
+import sys
+import time
+
 import numpy as np
-import pytest
+
+try:
+    import pytest
+except ImportError:  # standalone harness mode does not need pytest
+    pytest = None
 
 from repro.core.em import em_update
 from repro.core.initialization import random_theta
@@ -15,18 +36,27 @@ from repro.core.strength import learn_strengths
 from repro.datagen.weather import WeatherConfig, generate_weather_network
 from repro.experiments.weather_common import WEATHER_ATTRIBUTES
 
+SCALES = {
+    "weather_mid": dict(
+        n_temperature=400,
+        n_precipitation=200,
+        k_neighbors=5,
+        n_observations=5,
+        seed=0,
+    ),
+    "weather_large": dict(
+        n_temperature=1600,
+        n_precipitation=800,
+        k_neighbors=8,
+        n_observations=8,
+        seed=0,
+    ),
+}
 
-@pytest.fixture(scope="module")
-def compiled_problem():
-    generated = generate_weather_network(
-        WeatherConfig(
-            n_temperature=400,
-            n_precipitation=200,
-            k_neighbors=5,
-            n_observations=5,
-            seed=0,
-        )
-    )
+
+def build_problem(scale: str):
+    """Compile the weather problem at a named scale, theta settled a bit."""
+    generated = generate_weather_network(WeatherConfig(**SCALES[scale]))
     problem = compile_problem(generated.network, WEATHER_ATTRIBUTES, 4)
     rng = np.random.default_rng(0)
     for model in problem.attribute_models:
@@ -41,18 +71,157 @@ def compiled_problem():
     return problem, theta, gamma
 
 
-def test_em_update_kernel(benchmark, compiled_problem):
-    problem, theta, gamma = compiled_problem
-    result = benchmark(
-        em_update, theta, gamma, problem.matrices, problem.attribute_models
-    )
-    assert result.shape == theta.shape
-    np.testing.assert_allclose(result.sum(axis=1), 1.0, atol=1e-9)
+def make_em_call(problem, theta, gamma):
+    """The EM kernel exactly as ``run_em`` drives it.
+
+    The operator/workspace fast path is optional API; older checkouts
+    of this harness fall back to the plain signature so the same file
+    can time a pre-fused baseline.
+    """
+    try:
+        from repro.core.kernels import EMWorkspace, PropagationOperator
+
+        operator = PropagationOperator.wrap(problem.matrices)
+        workspace = EMWorkspace(problem.num_nodes, problem.n_clusters)
+        out = np.empty_like(theta)
+
+        def call():
+            return em_update(
+                theta,
+                gamma,
+                operator,
+                problem.attribute_models,
+                out=out,
+                workspace=workspace,
+            )
+
+    except ImportError:
+
+        def call():
+            return em_update(
+                theta, gamma, problem.matrices, problem.attribute_models
+            )
+
+    return call
 
 
-def test_strength_learning_kernel(benchmark, compiled_problem):
-    problem, theta, gamma = compiled_problem
-    outcome = benchmark(
-        learn_strengths, theta, problem.matrices, gamma, 0.1, 30
+def make_strength_call(problem, theta, gamma):
+    def call():
+        return learn_strengths(theta, problem.matrices, gamma, 0.1, 30)
+
+    return call
+
+
+def _time_best(fn, repeats: int, warmup: int = 2) -> float:
+    """Best-of-N wall time: robust against scheduler noise."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_harness(repeats_em: int = 30, repeats_strength: int = 10) -> dict:
+    """Time both kernels at both scales; returns the report dict."""
+    report: dict = {}
+    for scale in SCALES:
+        problem, theta, gamma = build_problem(scale)
+        report[scale] = {
+            "num_nodes": problem.num_nodes,
+            "num_relations": problem.num_relations,
+            "nnz_links": int(
+                sum(m.nnz for m in problem.matrices.matrices)
+            ),
+            "em_update_seconds": _time_best(
+                make_em_call(problem, theta, gamma), repeats_em
+            ),
+            "learn_strengths_seconds": _time_best(
+                make_strength_call(problem, theta, gamma),
+                repeats_strength,
+            ),
+        }
+    return report
+
+
+def merge_with_baseline(baseline: dict, current: dict) -> dict:
+    """``{before, after, speedup}`` report from two harness runs."""
+    speedups: dict = {}
+    for scale, after in current.items():
+        before = baseline.get(scale)
+        if not before:
+            continue
+        speedups[scale] = {
+            kernel: round(
+                before[f"{kernel}_seconds"] / after[f"{kernel}_seconds"],
+                2,
+            )
+            for kernel in ("em_update", "learn_strengths")
+        }
+    return {"before": baseline, "after": current, "speedup": speedups}
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def compiled_problem():
+        return build_problem("weather_mid")
+
+    def test_em_update_kernel(benchmark, compiled_problem):
+        problem, theta, gamma = compiled_problem
+        call = make_em_call(problem, theta, gamma)
+        result = benchmark(call)
+        assert result.shape == theta.shape
+        np.testing.assert_allclose(result.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_strength_learning_kernel(benchmark, compiled_problem):
+        problem, theta, gamma = compiled_problem
+        outcome = benchmark(make_strength_call(problem, theta, gamma))
+        assert np.all(outcome.gamma >= 0.0)
+
+
+# ----------------------------------------------------------------------
+# standalone harness
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the GenClus kernels and emit a JSON report."
     )
-    assert np.all(outcome.gamma >= 0.0)
+    parser.add_argument(
+        "--json", required=True, help="output path for the report"
+    )
+    parser.add_argument(
+        "--baseline",
+        help="harness JSON from a previous run; merged as 'before' "
+        "with speedups computed",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer repeats (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    repeats_em, repeats_strength = (10, 3) if args.quick else (30, 10)
+    current = run_harness(repeats_em, repeats_strength)
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        # accept either a raw harness report or a merged trajectory
+        baseline = baseline.get("after", baseline)
+        report = merge_with_baseline(baseline, current)
+    else:
+        report = current
+    with open(args.json, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report.get("speedup", report), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -140,6 +140,20 @@ def persist_and_serve(result: GenClusResult) -> None:
         print(f"  engine now serves {engine.num_nodes} nodes")
 
 
+# Performance note -------------------------------------------------------
+# Everything above runs through the fused numeric core of
+# ``repro.core.kernels``: while gamma is fixed (all of inner EM, every
+# serving fold-in sweep) the per-relation link matrices collapse into
+# one cached combined CSR (``PropagationOperator``), and the EM /
+# Newton loops write into preallocated workspaces instead of allocating
+# per iteration.  The kernel wall-times are tracked in
+# ``BENCH_core.json`` at the repo root; refresh or compare them with
+#
+#     PYTHONPATH=src python benchmarks/bench_core_kernels.py \
+#         --json /tmp/now.json --baseline BENCH_core.json
+#
+# (see the ROADMAP "Performance" section for how to read the report).
+
 if __name__ == "__main__":
     show_feature_values()
     fitted = run_genclus_on_toy()

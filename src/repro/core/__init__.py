@@ -13,6 +13,8 @@ and the iterative algorithm of Section 4:
   (Section 4.2): pseudo-log-likelihood value, gradient (Eq. 16), Hessian
   (Eq. 17) and the projected Newton-Raphson solver.
 * :mod:`repro.core.genclus` -- Algorithm 1, alternating the two steps.
+* :mod:`repro.core.kernels` -- the fused/allocation-free numeric core
+  shared by training and serving (propagation operator, workspaces).
 
 The user-facing entry point is :class:`~repro.core.genclus.GenClus`.
 """
@@ -25,15 +27,18 @@ from repro.core.feature import (
     structural_consistency,
 )
 from repro.core.genclus import GenClus
+from repro.core.kernels import EMWorkspace, PropagationOperator
 from repro.core.problem import ClusteringProblem, compile_problem
 from repro.core.result import GenClusResult
 
 __all__ = [
     "ClusteringProblem",
+    "EMWorkspace",
     "GenClus",
     "GenClusConfig",
     "GenClusResult",
     "IterationRecord",
+    "PropagationOperator",
     "RunHistory",
     "compile_problem",
     "cross_entropy",

@@ -14,12 +14,19 @@ Both expose the same interface:
 
 ``init_params(rng)``
     Draw initial component parameters.
-``em_step(theta)``
-    One E+M pass given the current memberships: returns (a) each observed
+``accumulate_em_step(theta, out)``
+    One E+M pass given the current memberships: adds each observed
     object's summed responsibilities -- the attribute part of the theta
-    update in Eqs. 10-12 -- scattered into a dense ``(n, K)`` array, and
-    (b) updated component parameters; also refreshes the stored
-    log-likelihood.
+    update in Eqs. 10-12 -- into the caller-owned ``(n, K)`` accumulator
+    ``out``, and updates the component parameters in place.  This is the
+    solver's hot path: the observation pattern (CSR structure /
+    owner-scatter matrix) is frozen at construction, and every
+    per-observation array is a buffer preallocated once, so repeated
+    calls allocate nothing proportional to ``n`` or the observation
+    count.
+``em_step(theta)``
+    Allocating convenience wrapper: same pass, but the responsibility
+    sums are returned scattered into a fresh dense ``(n, K)`` array.
 ``log_likelihood(theta)``
     ``log p({v[X]} | Theta, beta)`` under current parameters.
 
@@ -31,16 +38,21 @@ The E-step arithmetic is also exposed as module-level *frozen-parameter*
 functions (:func:`categorical_theta_term`, :func:`gaussian_theta_term`):
 given memberships, observations, and fixed component parameters they
 return the responsibility sums of Eqs. 10-12 without touching any model
-state.  ``em_step`` routes through them, and the serving fold-in engine
+state.  ``em_step`` semantics match them, and the serving fold-in engine
 (:mod:`repro.serving.foldin`) calls them directly to score *new*
-observations against a fitted model whose parameters stay frozen.
+observations against a fitted model whose parameters stay frozen;
+:class:`CountsPattern` lets such repeated callers pay the sparse-counts
+decomposition once per batch instead of once per fixed-point sweep.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 from scipy import sparse
 
+from repro.core.kernels import csr_matmul, row_max, row_sum
 from repro.exceptions import ConfigError
 from repro.hin.attributes import (
     CompiledNumericAttribute,
@@ -53,40 +65,85 @@ _LOG_2PI = float(np.log(2.0 * np.pi))
 # ----------------------------------------------------------------------
 # frozen-parameter responsibility scoring
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CountsPattern:
+    """The decomposed sparse structure of a term-count matrix.
+
+    ``categorical_theta_term`` needs the nonzero triplets and the CSR
+    index pointer of the counts matrix on every call; fixed-point
+    callers (serving fold-in, the models' own EM) evaluate the same
+    counts dozens of times, so this pattern is computed once and passed
+    back in.  Entries are in canonical CSR order.
+    """
+
+    rows: np.ndarray  # (nnz,) row of each stored count
+    cols: np.ndarray  # (nnz,) column (term id) of each stored count
+    vals: np.ndarray  # (nnz,) the counts c_{v,l}
+    indptr: np.ndarray  # CSR row pointer, len shape[0] + 1
+    shape: tuple[int, int]
+
+    @classmethod
+    def from_counts(cls, counts: sparse.spmatrix) -> "CountsPattern":
+        csr = sparse.csr_matrix(counts, dtype=np.float64)
+        csr.sum_duplicates()
+        csr.sort_indices()
+        rows = np.repeat(
+            np.arange(csr.shape[0], dtype=np.int64), np.diff(csr.indptr)
+        )
+        return cls(
+            rows=rows,
+            cols=csr.indices.astype(np.int64, copy=False),
+            vals=csr.data,
+            indptr=csr.indptr,
+            shape=(int(csr.shape[0]), int(csr.shape[1])),
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.size)
+
+    def ratio_matrix(self, data: np.ndarray) -> sparse.csr_matrix:
+        """A CSR over this pattern carrying ``data`` (no re-sorting)."""
+        return sparse.csr_matrix(
+            (data, self.cols, self.indptr), shape=self.shape
+        )
+
+
 def _categorical_denominators(
     theta_rows: np.ndarray,
-    rows: np.ndarray,
-    cols: np.ndarray,
+    pattern: CountsPattern,
     beta: np.ndarray,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """``d_{v,l} = sum_k theta_vk beta_kl`` at each nonzero count."""
     # einsum over the nonzero pattern only: O(nnz * K)
     return np.einsum(
-        "nk,nk->n", theta_rows[rows], beta[:, cols].T
+        "nk,kn->n",
+        theta_rows[pattern.rows],
+        beta[:, pattern.cols],
+        out=out,
     )
 
 
 def _categorical_pieces(
     theta_rows: np.ndarray,
-    rows: np.ndarray,
-    cols: np.ndarray,
-    vals: np.ndarray,
-    shape: tuple[int, int],
+    pattern: CountsPattern,
     beta: np.ndarray,
 ) -> tuple[np.ndarray, sparse.csr_matrix]:
     """Theta term plus the ``c_vl / d_vl`` ratio matrix (for the M-step)."""
-    denom = _categorical_denominators(theta_rows, rows, cols, beta)
+    denom = _categorical_denominators(theta_rows, pattern, beta)
     # guard: denom is 0 only if theta_v and beta share no support
     denom = np.maximum(denom, 1e-300)
-    ratio = sparse.csr_matrix((vals / denom, (rows, cols)), shape=shape)
+    ratio = pattern.ratio_matrix(pattern.vals / denom)
     # theta part: theta_vk * sum_l (c_vl / d_vl) beta_kl
     return theta_rows * (ratio @ beta.T), ratio
 
 
 def categorical_theta_term(
     theta_rows: np.ndarray,
-    counts: sparse.spmatrix,
+    counts: sparse.spmatrix | None,
     beta: np.ndarray,
+    pattern: CountsPattern | None = None,
 ) -> np.ndarray:
     """Frozen-``beta`` responsibility sums of Eq. 10 for a batch of rows.
 
@@ -96,21 +153,29 @@ def categorical_theta_term(
         ``(m, K)`` memberships of the ``m`` observed objects, aligned
         with the rows of ``counts``.
     counts:
-        ``(m, vocab)`` sparse term counts ``c_{v,l}``.
+        ``(m, vocab)`` sparse term counts ``c_{v,l}``.  May be ``None``
+        when ``pattern`` is given -- the pattern *is* the decomposed
+        counts, and it alone is read in that case.
     beta:
         ``(K, vocab)`` fixed component term distributions.
+    pattern:
+        Optional precomputed :class:`CountsPattern` of ``counts``.
+        Callers evaluating the same counts repeatedly (fold-in sweeps)
+        should build it once; without it the matrix is decomposed per
+        call.
 
     Returns
     -------
     ``(m, K)`` array: ``sum_l c_{v,l} p(z_{v,l} = k | theta_v, beta)``
     per row.  No parameters are updated.
     """
-    coo = counts.tocoo()
-    if coo.data.size == 0:
-        return np.zeros((counts.shape[0], beta.shape[0]))
-    term, _ = _categorical_pieces(
-        theta_rows, coo.row, coo.col, coo.data, counts.shape, beta
-    )
+    if pattern is None:
+        if counts is None:
+            raise ValueError("either counts or pattern is required")
+        pattern = CountsPattern.from_counts(counts)
+    if pattern.nnz == 0:
+        return np.zeros((pattern.shape[0], beta.shape[0]))
+    term, _ = _categorical_pieces(theta_rows, pattern, beta)
     return term
 
 
@@ -156,13 +221,19 @@ def gaussian_theta_term(
     """Frozen-parameter responsibility sums of Eq. 11 for a batch of rows.
 
     Returns ``(m, K)``: ``sum_{x in v[X]} p(z_{v,x} = k)`` per row of
-    ``theta_rows``.  No parameters are updated.
+    ``theta_rows``.  No parameters are updated.  The owner scatter runs
+    through per-column ``np.bincount`` -- same result as the historical
+    ``np.add.at``, many times faster.
     """
     resp = gaussian_responsibilities(
         theta_rows, values, owners, means, variances
     )
-    per_node = np.zeros_like(theta_rows)
-    np.add.at(per_node, owners, resp)
+    m, k = theta_rows.shape
+    per_node = np.empty((m, k))
+    for col in range(k):
+        per_node[:, col] = np.bincount(
+            owners, weights=resp[:, col], minlength=m
+        )
     return per_node
 
 
@@ -197,11 +268,14 @@ class CategoricalModel:
         self.num_nodes = num_nodes
         self.smoothing = smoothing
         self.beta: np.ndarray | None = None
-        # cached COO view of the counts for vectorized responsibilities
-        coo = compiled.counts.tocoo()
-        self._rows = coo.row
-        self._cols = coo.col
-        self._vals = coo.data
+        # frozen sparse structure + per-call buffers, allocated once
+        self._pattern = CountsPattern.from_counts(compiled.counts)
+        nnz = self._pattern.nnz
+        n_obs_nodes = compiled.counts.shape[0]
+        self._denom = np.empty(nnz)
+        self._ratio_data = np.empty(nnz)
+        self._ratio = self._pattern.ratio_matrix(self._ratio_data)
+        self._theta_obs = np.empty((n_obs_nodes, n_clusters))
 
     # ------------------------------------------------------------------
     def init_params(
@@ -239,52 +313,58 @@ class CategoricalModel:
         self.beta = beta.copy()
 
     # ------------------------------------------------------------------
-    def _nonzero_denominators(self, theta_obs: np.ndarray) -> np.ndarray:
-        """``d_{v,l} = sum_k theta_vk beta_kl`` at each nonzero count."""
-        return _categorical_denominators(
-            theta_obs, self._rows, self._cols, self._require_params()
-        )
+    def accumulate_em_step(
+        self, theta: np.ndarray, out: np.ndarray
+    ) -> None:
+        """One EM pass (Eq. 10), adding the theta contribution to ``out``.
 
-    def em_step(self, theta: np.ndarray) -> np.ndarray:
-        """One EM pass (Eq. 10): returns the theta contribution.
-
-        The returned ``(n, K)`` array holds, for each observed object
-        ``v`` (zero elsewhere),
-
-            sum_l c_{v,l} * p(z_{v,l} = k | Theta, beta)
-
-        computed with the *incoming* parameters, exactly as Eq. 10
-        prescribes.  ``beta`` is then updated in place from the same
-        responsibilities.
+        ``out[v] += sum_l c_{v,l} * p(z_{v,l} = k | Theta, beta)`` for
+        each observed object, computed with the *incoming* parameters
+        exactly as Eq. 10 prescribes; ``beta`` is then updated in place
+        from the same responsibilities.
         """
         beta = self._require_params()
-        contribution = np.zeros((self.num_nodes, self.n_clusters))
-        if self._vals.size == 0:
-            return contribution
-        theta_obs = theta[self.compiled.node_indices]
-        theta_term, ratio = _categorical_pieces(
-            theta_obs,
-            self._rows,
-            self._cols,
-            self._vals,
-            self.compiled.counts.shape,
-            beta,
+        if self._pattern.nnz == 0:
+            return
+        indices = self.compiled.node_indices
+        theta_obs = self._theta_obs
+        np.take(theta, indices, axis=0, out=theta_obs)
+        _categorical_denominators(
+            theta_obs, self._pattern, beta, out=self._denom
         )
-        contribution[self.compiled.node_indices] = theta_term
-        # beta M-step: beta_kl  propto  sum_v c_vl p(z=k) = beta_kl * [theta^T (C/d)]_kl
-        beta_new = beta * (theta_obs.T @ ratio)
+        np.maximum(self._denom, 1e-300, out=self._denom)
+        np.divide(self._pattern.vals, self._denom, out=self._ratio_data)
+        # self._ratio shares _ratio_data, so it now holds C / d
+        term = self._ratio @ beta.T
+        term *= theta_obs
+        out[indices] += term
+        # beta M-step: beta_kl propto sum_v c_vl p(z=k) = beta_kl * [theta^T (C/d)]_kl
+        beta_new = beta * (theta_obs.T @ self._ratio)
         beta_new += self.smoothing
         self.beta = beta_new / beta_new.sum(axis=1, keepdims=True)
+
+    def em_step(self, theta: np.ndarray) -> np.ndarray:
+        """Allocating wrapper: the Eq. 10 contribution as a dense array.
+
+        The returned ``(n, K)`` array holds the responsibility sums for
+        each observed object (zero elsewhere); parameters are refreshed
+        exactly as in :meth:`accumulate_em_step`.
+        """
+        contribution = np.zeros((self.num_nodes, self.n_clusters))
+        self._require_params()
+        self.accumulate_em_step(theta, contribution)
         return contribution
 
     def log_likelihood(self, theta: np.ndarray) -> float:
         """``sum_v sum_l c_vl log(sum_k theta_vk beta_kl)`` (log of Eq. 3)."""
-        if self._vals.size == 0:
+        if self._pattern.nnz == 0:
             return 0.0
         theta_obs = theta[self.compiled.node_indices]
-        denom = self._nonzero_denominators(theta_obs)
+        denom = _categorical_denominators(
+            theta_obs, self._pattern, self._require_params()
+        )
         denom = np.maximum(denom, 1e-300)
-        return float(np.dot(self._vals, np.log(denom)))
+        return float(np.dot(self._pattern.vals, np.log(denom)))
 
 
 class GaussianModel:
@@ -322,6 +402,26 @@ class GaussianModel:
         self.variance_floor = variance_floor
         self.means: np.ndarray | None = None
         self.variances: np.ndarray | None = None
+        # frozen observation structure + per-call buffers
+        n_obs = compiled.values.size
+        n_obs_nodes = compiled.node_indices.shape[0]
+        # owners index into the local observed-node block; precompose
+        # with node_indices so theta rows gather in one take
+        self._global_owners = compiled.node_indices[compiled.owners]
+        self._scatter = sparse.csr_matrix(
+            (
+                np.ones(n_obs),
+                (
+                    compiled.owners.astype(np.int64, copy=False),
+                    np.arange(n_obs, dtype=np.int64),
+                ),
+            ),
+            shape=(n_obs_nodes, n_obs),
+        )
+        self._resp = np.empty((n_obs, n_clusters))
+        self._dev = np.empty((n_obs, n_clusters))
+        self._obs_buf = np.empty(n_obs)
+        self._per_node = np.empty((n_obs_nodes, n_clusters))
 
     # ------------------------------------------------------------------
     def init_params(
@@ -395,40 +495,75 @@ class GaussianModel:
         means, variances = self._require_params()
         return gaussian_log_pdf(self.compiled.values, means, variances)
 
-    def _responsibilities(self, theta: np.ndarray) -> np.ndarray:
-        """``p(z_{v,x} = k)`` for each observation (Eq. 11 E-step)."""
-        means, variances = self._require_params()
-        return gaussian_responsibilities(
-            theta[self.compiled.node_indices],
-            self.compiled.values,
-            self.compiled.owners,
-            means,
-            variances,
-        )
+    def _responsibilities_into(self, theta: np.ndarray) -> np.ndarray:
+        """Eq. 11 E-step, written into the preallocated ``_resp`` buffer.
 
-    def em_step(self, theta: np.ndarray) -> np.ndarray:
-        """One EM pass (Eq. 11): returns the theta contribution.
-
-        The ``(n, K)`` result holds ``sum_{x in v[X]} p(z_{v,x} = k)``
-        for observed objects; means and variances are then refreshed from
-        the same responsibilities (their M-step in Eq. 11).
+        Same posterior as :func:`gaussian_responsibilities`, evaluated
+        with the row shift taken over the log *densities* alone: after
+        exponentiation the theta mixing weights multiply in linear
+        space, saving the log/clamp passes over the theta gather (the
+        softmax is shift-invariant per row, so the result is identical
+        up to roundoff).
         """
-        contribution = np.zeros((self.num_nodes, self.n_clusters))
+        means, variances = self._require_params()
+        resp = self._resp
+        values = self.compiled.values
+        # log N(x; mu_k, s_k) = -(x - mu_k)^2 / (2 s_k) + A_k in place
+        np.subtract(values[:, None], means[None, :], out=resp)
+        resp *= resp
+        resp *= -0.5 / variances[None, :]
+        resp += -0.5 * (_LOG_2PI + np.log(variances))[None, :]
+        # stabilize rows by the peak log density, then exponentiate
+        row_max(resp, self._obs_buf)
+        resp -= self._obs_buf[:, None]
+        np.exp(resp, out=resp)
+        # weight by the owning object's memberships and normalize
+        gather = self._dev  # free at this point; reuse as scratch
+        np.take(theta, self._global_owners, axis=0, out=gather)
+        resp *= gather
+        row_sum(resp, self._obs_buf)
+        if float(np.min(self._obs_buf)) <= 0.0:
+            # a theta row with zero mass on the locally dominant
+            # component can underflow the whole row (density spread
+            # > ~708 nats); re-score just those rows through the
+            # clamped log-space reference, which cannot vanish
+            bad = np.flatnonzero(self._obs_buf <= 0.0)
+            resp[bad] = gaussian_responsibilities(
+                theta[self._global_owners[bad]],
+                values[bad],
+                np.arange(bad.size),
+                means,
+                variances,
+            )
+            self._obs_buf[bad] = 1.0
+        resp /= self._obs_buf[:, None]
+        return resp
+
+    def accumulate_em_step(
+        self, theta: np.ndarray, out: np.ndarray
+    ) -> None:
+        """One EM pass (Eq. 11), adding the theta contribution to ``out``.
+
+        ``out[v] += sum_{x in v[X]} p(z_{v,x} = k)`` for observed
+        objects; means and variances are then refreshed from the same
+        responsibilities (their M-step in Eq. 11).
+        """
+        self._require_params()
         if self.compiled.values.size == 0:
-            return contribution
-        resp = self._responsibilities(theta)
-        per_node = np.zeros(
-            (self.compiled.node_indices.shape[0], self.n_clusters)
-        )
-        np.add.at(per_node, self.compiled.owners, resp)
-        contribution[self.compiled.node_indices] = per_node
+            return
+        resp = self._responsibilities_into(theta)
+        per_node = csr_matmul(self._scatter, resp, out=self._per_node)
+        out[self.compiled.node_indices] += per_node
         # M-step for component parameters
+        values = self.compiled.values
         totals = resp.sum(axis=0)
         safe_totals = np.maximum(totals, 1e-300)
-        means_new = (resp * self.compiled.values[:, None]).sum(axis=0)
+        means_new = values @ resp
         means_new /= safe_totals
-        sq_dev = (self.compiled.values[:, None] - means_new[None, :]) ** 2
-        var_new = (resp * sq_dev).sum(axis=0) / safe_totals
+        np.subtract(values[:, None], means_new[None, :], out=self._dev)
+        self._dev *= self._dev
+        var_new = np.einsum("nk,nk->k", resp, self._dev)
+        var_new /= safe_totals
         means, variances = self._require_params()
         # clusters with no responsibility mass keep their parameters
         dead = totals <= 1e-300
@@ -436,15 +571,20 @@ class GaussianModel:
         var_new[dead] = variances[dead]
         self.means = means_new
         self.variances = np.maximum(var_new, self.variance_floor)
+
+    def em_step(self, theta: np.ndarray) -> np.ndarray:
+        """Allocating wrapper: the Eq. 11 contribution as a dense array."""
+        contribution = np.zeros((self.num_nodes, self.n_clusters))
+        self._require_params()
+        self.accumulate_em_step(theta, contribution)
         return contribution
 
     def log_likelihood(self, theta: np.ndarray) -> float:
         """Log of Eq. (4): ``sum_obs log sum_k theta_vk N(x; mu_k, s_k)``."""
         if self.compiled.values.size == 0:
             return 0.0
-        theta_obs = theta[self.compiled.node_indices]
         log_theta = np.log(
-            np.maximum(theta_obs[self.compiled.owners], 1e-300)
+            np.maximum(theta[self._global_owners], 1e-300)
         )
         log_mix = log_theta + self._log_pdf()
         peak = log_mix.max(axis=1, keepdims=True)

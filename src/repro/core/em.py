@@ -15,6 +15,14 @@ is evaluated at iteration ``t - 1``, matching the paper's update rules.
 An object with no out-links and no observations has an all-zero update;
 such rows keep their previous membership (they are reported by
 ``repro.hin.validation`` beforehand).
+
+Hot-path layout: because gamma is fixed for the whole inner loop, the
+neighbour term collapses into one combined sparse matmul through the
+:class:`~repro.core.kernels.PropagationOperator`, and ``run_em``
+double-buffers Theta through a single :class:`~repro.core.kernels.EMWorkspace`
+so no per-iteration ``(n, K)`` arrays are allocated.  The per-relation
+:func:`neighbor_term` is kept as the readable reference implementation
+(equivalence is asserted in ``tests/test_kernels_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -25,6 +33,12 @@ import numpy as np
 
 from repro.core.attribute_models import AttributeModel
 from repro.core.feature import floor_distribution
+from repro.core.kernels import (
+    EMWorkspace,
+    PropagationOperator,
+    floor_normalize_inplace,
+    row_sum,
+)
 from repro.core.objective import g1
 from repro.hin.views import RelationMatrices
 
@@ -60,9 +74,14 @@ class EMOutcome:
 def neighbor_term(
     theta: np.ndarray,
     gamma: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
 ) -> np.ndarray:
-    """``sum_r gamma_r (W_r @ Theta)``: the link part of the theta update."""
+    """``sum_r gamma_r (W_r @ Theta)``: the link part of the theta update.
+
+    Reference per-relation accumulation; the solver's hot path runs the
+    algebraically identical fused product via
+    :meth:`PropagationOperator.propagate`.
+    """
     n, k = theta.shape
     total = np.zeros((n, k))
     for g, matrix in zip(gamma, matrices.matrices):
@@ -74,32 +93,54 @@ def neighbor_term(
 def em_update(
     theta: np.ndarray,
     gamma: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
     models: tuple[AttributeModel, ...] | list[AttributeModel],
     floor: float = 1e-12,
+    out: np.ndarray | None = None,
+    workspace: EMWorkspace | None = None,
 ) -> np.ndarray:
     """One Jacobi EM update of Theta (Eqs. 10-12), returning the new Theta.
 
     Attribute model parameters (beta / mu, sigma^2) are refreshed in place
-    by their ``em_step``.
+    by their ``accumulate_em_step``.
+
+    Parameters
+    ----------
+    theta, gamma, matrices, models, floor:
+        As in the paper's update rules; ``matrices`` may be the raw
+        per-relation views or an already-wrapped operator.
+    out:
+        Optional ``(n, K)`` destination for the new Theta.  Must not
+        alias ``theta`` (the update is Jacobi: the old Theta is read
+        while the new one is written).
+    workspace:
+        Optional scratch reused across iterations; allocated on the fly
+        when omitted (single-call convenience path).
     """
-    update = neighbor_term(theta, gamma, matrices)
+    operator = PropagationOperator.wrap(matrices)
+    n, k = theta.shape
+    if workspace is None:
+        workspace = EMWorkspace(n, k)
+    update = workspace.update
+    operator.propagate(theta, gamma, out=update)
     for model in models:
-        update += model.em_step(theta)
-    row_sums = update.sum(axis=1)
-    dead = row_sums <= 0.0
-    if np.any(dead):
+        model.accumulate_em_step(theta, update)
+    row_sums = row_sum(update, workspace.row_sums)
+    if float(np.min(row_sums)) <= 0.0:
         # no out-links and no observations: keep the previous membership
+        dead = row_sums <= 0.0
         update[dead] = theta[dead]
-        row_sums = update.sum(axis=1)
-    theta_new = update / row_sums[:, None]
-    return floor_distribution(theta_new, floor)
+        row_sum(update, row_sums)
+    if out is None:
+        out = np.empty_like(update)
+    np.divide(update, row_sums[:, None], out=out)
+    return floor_normalize_inplace(out, floor, row_sums)
 
 
 def run_em(
     theta0: np.ndarray,
     gamma: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
     models: tuple[AttributeModel, ...] | list[AttributeModel],
     max_iterations: int = 50,
     tol: float = 1e-4,
@@ -115,7 +156,7 @@ def run_em(
     gamma:
         Fixed link-type strengths for this step.
     matrices, models:
-        The compiled problem pieces.
+        The compiled problem pieces (``matrices`` may be pre-wrapped).
     max_iterations, tol:
         Stop after ``max_iterations`` or when
         ``max |Theta_t - Theta_{t-1}| < tol``.
@@ -125,22 +166,30 @@ def run_em(
     """
     theta = floor_distribution(np.asarray(theta0, dtype=np.float64), floor)
     gamma = np.asarray(gamma, dtype=np.float64)
+    operator = PropagationOperator.wrap(matrices)
+    workspace = EMWorkspace(*theta.shape)
+    # Jacobi double buffer: theta holds iteration t-1, spare receives t
+    spare = np.empty_like(theta)
     trace: list[float] = []
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        theta_next = em_update(theta, gamma, matrices, models, floor)
-        delta = float(np.max(np.abs(theta_next - theta)))
-        theta = theta_next
+        theta_next = em_update(
+            theta, gamma, operator, models, floor,
+            out=spare, workspace=workspace,
+        )
+        np.subtract(theta_next, theta, out=workspace.update)
+        delta = float(np.max(np.abs(workspace.update)))
+        theta, spare = theta_next, theta
         if track_objective:
-            trace.append(g1(theta, gamma, matrices, models, floor))
+            trace.append(g1(theta, gamma, operator, models, floor))
         if delta < tol:
             converged = True
             break
     objective = (
         trace[-1]
         if trace
-        else g1(theta, gamma, matrices, models, floor)
+        else g1(theta, gamma, operator, models, floor)
     )
     return EMOutcome(
         theta=theta,

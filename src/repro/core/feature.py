@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels import PropagationOperator
 from repro.hin.views import RelationMatrices
 
 
@@ -85,7 +86,7 @@ def feature_function(
 
 def relation_consistency_totals(
     theta: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
     floor: float = 1e-12,
 ) -> np.ndarray:
     """Per-relation sums ``sum_e w(e) sum_k theta_jk log theta_ik``.
@@ -109,15 +110,23 @@ def relation_consistency_totals(
 def structural_consistency(
     theta: np.ndarray,
     gamma: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
     floor: float = 1e-12,
 ) -> float:
-    """The exponent of Eq. (7): ``sum_e f(theta_i, theta_j, e, gamma)``."""
+    """The exponent of Eq. (7): ``sum_e f(theta_i, theta_j, e, gamma)``.
+
+    Evaluated through the fused propagation operator: with gamma fixed
+    inside the sum, ``sum_r gamma_r sum((W_r Theta) * log Theta)``
+    equals ``sum(((sum_r gamma_r W_r) Theta) * log Theta)`` -- one
+    sparse matmul instead of one per relation.
+    """
     gamma = np.asarray(gamma, dtype=np.float64)
     if gamma.shape != (matrices.num_relations,):
         raise ValueError(
             f"gamma must have shape ({matrices.num_relations},), "
             f"got {gamma.shape}"
         )
-    totals = relation_consistency_totals(theta, matrices, floor)
-    return float(np.dot(gamma, totals))
+    operator = PropagationOperator.wrap(matrices)
+    theta = floor_distribution(theta, floor)
+    propagated = operator.propagate(theta, gamma)
+    return float(np.sum(propagated * np.log(theta)))

@@ -25,6 +25,7 @@ from repro.core.config import GenClusConfig
 from repro.core.diagnostics import IterationRecord, RunHistory
 from repro.core.em import run_em
 from repro.core.initialization import select_initial_theta
+from repro.core.kernels import PropagationOperator
 from repro.core.objective import g1
 from repro.core.problem import ClusteringProblem, compile_problem
 from repro.core.result import GenClusResult
@@ -97,6 +98,10 @@ class GenClus:
         config = self.config
         rng = np.random.default_rng(config.seed)
         matrices = problem.matrices
+        # one fused operator is shared by initialization, every inner-EM
+        # sweep, the g1 evaluations, and strength statistics; only the
+        # per-outer-iteration gamma change rewrites its combined data
+        operator = PropagationOperator.wrap(matrices)
         num_relations = matrices.num_relations
 
         gamma = np.ones(num_relations)
@@ -128,7 +133,7 @@ class GenClus:
                 g1_value=g1(
                     theta,
                     gamma,
-                    matrices,
+                    operator,
                     problem.attribute_models,
                     config.theta_floor,
                 ),
@@ -143,7 +148,7 @@ class GenClus:
             em_outcome = run_em(
                 theta,
                 gamma,
-                matrices,
+                operator,
                 problem.attribute_models,
                 max_iterations=config.em_iterations,
                 tol=config.em_tol,
@@ -162,7 +167,7 @@ class GenClus:
             if num_relations > 0 and config.newton_iterations > 0:
                 strength_outcome = learn_strengths(
                     theta,
-                    matrices,
+                    operator,
                     gamma,
                     sigma=config.sigma,
                     max_iterations=config.newton_iterations,

@@ -22,6 +22,7 @@ from repro.core.attribute_models import (
     GaussianModel,
 )
 from repro.core.em import run_em
+from repro.core.kernels import PropagationOperator
 from repro.core.problem import ClusteringProblem
 
 
@@ -75,6 +76,9 @@ def select_initial_theta(
     best_theta: np.ndarray | None = None
     best_objective = -np.inf
     best_params: list[tuple] | None = None
+    # one fused operator serves every tentative run (gamma is fixed
+    # across seeds, so its combined matrix is built exactly once)
+    operator = PropagationOperator.wrap(problem.matrices)
     for variant in range(n_init):
         theta0 = random_theta(rng, problem.num_nodes, problem.n_clusters)
         for model in problem.attribute_models:
@@ -82,7 +86,7 @@ def select_initial_theta(
         outcome = run_em(
             theta0,
             gamma,
-            problem.matrices,
+            operator,
             problem.attribute_models,
             max_iterations=init_steps,
             tol=0.0,  # always run the full tentative budget

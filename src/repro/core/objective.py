@@ -22,6 +22,7 @@ from repro.core.feature import (
     relation_consistency_totals,
     structural_consistency,
 )
+from repro.core.kernels import PropagationOperator
 from repro.hin.views import RelationMatrices
 
 
@@ -36,7 +37,7 @@ def attribute_log_likelihood(
 def g1(
     theta: np.ndarray,
     gamma: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
     models: tuple[AttributeModel, ...] | list[AttributeModel],
     floor: float = 1e-12,
 ) -> float:
@@ -49,19 +50,18 @@ def g1(
 def dirichlet_alphas(
     theta: np.ndarray,
     gamma: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
 ) -> np.ndarray:
     """Eq. (15) parameters: ``alpha_ik = sum_e gamma w theta_jk + 1``.
 
     Returns the ``(n, K)`` array of Dirichlet parameters of each object's
-    conditional distribution given its out-neighbours.
+    conditional distribution given its out-neighbours, evaluated as one
+    fused combined-matrix product.
     """
     gamma = np.asarray(gamma, dtype=np.float64)
-    n, k = theta.shape
-    alphas = np.ones((n, k))
-    for g, matrix in zip(gamma, matrices.matrices):
-        if g != 0.0:
-            alphas += g * (matrix @ theta)
+    operator = PropagationOperator.wrap(matrices)
+    alphas = operator.propagate(theta, gamma)
+    alphas += 1.0
     return alphas
 
 
@@ -73,7 +73,7 @@ def log_local_partition(alphas: np.ndarray) -> np.ndarray:
 def g2_prime(
     theta: np.ndarray,
     gamma: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
     sigma: float,
     floor: float = 1e-12,
 ) -> float:
@@ -95,7 +95,7 @@ def g2_prime(
 def unified_objective(
     theta: np.ndarray,
     gamma: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
     models: tuple[AttributeModel, ...] | list[AttributeModel],
     sigma: float,
     floor: float = 1e-12,

@@ -23,6 +23,16 @@ The per-object sufficient statistics are precomputed once per call:
 * ``rowsum[i, r] = sum_k S[r][i,k]`` = total out-weight per relation
 * ``ce_total[r] = sum_{i,k} S[r][i,k] log theta_ik`` (unit-strength
   feature totals)
+
+Hot-path layout: within one Newton iteration the gradient and Hessian
+share a single evaluation of the ``(n, K)`` alpha field (Eq. 15) --
+historically each recomputed it from scratch, and every line-search
+halving allocated a fresh one.  :class:`_NewtonWorkspace` owns the alpha
+/ digamma / trigamma / gammaln buffers and reuses them across all
+iterations and halvings; the public :func:`gradient`, :func:`hessian`
+and :func:`objective_value` remain the allocating reference entry points
+(used by tests and diagnostics) and agree with the fused path to
+floating-point roundoff.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ import numpy as np
 from scipy.special import gammaln, polygamma, psi
 
 from repro.core.feature import floor_distribution
+from repro.core.kernels import PropagationOperator, trigamma_ge1
 from repro.hin.views import RelationMatrices
 
 
@@ -47,6 +58,12 @@ class StrengthStatistics:
     @property
     def num_relations(self) -> int:
         return self.propagated.shape[0]
+
+    @property
+    def flat(self) -> np.ndarray:
+        """``(R, n*K)`` view of ``propagated`` for BLAS-shaped products."""
+        r, n, k = self.propagated.shape
+        return self.propagated.reshape(r, n * k)
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,7 +80,7 @@ class StrengthOutcome:
 
 def compute_statistics(
     theta: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
     floor: float = 1e-12,
 ) -> StrengthStatistics:
     """Precompute S, rowsums and cross-entropy totals for g2'."""
@@ -87,6 +104,114 @@ def compute_statistics(
 def _alphas(stats: StrengthStatistics, gamma: np.ndarray) -> np.ndarray:
     """Eq. (15): ``alpha = 1 + sum_r gamma_r S[r]`` -- shape ``(n, K)``."""
     return 1.0 + np.tensordot(gamma, stats.propagated, axes=(0, 0))
+
+
+class _NewtonWorkspace:
+    """Per-call scratch shared by all Newton iterations and halvings.
+
+    ``alphas``/``alpha_sums`` hold the Eq. 15 field of the *current*
+    gamma (shared by gradient and Hessian); ``cand_alphas`` and the
+    special-function fields are overwritten freely by whichever kernel
+    runs next.
+    """
+
+    __slots__ = (
+        "alphas",
+        "cand_alphas",
+        "alpha_sums",
+        "cand_sums",
+        "field",
+        "row",
+        "scratch",
+        "weighted_rowsums",
+    )
+
+    def __init__(self, n: int, k: int, r: int) -> None:
+        self.alphas = np.empty((n, k))
+        self.cand_alphas = np.empty((n, k))
+        self.alpha_sums = np.empty(n)
+        self.cand_sums = np.empty(n)
+        self.field = np.empty((n, k))  # psi / trigamma / gammaln of alphas
+        self.row = np.empty(n)  # the same of alpha_sums
+        self.scratch = np.empty(n * k)
+        self.weighted_rowsums = np.empty((n, r))
+
+
+def _alphas_into(
+    stats: StrengthStatistics,
+    gamma: np.ndarray,
+    alphas: np.ndarray,
+    alpha_sums: np.ndarray,
+) -> None:
+    """Eq. 15 field and its row sums, written into caller buffers.
+
+    The row sums use ``sum_k alpha_ik = K + rowsums_i . gamma`` instead
+    of summing the ``(n, K)`` field -- one ``(n, R)`` matvec.
+    """
+    k = alphas.shape[1]
+    np.dot(gamma, stats.flat, out=alphas.reshape(-1))
+    alphas += 1.0
+    np.dot(stats.rowsums, gamma, out=alpha_sums)
+    alpha_sums += float(k)
+
+
+def _gradient_into(
+    stats: StrengthStatistics,
+    gamma: np.ndarray,
+    sigma: float,
+    ws: _NewtonWorkspace,
+) -> np.ndarray:
+    """Eq. 16 from the current-gamma alpha field in ``ws`` (allocates
+    only the ``(R,)`` result)."""
+    psi(ws.alphas, out=ws.field)
+    psi(ws.alpha_sums, out=ws.row)
+    # term1[r] = sum_{i,k} psi(alpha_ik) S[r][i,k]
+    term1 = stats.flat @ ws.field.reshape(-1)
+    # term2[r] = sum_i psi(alpha_i0) rowsum[i,r]
+    term2 = ws.row @ stats.rowsums
+    return stats.ce_totals - (term1 - term2) - gamma / sigma**2
+
+
+def _hessian_into(
+    stats: StrengthStatistics,
+    gamma: np.ndarray,
+    sigma: float,
+    ws: _NewtonWorkspace,
+) -> np.ndarray:
+    """Eq. 17 from the current-gamma alpha field in ``ws`` (allocates
+    only the ``(R, R)`` result)."""
+    num_relations = stats.num_relations
+    # trigamma of the alpha field; alphas >= 1 by Eq. 15, so the fast
+    # recurrence + asymptotic-series evaluation applies
+    trigamma_ge1(ws.alphas, out=ws.field)
+    trigamma_ge1(ws.alpha_sums, out=ws.row)
+    tri_flat = ws.field.reshape(-1)
+    term1 = np.empty((num_relations, num_relations))
+    flat = stats.flat
+    for r in range(num_relations):
+        np.multiply(flat[r], tri_flat, out=ws.scratch)
+        np.dot(flat, ws.scratch, out=term1[r])
+    np.multiply(stats.rowsums, ws.row[:, None], out=ws.weighted_rowsums)
+    term2 = stats.rowsums.T @ ws.weighted_rowsums
+    return -term1 + term2 - np.eye(num_relations) / sigma**2
+
+
+def _objective_from_alphas(
+    stats: StrengthStatistics,
+    gamma: np.ndarray,
+    sigma: float,
+    alphas: np.ndarray,
+    alpha_sums: np.ndarray,
+    field: np.ndarray,
+    row: np.ndarray,
+) -> float:
+    """g2'(gamma) given an already-evaluated Eq. 15 field."""
+    gammaln(alphas, out=field)
+    gammaln(alpha_sums, out=row)
+    log_partition = float(field.sum() - row.sum())
+    feature_total = float(np.dot(gamma, stats.ce_totals))
+    prior = float(np.dot(gamma, gamma)) / (2.0 * sigma**2)
+    return feature_total - log_partition - prior
 
 
 def objective_value(
@@ -132,7 +257,7 @@ def hessian(
 
 def learn_strengths(
     theta: np.ndarray,
-    matrices: RelationMatrices,
+    matrices: RelationMatrices | PropagationOperator,
     gamma0: np.ndarray,
     sigma: float = 0.1,
     max_iterations: int = 50,
@@ -146,7 +271,7 @@ def learn_strengths(
     theta:
         Fixed memberships from the preceding EM step.
     matrices:
-        Per-relation link matrices.
+        Per-relation link matrices (or a wrapping operator).
     gamma0:
         Starting strengths (the previous outer iteration's value).
     sigma:
@@ -161,20 +286,32 @@ def learn_strengths(
             f"gamma0 must have shape ({matrices.num_relations},), "
             f"got {gamma.shape}"
         )
-    value = objective_value(stats, gamma, sigma)
+    n, k = theta.shape
+    ws = _NewtonWorkspace(n, k, stats.num_relations)
+    _alphas_into(stats, gamma, ws.alphas, ws.alpha_sums)
+    value = _objective_from_alphas(
+        stats, gamma, sigma, ws.alphas, ws.alpha_sums, ws.field, ws.row
+    )
     converged = False
     used_fallback = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        grad = gradient(stats, gamma, sigma)
-        hess = hessian(stats, gamma, sigma)
+        # ws.alphas already holds the Eq. 15 field of the current gamma
+        # (from initialization or the accepted line-search candidate);
+        # gradient and Hessian share that single evaluation
+        grad = _gradient_into(stats, gamma, sigma, ws)
+        hess = _hessian_into(stats, gamma, sigma, ws)
         step = _newton_direction(hess, grad)
         if step is None:
             used_fallback = True
             step = grad * (sigma**2)  # scaled gradient ascent direction
-        candidate, cand_value, fell_back = _line_search(
-            stats, gamma, step, value, sigma
+        candidate, cand_value, fell_back, improved = _line_search(
+            stats, gamma, step, value, sigma, ws
         )
+        if improved:
+            # the candidate buffers hold the accepted gamma's field
+            ws.alphas, ws.cand_alphas = ws.cand_alphas, ws.alphas
+            ws.alpha_sums, ws.cand_sums = ws.cand_sums, ws.alpha_sums
         used_fallback = used_fallback or fell_back
         delta = float(np.max(np.abs(candidate - gamma)))
         gamma, value = candidate, cand_value
@@ -213,20 +350,28 @@ def _line_search(
     step: np.ndarray,
     current_value: float,
     sigma: float,
+    ws: _NewtonWorkspace,
     max_halvings: int = 30,
-) -> tuple[np.ndarray, float, bool]:
+) -> tuple[np.ndarray, float, bool, bool]:
     """Projected backtracking: halve the step until g2' improves.
 
-    Returns ``(new_gamma, new_value, used_fallback)`` where
-    ``used_fallback`` records whether any halving was needed.  If no step
-    length improves the objective, gamma is kept (a stationary boundary
-    point).
+    Returns ``(new_gamma, new_value, used_fallback, improved)`` where
+    ``used_fallback`` records whether any halving was needed and
+    ``improved`` whether a step was accepted (so ``ws.cand_*`` hold the
+    returned gamma's alpha field).  If no step length improves the
+    objective, gamma is kept (a stationary boundary point).  Every
+    halving reuses the workspace's candidate alpha buffers -- no
+    per-attempt ``(n, K)`` allocation.
     """
     scale = 1.0
     for attempt in range(max_halvings):
         candidate = np.clip(gamma + scale * step, 0.0, None)
-        value = objective_value(stats, candidate, sigma)
+        _alphas_into(stats, candidate, ws.cand_alphas, ws.cand_sums)
+        value = _objective_from_alphas(
+            stats, candidate, sigma,
+            ws.cand_alphas, ws.cand_sums, ws.field, ws.row,
+        )
         if np.isfinite(value) and value >= current_value - 1e-12:
-            return candidate, value, attempt > 0
+            return candidate, value, attempt > 0, True
         scale *= 0.5
-    return gamma.copy(), current_value, True
+    return gamma.copy(), current_value, True, False

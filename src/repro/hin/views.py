@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 from scipy import sparse
@@ -56,6 +57,23 @@ class RelationMatrices:
 
     def matrix(self, relation: str) -> sparse.csr_matrix:
         return self.matrices[self.index_of(relation)]
+
+    @cached_property
+    def operator(self):
+        """The fused propagation operator over these matrices.
+
+        Built on first access and shared by every solver stage touching
+        this view (inner EM, objectives, strength statistics), so the
+        union-pattern construction cost is paid once per compiled
+        problem.  See
+        :class:`repro.core.kernels.PropagationOperator`.
+        """
+        # local import: repro.core modules import this one at top level
+        from repro.core.kernels import PropagationOperator
+
+        return PropagationOperator(
+            self.matrices, shape=(self.num_nodes, self.num_nodes)
+        )
 
     def out_weight_totals(self) -> np.ndarray:
         """``(n, R)`` array: total out-link weight per node per relation."""

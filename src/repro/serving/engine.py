@@ -75,6 +75,14 @@ class InferenceEngine:
         self._base = FrozenModel.from_artifact(artifact)
         self._model = self._base
         self._extensions: dict[object, NewNode] = {}
+        # growable extension state, materialized on the first delta:
+        # theta rows live in a doubling-capacity buffer and the node
+        # index/type containers are mutated in place, so each extend is
+        # amortized O(delta) instead of O(base + total extension)
+        self._theta_buf: np.ndarray | None = None
+        self._size = self._base.num_nodes
+        self._live_index: dict[object, int] | None = None
+        self._live_types: list[str] | None = None
         self._max_iterations = max_iterations
         self._tol = tol
         self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
@@ -246,31 +254,61 @@ class InferenceEngine:
             tol=self._tol,
         )
         self._extensions = updated
-        self._model = self._base
         if specs:
-            self._append(specs, outcome.theta)
+            # `updated` preserves the original extension order, so the
+            # re-folded rows land exactly on their existing slots -- the
+            # index/type containers and the served view are unchanged
+            self._theta_buf[self._base.num_nodes : self._size] = (
+                outcome.theta
+            )
         self._invalidate_cache()
         return outcome
 
     def _append(
         self, nodes: Sequence[NewNode], theta_new: np.ndarray
     ) -> None:
-        """Grow the served FrozenModel with freshly folded rows."""
-        model = self._model
-        node_index = dict(model.node_index)
+        """Append freshly folded rows to the growable served model.
+
+        Amortized ``O(len(nodes))``: the theta buffer doubles its
+        capacity geometrically (one base copy on the first delta, then
+        row writes), and the node index/type containers are mutated in
+        place.  A new :class:`FrozenModel` façade is assembled per
+        delta, but it only holds references -- no per-delta copy of the
+        base state.
+        """
+        base = self._base
+        k = base.n_clusters
+        if self._theta_buf is None:
+            capacity = base.num_nodes + max(len(nodes), 64)
+            self._theta_buf = np.empty((capacity, k))
+            self._theta_buf[: base.num_nodes] = base.theta
+            self._live_index = dict(base.node_index)
+            self._live_types = list(base.node_types)
+        needed = self._size + len(nodes)
+        if needed > self._theta_buf.shape[0]:
+            capacity = max(needed, 2 * self._theta_buf.shape[0])
+            grown = np.empty((capacity, k))
+            grown[: self._size] = self._theta_buf[: self._size]
+            self._theta_buf = grown
+        self._theta_buf[self._size : needed] = theta_new
         for offset, spec in enumerate(nodes):
-            node_index[spec.node] = model.num_nodes + offset
-        self._model = FrozenModel(
-            theta=np.vstack([model.theta, theta_new]),
-            gamma=model.gamma,
-            relation_names=model.relation_names,
-            relation_types=model.relation_types,
-            object_types=model.object_types,
-            node_index=node_index,
-            node_types=model.node_types
-            + tuple(spec.object_type for spec in nodes),
-            attribute_params=model.attribute_params,
+            self._live_index[spec.node] = self._size + offset
+            self._live_types.append(spec.object_type)
+        self._size = needed
+        served = FrozenModel(
+            theta=self._theta_buf[: self._size],
+            gamma=base.gamma,
+            relation_names=base.relation_names,
+            relation_types=base.relation_types,
+            object_types=base.object_types,
+            node_index=self._live_index,
+            node_types=self._live_types,
+            attribute_params=base.attribute_params,
         )
+        # carry the per-model vocabulary cache across deltas (it only
+        # depends on the frozen attribute params)
+        served.__dict__["vocabulary_index"] = self._model.vocabulary_index
+        self._model = served
 
     # ------------------------------------------------------------------
     # transient queries

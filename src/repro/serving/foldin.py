@@ -37,10 +37,16 @@ import numpy as np
 from scipy import sparse
 
 from repro.core.attribute_models import (
+    CountsPattern,
     categorical_theta_term,
     gaussian_theta_term,
 )
-from repro.core.feature import floor_distribution
+from repro.core.kernels import (
+    EMWorkspace,
+    PropagationOperator,
+    floor_normalize_inplace,
+    row_sum,
+)
 from repro.exceptions import ServingError
 
 
@@ -156,9 +162,12 @@ class FrozenModel:
     relation_names: tuple[str, ...]
     relation_types: dict[str, tuple[str, str]]
     object_types: tuple[str, ...]
-    node_index: dict[object, int]
-    node_types: tuple[str, ...]
+    # node_index/node_types may be engine-owned growable containers
+    # (mutated in place as deltas append nodes); fold_in only reads them
+    node_index: Mapping[object, int]
+    node_types: Sequence[str]
     attribute_params: dict[str, dict]
+
     @property
     def num_nodes(self) -> int:
         return int(self.theta.shape[0])
@@ -276,6 +285,9 @@ def fold_in(
     # so build those row blocks directly -- O(|E_new|), independent of
     # the fitted network's size -- and split them into the frozen-base
     # columns (whose contribution never changes) and in-batch columns.
+    # Both halves run through the same fused PropagationOperator the
+    # trainer uses: gamma is frozen for the whole fixed point, so every
+    # sweep is one combined matmul rather than one per relation.
     base_blocks: list[sparse.csr_matrix] = []
     batch_blocks: list[sparse.csr_matrix] = []
     for name in model.relation_names:
@@ -288,43 +300,43 @@ def fold_in(
         )
         base_blocks.append(new_rows[:, :n].tocsr())
         batch_blocks.append(new_rows[:, n:].tocsr())
-    constant = np.zeros((m, k))
-    for g, block in zip(model.gamma, base_blocks):
-        if g != 0.0 and block.nnz:
-            constant += g * (block @ model.theta)
+    base_operator = PropagationOperator(base_blocks, shape=(m, n))
+    batch_operator = PropagationOperator(batch_blocks, shape=(m, m))
+    constant = base_operator.propagate(model.theta, model.gamma)
 
     text_obs, oov_terms = _compile_text(model, nodes)
     numeric_obs = _compile_numeric(model, nodes)
 
     theta = np.full((m, k), 1.0 / k)
+    spare = np.empty((m, k))
+    workspace = EMWorkspace(m, k)
+    update = workspace.update
     iterations = 0
     converged = False
     for iterations in range(1, max_iterations + 1):
-        update = constant.copy()
-        for g, block in zip(model.gamma, batch_blocks):
-            if g != 0.0 and block.nnz:
-                update += g * (block @ theta)
-        for rows, counts, beta in text_obs:
+        batch_operator.propagate(theta, model.gamma, out=update)
+        update += constant
+        for rows, pattern, beta in text_obs:
             update[rows] += categorical_theta_term(
-                theta[rows], counts, beta
+                theta[rows], None, beta, pattern=pattern
             )
         for rows, values, owners, means, variances in numeric_obs:
             update[rows] += gaussian_theta_term(
                 theta[rows], values, owners, means, variances
             )
-        row_sums = update.sum(axis=1)
-        dead = row_sums <= 0.0
-        if np.any(dead):
+        row_sums = row_sum(update, workspace.row_sums)
+        if float(np.min(row_sums)) <= 0.0:
             # no out-links and no observations: stay at the prior
+            dead = row_sums <= 0.0
             update[dead] = theta[dead]
-            row_sums = update.sum(axis=1)
+            row_sum(update, row_sums)
         # normalize before flooring, exactly like training's em_update:
         # the result must be invariant to the overall link-weight scale
-        theta_next = floor_distribution(
-            update / row_sums[:, None], floor
-        )
-        delta = float(np.max(np.abs(theta_next - theta)))
-        theta = theta_next
+        np.divide(update, row_sums[:, None], out=spare)
+        theta_next = floor_normalize_inplace(spare, floor, row_sums)
+        np.subtract(theta_next, theta, out=update)
+        delta = float(np.max(np.abs(update)))
+        theta, spare = theta_next, theta
         if delta < tol:
             converged = True
             break
@@ -439,8 +451,13 @@ def _as_bag(bag: Any) -> dict[str, float]:
 
 def _compile_text(
     model: FrozenModel, nodes: Sequence[NewNode]
-) -> tuple[list[tuple[np.ndarray, sparse.csr_matrix, np.ndarray]], int]:
-    """Group text observations per attribute into (rows, counts, beta)."""
+) -> tuple[
+    list[tuple[np.ndarray, CountsPattern, np.ndarray]],
+    int,
+]:
+    """Group text observations per attribute into
+    (rows, pattern, beta); the sparse counts are decomposed into their
+    pattern once here so the fixed-point sweeps reuse it."""
     per_attribute: dict[str, list[tuple[int, dict[str, float]]]] = {}
     for position, spec in enumerate(nodes):
         for attribute, bag in spec.text.items():
@@ -453,7 +470,9 @@ def _compile_text(
                 per_attribute.setdefault(attribute, []).append(
                     (position, counts)
                 )
-    compiled: list[tuple[np.ndarray, sparse.csr_matrix, np.ndarray]] = []
+    compiled: list[
+        tuple[np.ndarray, CountsPattern, np.ndarray]
+    ] = []
     oov_terms = 0
     for attribute, observed in per_attribute.items():
         params = model.attribute_params[attribute]
@@ -483,7 +502,7 @@ def _compile_text(
             compiled.append(
                 (
                     np.asarray(node_rows, dtype=np.int64),
-                    counts_matrix,
+                    CountsPattern.from_counts(counts_matrix),
                     np.asarray(params["beta"], dtype=np.float64),
                 )
             )

@@ -221,6 +221,46 @@ class TestDeltas:
         assert after.max() > 0.9
 
 
+class TestStreamingExtends:
+    """The growable extension buffer must behave like repeated vstacks."""
+
+    def test_many_small_extends_grow_past_initial_capacity(self, engine):
+        # 80 single-node deltas forces several capacity doublings (the
+        # first allocation reserves 64 extension slots)
+        memberships = {}
+        for i in range(80):
+            node = f"stream-{i}"
+            target = "blog0_0" if i % 2 == 0 else "blog1_0"
+            outcome = engine.extend(
+                [NewNode(node, "user", links=[("writes", target, 1.0)])]
+            )
+            memberships[node] = outcome.membership_of(node)
+        assert engine.num_extension_nodes == 80
+        # every row must have survived the buffer regrowths verbatim
+        for node, expected in memberships.items():
+            np.testing.assert_array_equal(
+                engine.membership_of(node), expected
+            )
+        # and the index space stays linkable end to end
+        assert engine.has_node("stream-79")
+        membership = engine.query(
+            "user", links=[("friend", "stream-0", 1.0)]
+        )
+        assert membership.shape == (engine.n_clusters,)
+
+    def test_add_links_after_streaming_extends(self, engine):
+        for i in range(5):
+            engine.extend([NewNode(f"s{i}", "user")])
+        engine.add_links([("s3", "writes", "blog1_0", 1.0)])
+        moved = engine.membership_of("s3")
+        label = int(np.argmax(moved))
+        # s3 now follows the purple camp blog; untouched extension
+        # nodes keep their uniform prior
+        assert moved[label] > 0.5
+        np.testing.assert_allclose(engine.membership_of("s1"), [0.5, 0.5])
+        assert engine.num_extension_nodes == 5
+
+
 class TestInfo:
     def test_info_shape(self, engine):
         info = engine.info()
