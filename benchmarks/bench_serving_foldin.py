@@ -3,9 +3,11 @@
 Unlike the whole-experiment benches these time serving hot paths with
 multiple rounds: batch posterior assignment of new sensors against a
 fitted weather model (the bulk-scoring path, reported as nodes/sec in
-``extra_info``), single-node scoring (the cold query path), and a
-repeated memoized query (the LRU hit path that dominates under serving
-traffic).
+``extra_info``), single-node scoring (the cold query path), a repeated
+memoized query (the LRU hit path that dominates under serving traffic),
+and the lifecycle paths -- a touched-component link delta against a
+large extension space (must not scale with the total extension) and a
+full ``promote()`` warm-started refit round trip.
 """
 
 import numpy as np
@@ -124,3 +126,61 @@ def test_repeated_query_cache_hit(benchmark, served_model, sensor_batch):
     stats = engine.info()["cache"]
     assert stats["hits"] > 0
     assert stats["misses"] == 1
+
+
+def test_add_links_touched_component(
+    benchmark, served_model, sensor_batch
+):
+    """Link delta against a large extension: the re-fold covers only
+    the touched component, so the cost must not scale with the total
+    extension size (the whole batch is folded in first).
+
+    Each round gets a fresh engine (``pedantic`` + setup): add_links
+    accumulates onto the source's spec, so re-timing one engine would
+    measure ever-growing link sets instead of a single delta.
+    """
+    _, artifact = served_model
+    source = sensor_batch[0].node
+
+    def setup():
+        engine = InferenceEngine(artifact)
+        engine.extend(sensor_batch)
+        return (engine,), {}
+
+    def delta(engine):
+        return engine.add_links(
+            [(source, RELATION_TT, "T7", 1.0)]
+        )
+
+    outcome = benchmark.pedantic(
+        delta, setup=setup, rounds=20, iterations=1
+    )
+    # the delta's source has no extension dependants: exactly one row
+    assert outcome.theta.shape[0] == 1
+    benchmark.extra_info["extension_nodes"] = BATCH_SIZE
+    benchmark.extra_info["refolded_rows"] = 1
+
+
+def test_promote_roundtrip(benchmark, served_model, sensor_batch):
+    """The full lifecycle closer: materialize base + extensions and run
+    the warm-started refit (one outer iteration from the served
+    optimum), then rebase the engine."""
+    _, artifact = served_model
+    config = GenClusConfig(n_clusters=4, outer_iterations=4, seed=0)
+
+    def setup():
+        engine = InferenceEngine(artifact)
+        engine.extend(sensor_batch[:50])
+        return (engine,), {}
+
+    def promote(engine):
+        return engine.promote(config)
+
+    result = benchmark.pedantic(
+        promote, setup=setup, rounds=3, iterations=1
+    )
+    assert result.theta.shape[0] == artifact.num_nodes + 50
+    benchmark.extra_info["extension_nodes"] = 50
+    benchmark.extra_info["refit_outer_iterations"] = int(
+        result.history.records[-1].outer_iteration
+    )

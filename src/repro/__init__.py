@@ -32,6 +32,7 @@ Quickstart::
 from repro.core.config import GenClusConfig
 from repro.core.genclus import GenClus
 from repro.core.result import GenClusResult
+from repro.core.state import ModelState
 from repro.exceptions import (
     AttributeSpecError,
     ConfigError,
@@ -41,6 +42,7 @@ from repro.exceptions import (
     SchemaError,
     SerializationError,
     ServingError,
+    StateError,
 )
 from repro.hin.attributes import NumericAttribute, TextAttribute
 from repro.hin.builder import NetworkBuilder
@@ -61,6 +63,7 @@ __all__ = [
     "HeterogeneousNetwork",
     "InferenceEngine",
     "ModelArtifact",
+    "ModelState",
     "NetworkBuilder",
     "NetworkError",
     "NetworkSchema",
@@ -70,6 +73,7 @@ __all__ = [
     "SchemaError",
     "SerializationError",
     "ServingError",
+    "StateError",
     "TextAttribute",
     "__version__",
     "load_network",

@@ -15,6 +15,9 @@ and the iterative algorithm of Section 4:
 * :mod:`repro.core.genclus` -- Algorithm 1, alternating the two steps.
 * :mod:`repro.core.kernels` -- the fused/allocation-free numeric core
   shared by training and serving (propagation operator, workspaces).
+* :mod:`repro.core.state` -- :class:`~repro.core.state.ModelState`, the
+  mutable, versioned model container shared by training, serving, and
+  refit (warm starts, extension space, patched link views).
 
 The user-facing entry point is :class:`~repro.core.genclus.GenClus`.
 """
@@ -30,6 +33,7 @@ from repro.core.genclus import GenClus
 from repro.core.kernels import EMWorkspace, PropagationOperator
 from repro.core.problem import ClusteringProblem, compile_problem
 from repro.core.result import GenClusResult
+from repro.core.state import ModelState
 
 __all__ = [
     "ClusteringProblem",
@@ -38,6 +42,7 @@ __all__ = [
     "GenClusConfig",
     "GenClusResult",
     "IterationRecord",
+    "ModelState",
     "PropagationOperator",
     "RunHistory",
     "compile_problem",

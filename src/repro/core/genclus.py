@@ -29,8 +29,9 @@ from repro.core.kernels import PropagationOperator
 from repro.core.objective import g1
 from repro.core.problem import ClusteringProblem, compile_problem
 from repro.core.result import GenClusResult
+from repro.core.state import ModelState
 from repro.core.strength import learn_strengths
-from repro.exceptions import ConvergenceError
+from repro.exceptions import ConfigError, ConvergenceError, StateError
 from repro.hin.network import HeterogeneousNetwork
 
 IterationCallback = Callable[[int, np.ndarray, np.ndarray], None]
@@ -59,6 +60,7 @@ class GenClus:
         attributes: list[str] | tuple[str, ...],
         callback: IterationCallback | None = None,
         initial_theta: np.ndarray | None = None,
+        warm_start: "ModelState | None" = None,
     ) -> GenClusResult:
         """Run Algorithm 1 on a network.
 
@@ -75,6 +77,11 @@ class GenClus:
         initial_theta:
             Explicit starting memberships, overriding the multi-seed
             initialization (used by tests and ablations).
+        warm_start:
+            A :class:`~repro.core.state.ModelState` to resume from: the
+            outer loop starts at its theta/gamma/attribute parameters
+            instead of the all-ones gamma and the multi-seed tentative
+            runs.  The state must cover this network's node set.
 
         Returns
         -------
@@ -86,13 +93,31 @@ class GenClus:
             self.config.n_clusters,
             variance_floor=self.config.variance_floor,
         )
-        return self.fit_problem(problem, callback, initial_theta)
+        return self.fit_problem(problem, callback, initial_theta, warm_start)
+
+    def fit_state(
+        self,
+        state: "ModelState",
+        callback: IterationCallback | None = None,
+    ) -> GenClusResult:
+        """Refit a lifecycle state: materialize its base + extensions
+        into a problem and run Algorithm 1 warm-started from it.
+
+        This is the "refit from extended state" closing the lifecycle
+        loop -- folded-in nodes and their accumulated links become
+        first-class training data, and optimization resumes from the
+        served theta/gamma instead of a cold initialization.
+        """
+        return self.fit_problem(
+            state.to_problem(), callback, warm_start=state
+        )
 
     def fit_problem(
         self,
         problem: ClusteringProblem,
         callback: IterationCallback | None = None,
         initial_theta: np.ndarray | None = None,
+        warm_start: "ModelState | None" = None,
     ) -> GenClusResult:
         """Run Algorithm 1 on an already-compiled problem."""
         config = self.config
@@ -105,7 +130,14 @@ class GenClus:
         num_relations = matrices.num_relations
 
         gamma = np.ones(num_relations)
-        if initial_theta is not None:
+        if warm_start is not None:
+            if initial_theta is not None:
+                raise ConfigError(
+                    "initial_theta and warm_start are mutually exclusive"
+                )
+            theta = _install_warm_start(problem, warm_start)
+            gamma = warm_start.gamma.copy()
+        elif initial_theta is not None:
             theta = np.asarray(initial_theta, dtype=np.float64).copy()
             expected = (problem.num_nodes, problem.n_clusters)
             if theta.shape != expected:
@@ -215,6 +247,40 @@ class GenClus:
             history=history,
             network=problem.network,
         )
+
+
+def _install_warm_start(
+    problem: ClusteringProblem, state: "ModelState"
+) -> np.ndarray:
+    """Validate a warm start against a problem and install its
+    attribute parameters on the problem's models; returns the starting
+    theta (a copy)."""
+    expected = (problem.num_nodes, problem.n_clusters)
+    theta = np.asarray(state.theta, dtype=np.float64)
+    if theta.shape != expected:
+        raise StateError(
+            f"warm start covers {theta.shape}, but the problem needs "
+            f"theta of shape {expected}"
+        )
+    if state.relation_names != problem.matrices.relation_names:
+        raise StateError(
+            f"warm-start relations {state.relation_names} do not match "
+            f"the problem's {problem.matrices.relation_names}"
+        )
+    if state.attribute_names != problem.attribute_names:
+        raise StateError(
+            f"warm-start attributes {state.attribute_names} do not "
+            f"match the problem's {problem.attribute_names}"
+        )
+    for name, model in zip(
+        problem.attribute_names, problem.attribute_models
+    ):
+        params = state.attribute_params[name]
+        if isinstance(model, CategoricalModel):
+            model.set_params(params["beta"])
+        else:
+            model.set_params(params["means"], params["variances"])
+    return theta.copy()
 
 
 def _collect_params(problem: ClusteringProblem) -> dict[str, dict]:

@@ -81,6 +81,45 @@ def csr_matmul(
     return out
 
 
+def _union_pattern(
+    matrices: Sequence[sparse.csr_matrix],
+    shape: tuple[int, int],
+) -> tuple[np.ndarray, np.ndarray, tuple[np.ndarray, ...]]:
+    """Union sparsity of canonical CSR matrices plus per-matrix slots.
+
+    Returns ``(indices, indptr, slots)`` where ``slots[r][i]`` is the
+    position of matrix ``r``'s ``i``-th stored entry inside the union's
+    data array (entries in canonical CSR order).
+    """
+    n_rows, n_cols = shape
+    union: sparse.csr_matrix | None = None
+    for matrix in matrices:
+        structure = sparse.csr_matrix(
+            (
+                np.ones(matrix.nnz),
+                matrix.indices.copy(),
+                matrix.indptr.copy(),
+            ),
+            shape=shape,
+        )
+        union = structure if union is None else union + structure
+    union.sort_indices()
+    # (row * n_cols + col) keys are globally sorted in a canonical
+    # CSR, so per-relation slots come from one searchsorted each
+    union_rows = np.repeat(
+        np.arange(n_rows, dtype=np.int64), np.diff(union.indptr)
+    )
+    union_keys = union_rows * n_cols + union.indices
+    slots = []
+    for matrix in matrices:
+        rows = np.repeat(
+            np.arange(n_rows, dtype=np.int64), np.diff(matrix.indptr)
+        )
+        keys = rows * n_cols + matrix.indices
+        slots.append(np.searchsorted(union_keys, keys))
+    return union.indices, union.indptr, tuple(slots)
+
+
 class PropagationOperator:
     """Cached fused propagation ``X -> sum_r gamma_r (W_r @ X)``.
 
@@ -135,43 +174,18 @@ class PropagationOperator:
     # ------------------------------------------------------------------
     def _build_union(self) -> None:
         """Union sparsity pattern + per-relation slot maps (built once)."""
-        n_rows, n_cols = self.shape
         if not self.matrices:
             self._union_data = np.zeros(0)
             self._combined = sparse.csr_matrix(self.shape, dtype=np.float64)
             self._slots: tuple[np.ndarray, ...] = ()
             return
-        union: sparse.csr_matrix | None = None
-        for matrix in self.matrices:
-            structure = sparse.csr_matrix(
-                (
-                    np.ones(matrix.nnz),
-                    matrix.indices.copy(),
-                    matrix.indptr.copy(),
-                ),
-                shape=self.shape,
-            )
-            union = structure if union is None else union + structure
-        union.sort_indices()
-        # (row * n_cols + col) keys are globally sorted in a canonical
-        # CSR, so per-relation slots come from one searchsorted each
-        union_rows = np.repeat(
-            np.arange(n_rows, dtype=np.int64), np.diff(union.indptr)
-        )
-        union_keys = union_rows * n_cols + union.indices
-        slots = []
-        for matrix in self.matrices:
-            rows = np.repeat(
-                np.arange(n_rows, dtype=np.int64), np.diff(matrix.indptr)
-            )
-            keys = rows * n_cols + matrix.indices
-            slots.append(np.searchsorted(union_keys, keys))
-        self._slots = tuple(slots)
-        self._union_data = np.zeros(union.nnz)
+        indices, indptr, slots = _union_pattern(self.matrices, self.shape)
+        self._slots = slots
+        self._union_data = np.zeros(indices.size)
         # the data buffer is rewritten in place on gamma change; the
         # matrix object itself never changes identity
         self._combined = sparse.csr_matrix(
-            (self._union_data, union.indices, union.indptr),
+            (self._union_data, indices, indptr),
             shape=self.shape,
         )
 
@@ -203,6 +217,97 @@ class PropagationOperator:
             matrices.matrices,
             shape=(matrices.num_nodes, matrices.num_nodes),
         )
+
+    # ------------------------------------------------------------------
+    def grown(
+        self,
+        row_blocks: Sequence[sparse.spmatrix],
+        num_new_rows: int,
+    ) -> "PropagationOperator":
+        """A larger operator that reuses this one's union pattern.
+
+        Grows the index space from ``(n_rows, n_cols)`` to
+        ``(n_rows + m, n_cols + m)``: every existing row keeps its
+        stored entries verbatim (columns extend for free in CSR), and
+        the ``m`` appended rows come from ``row_blocks`` -- one
+        ``(m, n_cols + m)`` sparse matrix per relation holding the new
+        rows' entries.  Because appended rows land at the *end* of a
+        canonical CSR data array, the old union pattern, slot maps, and
+        per-relation structures are reused by concatenation: the cost is
+        ``O(m + nnz(delta))``, independent of the existing pattern size
+        (no union rebuild).  This operator is left untouched and stays
+        valid.
+
+        This is the state-growth path used when folded-in nodes are
+        promoted into the training views: new links always *originate*
+        at appended nodes, so growth is exactly a row append.
+        """
+        if num_new_rows < 0:
+            raise ValueError(
+                f"num_new_rows must be >= 0, got {num_new_rows}"
+            )
+        if len(row_blocks) != self.num_relations:
+            raise ValueError(
+                f"expected {self.num_relations} row blocks, "
+                f"got {len(row_blocks)}"
+            )
+        n_rows, n_cols = self.shape
+        new_shape = (n_rows + num_new_rows, n_cols + num_new_rows)
+        block_shape = (num_new_rows, new_shape[1])
+        blocks: list[sparse.csr_matrix] = []
+        for block in row_blocks:
+            csr = sparse.csr_matrix(block, dtype=np.float64, copy=False)
+            if csr.shape != block_shape:
+                raise ValueError(
+                    f"row blocks must have shape {block_shape}, "
+                    f"got {csr.shape}"
+                )
+            csr.sum_duplicates()
+            csr.sort_indices()
+            blocks.append(csr)
+
+        grown = object.__new__(PropagationOperator)
+        grown.shape = new_shape
+        grown._gamma_key = None
+        matrices: list[sparse.csr_matrix] = []
+        for matrix, block in zip(self.matrices, blocks):
+            indptr = np.concatenate(
+                [matrix.indptr, matrix.nnz + block.indptr[1:]]
+            )
+            matrices.append(
+                sparse.csr_matrix(
+                    (
+                        np.concatenate([matrix.data, block.data]),
+                        np.concatenate([matrix.indices, block.indices]),
+                        indptr,
+                    ),
+                    shape=new_shape,
+                )
+            )
+        grown.matrices = tuple(matrices)
+        if not self.matrices:
+            grown._build_union()
+            return grown
+        old_nnz = self._combined.nnz
+        block_indices, block_indptr, block_slots = _union_pattern(
+            blocks, block_shape
+        )
+        grown._slots = tuple(
+            np.concatenate([slots, old_nnz + extra])
+            for slots, extra in zip(self._slots, block_slots)
+        )
+        union_indices = np.concatenate(
+            [self._combined.indices, block_indices]
+        )
+        union_indptr = np.concatenate(
+            [self._combined.indptr, old_nnz + block_indptr[1:]]
+        )
+        grown._union_data = np.zeros(union_indices.size)
+        grown._combined = sparse.csr_matrix(
+            (grown._union_data, union_indices, union_indptr),
+            shape=new_shape,
+        )
+        return grown
 
     # ------------------------------------------------------------------
     def combined(self, gamma: np.ndarray) -> sparse.csr_matrix:

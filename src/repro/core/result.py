@@ -135,14 +135,26 @@ class GenClusResult:
         return [(vocabulary[i], float(beta[cluster, i])) for i in order]
 
     # ------------------------------------------------------------------
+    def to_state(self):
+        """Capture this fit as a mutable lifecycle
+        :class:`~repro.core.state.ModelState` (refit-capable when the
+        network still carries its links and attribute tables)."""
+        from repro.core.state import ModelState
+
+        return ModelState.from_result(self)
+
     def save(self, path: str | Path) -> Path:
         """Persist the fit as a serving artifact bundle (one ``.npz``).
 
         The bundle carries theta, gamma, attribute parameters, the node
         id/type map, and the run history -- everything
-        :class:`~repro.serving.engine.InferenceEngine` needs.  Training
-        links are not persisted (see :mod:`repro.serving.artifact`), so
-        the network reloaded by :meth:`load` has nodes but no edges.
+        :class:`~repro.serving.engine.InferenceEngine` needs.  When the
+        network still holds its training links and attribute tables
+        (any fresh fit), they are embedded too (schema v2), so
+        :meth:`load` reconstructs a **refit-capable** model: the
+        reloaded network carries edges and observations and can
+        warm-start a full new fit (see
+        :class:`~repro.core.state.ModelState`).
         """
         # local import: repro.serving depends on this module
         from repro.serving.artifact import ModelArtifact

@@ -15,6 +15,9 @@ single base class.  Each subclass marks one failure category:
 * :class:`SerializationError` -- malformed persisted network payloads.
 * :class:`ServingError` -- invalid serving-time requests (fold-in nodes
   referencing unknown targets, deltas against frozen base rows, ...).
+* :class:`StateError` -- invalid model-lifecycle operations on a
+  :class:`~repro.core.state.ModelState` (refit without training data,
+  shape mismatches between a warm start and its problem, ...).
 """
 
 from __future__ import annotations
@@ -50,3 +53,8 @@ class SerializationError(ReproError):
 
 class ServingError(ReproError):
     """A serving-time request (fold-in, query, delta) is invalid."""
+
+
+class StateError(ReproError):
+    """A model-lifecycle state operation is invalid (e.g. refitting a
+    serve-only state that carries no training links)."""

@@ -5,6 +5,13 @@ the weather networks of both settings at 1250 / 1500 / 2000 objects and
 nobs in {1, 5, 20}.  Expected shape: per-iteration time approximately
 linear in the number of objects (the network is kNN so |E| = O(|V|)),
 and increasing with nobs through the Gaussian responsibility term.
+
+Besides the raw wall time, each row reports the inner-EM g1 trace of a
+one-outer-iteration tracked fit (``track_em_objective`` wiring the
+trace into :class:`~repro.core.diagnostics.RunHistory`): how many
+sweeps the cluster-optimization step actually needs at that size, and
+how much objective each sweep buys -- the "work per second" companion
+to the seconds-per-sweep column.
 """
 
 from __future__ import annotations
@@ -13,7 +20,9 @@ import time
 
 import numpy as np
 
+from repro.core.config import GenClusConfig
 from repro.core.em import em_update
+from repro.core.genclus import GenClus
 from repro.core.initialization import random_theta
 from repro.core.problem import compile_problem
 from repro.datagen.weather import generate_weather_network
@@ -57,6 +66,27 @@ def time_em_iteration(
     return (time.perf_counter() - start) / repeats
 
 
+def inner_g1_trace(generated, seed: int) -> tuple[float, ...]:
+    """Inner-EM g1 trace of one tracked cluster-optimization step.
+
+    Runs a single-outer-iteration fit with ``track_em_objective`` and
+    reads the trace back from the run history -- the same diagnostics
+    path a user gets on any tracked fit.
+    """
+    config = GenClusConfig(
+        n_clusters=generated.config.n_clusters,
+        outer_iterations=1,
+        seed=seed,
+        n_init=1,
+        init_steps=3,
+        track_em_objective=True,
+    )
+    result = GenClus(config).fit(
+        generated.network, attributes=WEATHER_ATTRIBUTES
+    )
+    return result.history.records[-1].em_objective_trace
+
+
 def run(scale: str = "default", seed: int = 0) -> ExperimentReport:
     """Regenerate Fig. 11: seconds/iteration per (setting, size, nobs)."""
     check_scale(scale)
@@ -70,10 +100,14 @@ def run(scale: str = "default", seed: int = 0) -> ExperimentReport:
             "n_objects",
             "n_obs",
             "seconds_per_iteration",
+            "em_sweeps",
+            "inner_g1_gain_per_sweep",
         ),
         notes=(
             f"scale={scale}, seed={seed}; mean of 5 timed EM updates "
-            f"after 2 warmups"
+            f"after 2 warmups; em_sweeps and inner_g1_gain_per_sweep "
+            f"come from the RunHistory inner-EM trace of a tracked "
+            f"one-outer-iteration fit"
         ),
     )
     for setting in (1, 2):
@@ -88,6 +122,13 @@ def run(scale: str = "default", seed: int = 0) -> ExperimentReport:
                         seed,
                     )
                 )
+                trace = inner_g1_trace(generated, seed)
+                sweeps = len(trace)
+                gain = (
+                    (trace[-1] - trace[0]) / (sweeps - 1)
+                    if sweeps > 1
+                    else 0.0
+                )
                 report.rows.append(
                     {
                         "setting": setting,
@@ -96,6 +137,8 @@ def run(scale: str = "default", seed: int = 0) -> ExperimentReport:
                         "seconds_per_iteration": time_em_iteration(
                             generated, seed
                         ),
+                        "em_sweeps": sweeps,
+                        "inner_g1_gain_per_sweep": gain,
                     }
                 )
     return report

@@ -10,12 +10,29 @@ index used by all solver matrices.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.exceptions import AttributeSpecError, NetworkError
 from repro.hin.attributes import Attribute, NumericAttribute, TextAttribute
 from repro.hin.schema import NetworkSchema, RelationType
+
+
+class _SequenceView(Sequence):
+    """Immutable live window onto a list (the sequence twin of
+    :class:`types.MappingProxyType`)."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: list) -> None:
+        self._data = data
+
+    def __getitem__(self, index):
+        return self._data[index]
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 @dataclass(frozen=True, slots=True)
@@ -142,6 +159,20 @@ class HeterogeneousNetwork:
         """A copy of the id -> index mapping."""
         return dict(self._node_index)
 
+    @property
+    def node_index_view(self) -> Mapping[object, int]:
+        """A read-only *live* view of the id -> index mapping (no copy).
+
+        Serving-state code holds this for O(1) lookups over large
+        networks; it reflects later ``add_node`` calls.
+        """
+        return MappingProxyType(self._node_index)
+
+    @property
+    def node_types_view(self) -> Sequence[str]:
+        """Read-only live view of per-index object types (no copy)."""
+        return _SequenceView(self._node_types)
+
     def nodes_of_type(self, object_type: str) -> tuple[object, ...]:
         """All node ids of one type, in index order."""
         self.schema.object_type(object_type)
@@ -157,6 +188,23 @@ class HeterogeneousNetwork:
         return [
             i for i, typ in enumerate(self._node_types) if typ == object_type
         ]
+
+    def copy(self) -> "HeterogeneousNetwork":
+        """Structural copy: nodes, types, and edges (attributes are
+        *not* copied -- attach fresh tables to the copy as needed).
+
+        ``O(n + |E|)`` dict/list copies with no per-edge re-validation;
+        the source network already guaranteed consistency.  The schema
+        object is shared (schemas are append-only declarations).
+        """
+        clone = HeterogeneousNetwork(self.schema)
+        clone._node_ids = list(self._node_ids)
+        clone._node_index = dict(self._node_index)
+        clone._node_types = list(self._node_types)
+        clone._edges = {
+            name: dict(bucket) for name, bucket in self._edges.items()
+        }
+        return clone
 
     # ------------------------------------------------------------------
     # edges

@@ -168,6 +168,76 @@ def empty_relation_matrices(
     )
 
 
+def append_relation_rows(
+    base: RelationMatrices,
+    num_new_nodes: int,
+    links: Mapping[str, Sequence[tuple[int, int, float]]],
+) -> RelationMatrices:
+    """Grow views to ``(n + m, n + m)`` by *appending rows* -- patched,
+    not rebuilt.
+
+    The restricted (and common) growth case: every delta link
+    originates at one of the ``m`` appended nodes (sources in
+    ``n .. n + m - 1``; targets anywhere in the extended space).  That
+    is exactly how served fold-in state grows -- new nodes bring their
+    out-links, and link deltas only touch extension nodes -- and it
+    means the existing CSR arrays and, crucially, the cached
+    :class:`~repro.core.kernels.PropagationOperator` union pattern are
+    reused verbatim: the returned view carries a **patched** operator
+    built in ``O(m + nnz(delta))`` via
+    :meth:`~repro.core.kernels.PropagationOperator.grown`, instead of
+    paying a full union rebuild over all training links.
+
+    For deltas with base-node sources use the general (rebuilding)
+    :func:`extend_relation_matrices`.
+    """
+    if num_new_nodes < 0:
+        raise ValueError(
+            f"num_new_nodes must be >= 0, got {num_new_nodes}"
+        )
+    n = base.num_nodes
+    total = n + num_new_nodes
+    for relation in links:
+        if relation not in base.relation_names:
+            raise KeyError(
+                f"relation {relation!r} has no matrix (and no gamma "
+                f"slot) in the base views"
+            )
+    blocks: list[sparse.csr_matrix] = []
+    for name in base.relation_names:
+        delta = links.get(name) or ()
+        sources = np.asarray([d[0] for d in delta], dtype=np.int64)
+        targets = np.asarray([d[1] for d in delta], dtype=np.int64)
+        weights = np.asarray([d[2] for d in delta], dtype=np.float64)
+        if sources.size:
+            if sources.min() < n or sources.max() >= total:
+                raise ValueError(
+                    f"relation {name!r}: append_relation_rows requires "
+                    f"link sources in the appended range {n}..{total - 1}"
+                )
+            if targets.min() < 0 or targets.max() >= total:
+                raise IndexError(
+                    f"relation {name!r}: link targets must lie in "
+                    f"0..{total - 1}"
+                )
+        blocks.append(
+            sparse.csr_matrix(
+                (weights, (sources - n, targets)),
+                shape=(num_new_nodes, total),
+            )
+        )
+    operator = base.operator.grown(blocks, num_new_nodes)
+    grown = RelationMatrices(
+        relation_names=base.relation_names,
+        matrices=operator.matrices,
+        num_nodes=total,
+    )
+    # install the patched operator in the cached_property slot so every
+    # consumer of the grown views shares it (no rebuild on first access)
+    grown.__dict__["operator"] = operator
+    return grown
+
+
 def extend_relation_matrices(
     base: RelationMatrices,
     num_new_nodes: int,

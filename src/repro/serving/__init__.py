@@ -1,25 +1,31 @@
 """Model serving: persisted artifacts plus online fold-in inference.
 
 The batch reproduction fits a model and exits; this package turns a fit
-into something that can answer queries:
+into something that lives through the whole model lifecycle:
 
 * :mod:`repro.serving.artifact` -- versioned single-file persistence of
   a fitted model (``.npz`` arrays + JSON manifest), with a
   ``GenClusResult.save()/load()`` façade on the result object itself.
+  Schema v2 embeds the training edges and attribute observations, so a
+  reloaded model is **refit-capable**; v1 bundles still load
+  (serve-only).
 * :mod:`repro.serving.foldin` -- batch posterior assignment for unseen
   nodes: the paper's EM theta update (Eqs. 10-12) iterated to a fixed
   point with every fitted parameter frozen, vectorized over the batch.
-* :mod:`repro.serving.engine` -- :class:`InferenceEngine`: holds a
-  loaded artifact, accepts incremental deltas (new nodes and links
-  appended to the network views without recompiling), and memoizes
-  repeated transient queries with an LRU cache.
+* :mod:`repro.serving.engine` -- :class:`InferenceEngine`: drives a
+  shared :class:`~repro.core.state.ModelState` through serving --
+  incremental deltas (``extend`` / ``add_links``, re-folding only the
+  touched component), LRU-memoized transient queries, extension-space
+  telemetry and eviction (``evict``), and ``promote()``: a warm-started
+  full refit that turns folded-in nodes into first-class training data
+  and rebases the engine onto the result.
 
 A small CLI ships as ``python -m repro.serving`` (``info`` / ``score``).
 
-Typical round trip::
+Typical lifecycle::
 
     result = GenClus(config).fit(network, attributes=["title"])
-    result.save("model.npz")
+    result.save("model.npz")                  # schema v2: refit-capable
 
     engine = InferenceEngine.load("model.npz")
     membership = engine.query(
@@ -27,6 +33,9 @@ Typical round trip::
         links=[("written_by", "author-4", 1.0)],
         text={"title": ["database", "query"]},
     )
+    engine.extend([NewNode("paper-8", "paper",
+                           links=[("written_by", "author-4", 1.0)])])
+    promoted = engine.promote()               # warm-started refit
 """
 
 from repro.serving.artifact import (

@@ -24,11 +24,19 @@ Versioning: ``SCHEMA_VERSION`` is bumped whenever the layout changes;
 understand with a :class:`~repro.exceptions.SerializationError` naming
 both versions.
 
-Training *edges* are deliberately not persisted: frozen base rows never
-re-read their neighbours (only new nodes' out-links enter the fold-in
-update), so the bundle stays ``O(nK)`` instead of ``O(|E|)``.  The
-network reconstructed by :meth:`ModelArtifact.to_result` therefore has
-nodes and schema but no links.
+**Schema v2** additionally embeds the *training data* -- the link lists
+of every fitted relation and the raw attribute observation tables --
+whenever the saved result still carries them (any fresh fit does).
+That makes a reloaded model **refit-capable**: the network rebuilt by
+:meth:`ModelArtifact.to_result` has its edges and observations back,
+and :meth:`ModelArtifact.to_state` yields a
+:class:`~repro.core.state.ModelState` that can warm-start a full new
+``GenClus`` fit (the lifecycle loop: fit -> save -> load -> extend ->
+promote).  The bundle grows from ``O(nK)`` to
+``O(nK + |E| + |obs|)``; pass ``schema_version=1`` to
+:func:`save_artifact` for the old serve-only layout.  **Schema v1
+bundles still load** -- they reconstruct a serve-only model (nodes and
+schema, no links), exactly as before.
 """
 
 from __future__ import annotations
@@ -40,15 +48,22 @@ from pathlib import Path
 from typing import Any
 
 import numpy as np
+from scipy import sparse
 
 from repro.core.diagnostics import IterationRecord, RunHistory
 from repro.core.result import GenClusResult
+from repro.core.state import training_data_available
 from repro.exceptions import SerializationError
+from repro.hin.attributes import (
+    NumericAttribute,
+    TextAttribute,
+)
 from repro.hin.network import HeterogeneousNetwork
 from repro.hin.schema import NetworkSchema
 
 FORMAT = "repro.serving/artifact"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 _SCALARS = (str, int, float, bool)
 
@@ -80,6 +95,15 @@ class ModelArtifact:
         :class:`~repro.core.result.GenClusResult` uses.
     history:
         The fit's :class:`~repro.core.diagnostics.RunHistory`.
+    edges:
+        Schema v2 refit payload: ``{relation: (sources, targets,
+        weights)}`` index arrays of the training links, or ``None``
+        for serve-only artifacts (schema v1 loads).
+    observations:
+        Schema v2 refit payload: per fitted attribute, the raw
+        observation table in compiled form (text: ``node_indices`` +
+        counts CSR pieces; numeric: ``node_indices``/``values``/
+        ``owners``), or ``None`` for serve-only artifacts.
     """
 
     theta: np.ndarray
@@ -91,11 +115,24 @@ class ModelArtifact:
     object_types: tuple[str, ...]
     attribute_params: dict[str, dict]
     history: RunHistory
+    edges: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] | None = (
+        None
+    )
+    observations: dict[str, dict[str, Any]] | None = None
+    source_schema_version: int = SCHEMA_VERSION
+    """Schema version of the bundle this artifact was read from
+    (:data:`SCHEMA_VERSION` for artifacts frozen in memory)."""
 
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
         return int(self.theta.shape[0])
+
+    @property
+    def refit_capable(self) -> bool:
+        """Whether the artifact embeds the training data needed to
+        warm-start a full refit (schema v2 with payload)."""
+        return self.edges is not None and self.observations is not None
 
     @property
     def n_clusters(self) -> int:
@@ -107,8 +144,19 @@ class ModelArtifact:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_result(cls, result: GenClusResult) -> ModelArtifact:
-        """Freeze a fit into an artifact (arrays are copied)."""
+    def from_result(
+        cls,
+        result: GenClusResult,
+        include_training_data: bool = True,
+    ) -> ModelArtifact:
+        """Freeze a fit into an artifact (arrays are copied).
+
+        When ``include_training_data`` is true (the default) and the
+        result's network still carries its links and the fitted
+        attribute tables, they are embedded as the schema-v2 refit
+        payload.  Results reloaded from serve-only (v1) bundles lack
+        that data and freeze serve-only again.
+        """
         network = result.network
         for node in network.node_ids:
             if not isinstance(node, _SCALARS):
@@ -120,6 +168,43 @@ class ModelArtifact:
             rel.name: (rel.source, rel.target)
             for rel in network.schema.relations
         }
+        edges: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] | None
+        observations: dict[str, dict[str, Any]] | None
+        edges = observations = None
+        has_training_data = training_data_available(
+            network, tuple(result.attribute_params), result.relation_names
+        )
+        if include_training_data and has_training_data:
+            edges = {}
+            for name in result.relation_names:
+                sources, targets, weights = network.edge_arrays(name)
+                edges[name] = (
+                    np.asarray(sources, dtype=np.int64),
+                    np.asarray(targets, dtype=np.int64),
+                    np.asarray(weights, dtype=np.float64),
+                )
+            node_index = network.node_index
+            observations = {}
+            for name in result.attribute_params:
+                attribute = network.attribute(name)
+                if isinstance(attribute, TextAttribute):
+                    compiled = attribute.compile(node_index)
+                    counts = compiled.counts.tocsr()
+                    observations[name] = {
+                        "kind": "categorical",
+                        "node_indices": compiled.node_indices.copy(),
+                        "data": counts.data.copy(),
+                        "indices": counts.indices.copy(),
+                        "indptr": counts.indptr.copy(),
+                    }
+                else:
+                    compiled = attribute.compile(node_index)
+                    observations[name] = {
+                        "kind": "gaussian",
+                        "node_indices": compiled.node_indices.copy(),
+                        "values": compiled.values.copy(),
+                        "owners": compiled.owners.copy(),
+                    }
         return cls(
             theta=np.asarray(result.theta, dtype=np.float64).copy(),
             gamma=np.asarray(result.gamma, dtype=np.float64).copy(),
@@ -134,10 +219,56 @@ class ModelArtifact:
             ),
             attribute_params=_copy_params(result.attribute_params),
             history=result.history,
+            edges=edges,
+            observations=observations,
         )
 
     def to_result(self) -> GenClusResult:
-        """Rebuild a :class:`GenClusResult` (node-only network, no links)."""
+        """Rebuild a :class:`GenClusResult`.
+
+        Refit-capable artifacts reconstruct the **full** training
+        network -- nodes, links, and attribute tables -- so the result
+        can seed a new :class:`~repro.core.state.ModelState`; serve-only
+        (v1) artifacts reconstruct nodes and schema without links, as
+        before.
+        """
+        return GenClusResult(
+            theta=self.theta.copy(),
+            gamma=self.gamma.copy(),
+            relation_names=self.relation_names,
+            attribute_params=_copy_params(self.attribute_params),
+            history=self.history,
+            network=self._build_network(include_training_data=True),
+        )
+
+    def to_state(self):
+        """Rebuild lifecycle state: refit-capable for schema-v2 bundles
+        with embedded training data, serve-only otherwise (v1).
+
+        The training payload is decoded **lazily**: serving starts on
+        the ``O(nK)`` arrays alone, and the per-edge/per-observation
+        reconstruction runs only when the state's refit path
+        (``to_problem`` / ``promote``) first needs it.
+        """
+        from repro.core.state import ModelState
+
+        return ModelState(
+            network=self._build_network(include_training_data=False),
+            matrices=None,
+            theta=self.theta.copy(),
+            gamma=self.gamma.copy(),
+            relation_names=self.relation_names,
+            attribute_names=tuple(self.attribute_params),
+            attribute_params=_copy_params(self.attribute_params),
+            refit_capable=self.refit_capable,
+            hydrator=(
+                self._hydrated_views if self.refit_capable else None
+            ),
+        )
+
+    def _build_network(
+        self, include_training_data: bool
+    ) -> HeterogeneousNetwork:
         schema = NetworkSchema()
         for name in self.object_types:
             schema.add_object_type(name)
@@ -146,19 +277,90 @@ class ModelArtifact:
         network = HeterogeneousNetwork(schema)
         for node, object_type in zip(self.node_ids, self.node_types):
             network.add_node(node, object_type)
-        return GenClusResult(
-            theta=self.theta.copy(),
-            gamma=self.gamma.copy(),
+        if include_training_data and self.refit_capable:
+            self._restore_training_data(network)
+        return network
+
+    def _hydrated_views(self):
+        """The deferred refit payload: full training network plus link
+        views built straight from the stored edge arrays (vectorized
+        CSR construction in the fit's relation order)."""
+        from repro.hin.views import RelationMatrices
+
+        network = self._build_network(include_training_data=True)
+        n = self.num_nodes
+        mats = []
+        for name in self.relation_names:
+            sources, targets, weights = self.edges[name]
+            mats.append(
+                sparse.csr_matrix(
+                    (weights, (sources, targets)), shape=(n, n)
+                )
+            )
+        matrices = RelationMatrices(
             relation_names=self.relation_names,
-            attribute_params=_copy_params(self.attribute_params),
-            history=self.history,
-            network=network,
+            matrices=tuple(mats),
+            num_nodes=n,
         )
+        return network, matrices
+
+    def _restore_training_data(
+        self, network: HeterogeneousNetwork
+    ) -> None:
+        """Re-add embedded edges and observation tables to a rebuilt
+        node-only network (ids resolved through ``node_ids`` order)."""
+        ids = self.node_ids
+        for name, (sources, targets, weights) in self.edges.items():
+            for src, dst, weight in zip(sources, targets, weights):
+                network.add_edge(
+                    ids[int(src)], ids[int(dst)], name, float(weight)
+                )
+        for name, payload in self.observations.items():
+            if payload["kind"] == "categorical":
+                vocabulary = self.attribute_params[name]["vocabulary"]
+                attribute = TextAttribute(
+                    name, frozen_vocabulary=vocabulary
+                )
+                counts = sparse.csr_matrix(
+                    (
+                        payload["data"],
+                        payload["indices"],
+                        payload["indptr"],
+                    ),
+                    shape=(
+                        payload["node_indices"].shape[0],
+                        len(vocabulary),
+                    ),
+                )
+                for row, node_idx in enumerate(payload["node_indices"]):
+                    start, stop = counts.indptr[row], counts.indptr[row + 1]
+                    attribute.add_counts(
+                        ids[int(node_idx)],
+                        {
+                            vocabulary[int(col)]: float(val)
+                            for col, val in zip(
+                                counts.indices[start:stop],
+                                counts.data[start:stop],
+                            )
+                        },
+                    )
+            else:
+                attribute = NumericAttribute(name)
+                node_indices = payload["node_indices"]
+                values = payload["values"]
+                owners = payload["owners"]
+                for value, owner in zip(values, owners):
+                    attribute.add_value(
+                        ids[int(node_indices[int(owner)])], float(value)
+                    )
+            network.add_attribute(attribute)
 
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> Path:
+    def save(
+        self, path: str | Path, schema_version: int = SCHEMA_VERSION
+    ) -> Path:
         """Write the artifact as a single ``.npz`` bundle; returns path."""
-        return save_artifact(self, path)
+        return save_artifact(self, path, schema_version=schema_version)
 
     @classmethod
     def load(cls, path: str | Path) -> ModelArtifact:
@@ -167,9 +369,14 @@ class ModelArtifact:
 
     def summary(self) -> str:
         """Readable overview of the persisted model."""
+        capability = (
+            "refit-capable (training data embedded)"
+            if self.refit_capable
+            else "serve-only"
+        )
         lines = [
-            f"GenClus artifact (schema v{SCHEMA_VERSION}): "
-            f"{self.num_nodes} nodes, K={self.n_clusters}",
+            f"GenClus artifact (schema v{self.source_schema_version}): "
+            f"{self.num_nodes} nodes, K={self.n_clusters}, {capability}",
             "object types: " + ", ".join(self.object_types),
             "link-type strengths:",
         ]
@@ -192,8 +399,21 @@ class ModelArtifact:
 # ----------------------------------------------------------------------
 # on-disk format
 # ----------------------------------------------------------------------
-def save_artifact(artifact: ModelArtifact, path: str | Path) -> Path:
-    """Serialize to one ``.npz``: arrays + a JSON ``manifest`` entry."""
+def save_artifact(
+    artifact: ModelArtifact,
+    path: str | Path,
+    schema_version: int = SCHEMA_VERSION,
+) -> Path:
+    """Serialize to one ``.npz``: arrays + a JSON ``manifest`` entry.
+
+    ``schema_version=1`` writes the legacy serve-only layout (no
+    training-data payload) for interoperability with older readers.
+    """
+    if schema_version not in SUPPORTED_VERSIONS:
+        raise SerializationError(
+            f"cannot write schema version {schema_version!r} "
+            f"(supported: {SUPPORTED_VERSIONS})"
+        )
     path = Path(path)
     arrays: dict[str, np.ndarray] = {
         "theta": np.asarray(artifact.theta, dtype=np.float64),
@@ -242,9 +462,31 @@ def save_artifact(artifact: ModelArtifact, path: str | Path) -> Path:
         dtype=np.float64,
     ).reshape(len(records), 7)
 
+    embed_payload = (
+        schema_version >= 2 and artifact.refit_capable
+    )
+    if embed_payload:
+        for name, (sources, targets, weights) in artifact.edges.items():
+            arrays[f"edges/{name}/sources"] = np.asarray(
+                sources, dtype=np.int64
+            )
+            arrays[f"edges/{name}/targets"] = np.asarray(
+                targets, dtype=np.int64
+            )
+            arrays[f"edges/{name}/weights"] = np.asarray(
+                weights, dtype=np.float64
+            )
+        for name, payload in artifact.observations.items():
+            if payload["kind"] == "categorical":
+                keys = ("node_indices", "data", "indices", "indptr")
+            else:
+                keys = ("node_indices", "values", "owners")
+            for key in keys:
+                arrays[f"obs/{name}/{key}"] = np.asarray(payload[key])
+
     manifest = {
         "format": FORMAT,
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": schema_version,
         "n_clusters": artifact.n_clusters,
         "relation_names": list(artifact.relation_names),
         "relation_types": {
@@ -259,6 +501,8 @@ def save_artifact(artifact: ModelArtifact, path: str | Path) -> Path:
         "attributes": attributes,
         "arrays": sorted(arrays),
     }
+    if schema_version >= 2:
+        manifest["refit_capable"] = embed_payload
     arrays["manifest"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
@@ -293,10 +537,10 @@ def load_artifact(path: str | Path) -> ModelArtifact:
             f"expected {FORMAT!r}"
         )
     version = manifest.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise SerializationError(
             f"artifact schema version {version!r} is not supported by "
-            f"this library (supported: {SCHEMA_VERSION}); "
+            f"this library (supported: {SUPPORTED_VERSIONS}); "
             f"re-export the model or upgrade the library"
         )
     try:
@@ -382,6 +626,59 @@ def _decode(
             )
         )
 
+    edges: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] | None
+    observations: dict[str, dict[str, Any]] | None
+    edges = observations = None
+    if manifest.get("refit_capable"):
+        edges = {
+            name: (
+                np.asarray(
+                    payload[f"edges/{name}/sources"], dtype=np.int64
+                ),
+                np.asarray(
+                    payload[f"edges/{name}/targets"], dtype=np.int64
+                ),
+                np.asarray(
+                    payload[f"edges/{name}/weights"], dtype=np.float64
+                ),
+            )
+            for name in relation_names
+        }
+        observations = {}
+        for entry in manifest["attributes"]:
+            name = entry["name"]
+            if entry["kind"] == "categorical":
+                observations[name] = {
+                    "kind": "categorical",
+                    "node_indices": np.asarray(
+                        payload[f"obs/{name}/node_indices"],
+                        dtype=np.int64,
+                    ),
+                    "data": np.asarray(
+                        payload[f"obs/{name}/data"], dtype=np.float64
+                    ),
+                    "indices": np.asarray(
+                        payload[f"obs/{name}/indices"], dtype=np.int64
+                    ),
+                    "indptr": np.asarray(
+                        payload[f"obs/{name}/indptr"], dtype=np.int64
+                    ),
+                }
+            else:
+                observations[name] = {
+                    "kind": "gaussian",
+                    "node_indices": np.asarray(
+                        payload[f"obs/{name}/node_indices"],
+                        dtype=np.int64,
+                    ),
+                    "values": np.asarray(
+                        payload[f"obs/{name}/values"], dtype=np.float64
+                    ),
+                    "owners": np.asarray(
+                        payload[f"obs/{name}/owners"], dtype=np.int64
+                    ),
+                }
+
     return ModelArtifact(
         theta=theta,
         gamma=gamma,
@@ -395,6 +692,9 @@ def _decode(
         object_types=tuple(manifest["object_types"]),
         attribute_params=attribute_params,
         history=history,
+        edges=edges,
+        observations=observations,
+        source_schema_version=int(manifest["schema_version"]),
     )
 
 

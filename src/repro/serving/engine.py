@@ -1,41 +1,54 @@
 """The online inference engine: a loaded model that answers queries.
 
-:class:`InferenceEngine` wraps a frozen fitted model and supports two
-serving modes:
+:class:`InferenceEngine` wraps a :class:`~repro.core.state.ModelState`
+-- the same mutable, versioned container the trainer reads and writes
+-- and drives it through the serving stages of the model lifecycle:
 
 * **Durable deltas** -- :meth:`InferenceEngine.extend` folds a batch of
-  new nodes in and *appends* them to the engine's index space, so later
-  queries and deltas can link to them; :meth:`InferenceEngine.add_links`
-  accumulates new out-links onto already-folded nodes and re-folds the
-  extension (never the frozen base).  The full problem is never
-  recompiled; note that ``add_links`` does re-fold the whole extension
-  set (new links into an extension node can shift other extension
-  nodes transitively), so high-rate streaming deltas should be batched
-  (see ROADMAP for the O(delta) follow-up).
+  new nodes in and *appends* them to the shared state's index space, so
+  later queries and deltas can link to them;
+  :meth:`InferenceEngine.add_links` accumulates new out-links onto
+  already-folded nodes and re-folds **only the touched component**: the
+  extension nodes reverse-reachable from the delta's sources through
+  extension-to-extension links (every other row is provably at its
+  fixed point already), so a delta costs ``O(component)`` rather than
+  ``O(total extension)``.
 * **Transient queries** -- :meth:`InferenceEngine.query` scores a
   hypothetical node (links + observations) without mutating any state.
-  Results are memoized in an LRU cache keyed on the canonicalized query,
-  so repeated identical queries -- the dominant pattern under serving
-  traffic -- cost a dictionary hit.  Any delta invalidates the cache.
+  Results are memoized in an LRU cache keyed on the canonicalized
+  query; any delta invalidates the cache.
+* **Promotion** -- :meth:`InferenceEngine.promote` closes the loop:
+  folded-in nodes and their accumulated links become first-class
+  training data in a full ``GenClus`` fit *warm-started* from the
+  served theta/gamma (the state's link views are patched, not rebuilt).
+  The engine then serves the promoted model with an empty extension
+  space.
+* **Bounded extension space** -- :meth:`InferenceEngine.evict` drops
+  the least-recently-used extension nodes beyond a budget, and
+  :meth:`InferenceEngine.info` reports extension-space telemetry (node
+  count, buffer bytes, fold-in sweep counters).
 
-Everything learned in the fit stays frozen: base memberships, gamma,
-and attribute component parameters are never touched by serving.
+Base memberships, gamma, and attribute component parameters stay
+frozen under serving; only :meth:`promote` re-learns them.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from repro.core.config import GenClusConfig
+from repro.core.genclus import GenClus
+from repro.core.result import GenClusResult
+from repro.core.state import ModelState
 from repro.exceptions import ServingError
 from repro.serving.artifact import SCHEMA_VERSION, ModelArtifact
 from repro.serving.foldin import (
     FoldInOutcome,
-    FrozenModel,
     NewNode,
     fold_in,
 )
@@ -49,7 +62,9 @@ class InferenceEngine:
     Parameters
     ----------
     artifact:
-        The fitted model to serve.
+        The fitted model to serve.  Schema-v2 artifacts (and any
+        in-memory fit) are refit-capable: :meth:`promote` works.
+        Schema-v1 artifacts serve and absorb deltas but cannot refit.
     cache_size:
         Maximum memoized transient queries (0 disables the cache).
     max_iterations, tol:
@@ -71,24 +86,25 @@ class InferenceEngine:
             raise ServingError(
                 f"max_iterations must be >= 1, got {max_iterations}"
             )
-        self._artifact = artifact
-        self._base = FrozenModel.from_artifact(artifact)
-        self._model = self._base
-        self._extensions: dict[object, NewNode] = {}
-        # growable extension state, materialized on the first delta:
-        # theta rows live in a doubling-capacity buffer and the node
-        # index/type containers are mutated in place, so each extend is
-        # amortized O(delta) instead of O(base + total extension)
-        self._theta_buf: np.ndarray | None = None
-        self._size = self._base.num_nodes
-        self._live_index: dict[object, int] | None = None
-        self._live_types: list[str] | None = None
+        self._artifact: ModelArtifact | None = artifact
+        self._promoted_result = None
+        self._state = artifact.to_state()
+        self._model = self._state.frozen_view()
         self._max_iterations = max_iterations
         self._tol = tol
         self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._cache_size = cache_size
         self._hits = 0
         self._misses = 0
+        # lifecycle telemetry
+        self._clock = 0  # monotonic operation counter ("query age")
+        self._last_used: dict[object, int] = {}
+        self._foldin_sweeps = 0
+        self._extend_count = 0
+        self._link_delta_count = 0
+        self._refolded_rows = 0
+        self._evicted_total = 0
+        self._promotions = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -108,25 +124,40 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     @property
     def artifact(self) -> ModelArtifact:
-        """The artifact the engine was built from (frozen base model)."""
+        """The artifact of the currently served base model (refreshed
+        by :meth:`promote`, frozen lazily on first access)."""
+        if self._artifact is None:
+            self._artifact = ModelArtifact.from_result(
+                self._promoted_result
+            )
         return self._artifact
 
     @property
+    def state(self) -> ModelState:
+        """The shared lifecycle state the engine reads and mutates."""
+        return self._state
+
+    @property
     def n_clusters(self) -> int:
-        return self._model.n_clusters
+        return self._state.n_clusters
 
     @property
     def num_nodes(self) -> int:
         """Base plus folded-in extension nodes."""
-        return self._model.num_nodes
+        return self._state.num_nodes
 
     @property
     def num_base_nodes(self) -> int:
-        return self._base.num_nodes
+        return self._state.num_base_nodes
 
     @property
     def num_extension_nodes(self) -> int:
-        return self._model.num_nodes - self._base.num_nodes
+        return self._state.num_extension_nodes
+
+    @property
+    def refit_capable(self) -> bool:
+        """Whether :meth:`promote` can run (training data available)."""
+        return self._state.refit_capable
 
     def has_node(self, node: object) -> bool:
         return node in self._model.node_index
@@ -138,6 +169,7 @@ class InferenceEngine:
             raise ServingError(
                 f"node {node!r} is not served by this engine"
             )
+        self._touch_usage(node)
         return self._model.theta[index].copy()
 
     def hard_label_of(self, node: object) -> int:
@@ -154,9 +186,19 @@ class InferenceEngine:
         }
 
     def info(self) -> dict[str, Any]:
-        """Operational snapshot: model shape, strengths, cache stats."""
+        """Operational snapshot: model shape, strengths, cache stats,
+        extension-space telemetry, and fold-in counters."""
+        state = self._state
+        # after a promote the served base is an in-memory fit (current
+        # schema); otherwise report the loaded bundle's actual version
+        schema_version = (
+            self._artifact.source_schema_version
+            if self._artifact is not None
+            else SCHEMA_VERSION
+        )
         return {
-            "schema_version": SCHEMA_VERSION,
+            "schema_version": schema_version,
+            "refit_capable": state.refit_capable,
             "n_clusters": self.n_clusters,
             "num_base_nodes": self.num_base_nodes,
             "num_extension_nodes": self.num_extension_nodes,
@@ -172,6 +214,20 @@ class InferenceEngine:
                 "hits": self._hits,
                 "misses": self._misses,
             },
+            "extension": {
+                "nodes": state.num_extension_nodes,
+                "links": state.extension_link_count(),
+                "capacity_rows": state.theta_capacity,
+                "theta_bytes": state.theta_bytes,
+                "evicted_total": self._evicted_total,
+            },
+            "foldin": {
+                "sweeps": self._foldin_sweeps,
+                "extends": self._extend_count,
+                "link_deltas": self._link_delta_count,
+                "refolded_rows": self._refolded_rows,
+                "promotions": self._promotions,
+            },
         }
 
     # ------------------------------------------------------------------
@@ -181,7 +237,9 @@ class InferenceEngine:
         """Fold a batch in and append it to the served index space.
 
         Later queries, extensions, and link deltas may reference the
-        appended nodes.  The transient-query cache is invalidated.
+        appended nodes, and :meth:`promote` will materialize them (and
+        their observations) into training data.  The transient-query
+        cache is invalidated.
         """
         outcome = fold_in(
             self._model,
@@ -189,10 +247,14 @@ class InferenceEngine:
             max_iterations=self._max_iterations,
             tol=self._tol,
         )
+        self._foldin_sweeps += outcome.iterations
         if nodes:
-            self._append(nodes, outcome.theta)
+            self._state.append_extensions(tuple(nodes), outcome.theta)
+            self._extend_count += 1
+            self._clock += 1
             for spec in nodes:
-                self._extensions[spec.node] = spec
+                self._last_used[spec.node] = self._clock
+            self._model = self._state.frozen_view()
             self._invalidate_cache()
         return outcome
 
@@ -204,10 +266,17 @@ class InferenceEngine:
 
         Sources must be *extension* nodes: base memberships are frozen,
         so a new out-link on a base node could never change a score --
-        rejecting it loudly beats silently ignoring it.  The extension
-        is then re-folded against the frozen base with the accumulated
-        link sets, and the served rows are refreshed in place.
+        rejecting it loudly beats silently ignoring it.
+
+        Only the **touched component** is re-folded: the delta's
+        sources plus every extension node that reaches one of them via
+        out-links (a node's fixed point depends solely on its
+        observations and its out-neighbours' memberships, so everything
+        outside that reverse-reachable set keeps its row verbatim).
+        The re-fold runs against base + untouched extensions, and the
+        shared state is only mutated after the whole delta validates.
         """
+        state = self._state
         merged: dict[object, list[tuple[str, object, float]]] = {}
         for link in links:
             if len(link) == 3:
@@ -220,8 +289,8 @@ class InferenceEngine:
                     f"link {link!r} must be "
                     f"(source, relation, target[, weight])"
                 )
-            if source not in self._extensions:
-                if source in self._base.node_index:
+            if not state.is_extension(source):
+                if state.network.has_node(source):
                     raise ServingError(
                         f"node {source!r} belongs to the frozen base "
                         f"model; its membership cannot change, so the "
@@ -234,9 +303,9 @@ class InferenceEngine:
             merged.setdefault(source, []).append(
                 (relation, target, float(weight))
             )
-        updated = dict(self._extensions)
+        updated: dict[object, NewNode] = {}
         for source, new_links in merged.items():
-            spec = updated[source]
+            spec = state.extension_spec(source)
             updated[source] = NewNode(
                 node=spec.node,
                 object_type=spec.object_type,
@@ -244,71 +313,173 @@ class InferenceEngine:
                 text=spec.text,
                 numeric=spec.numeric,
             )
+        touched = state.touched_component(merged)
+        specs = [
+            updated.get(node, state.extension_spec(node))
+            for node in touched
+        ]
         # validate + score first; commit only on success so a bad delta
         # cannot leave the engine half-updated
-        specs = list(updated.values())
         outcome = fold_in(
-            self._base,
+            self._model.without(touched),
             specs,
             max_iterations=self._max_iterations,
             tol=self._tol,
         )
-        self._extensions = updated
-        if specs:
-            # `updated` preserves the original extension order, so the
-            # re-folded rows land exactly on their existing slots -- the
-            # index/type containers and the served view are unchanged
-            self._theta_buf[self._base.num_nodes : self._size] = (
-                outcome.theta
-            )
+        self._foldin_sweeps += outcome.iterations
+        if merged:
+            state.commit_link_delta(updated)
+            state.replace_extension_rows(touched, outcome.theta)
+            self._link_delta_count += 1
+            self._refolded_rows += len(touched)
+            self._clock += 1
+            for source in merged:
+                self._last_used[source] = self._clock
+            self._model = self._state.frozen_view()
         self._invalidate_cache()
         return outcome
 
-    def _append(
-        self, nodes: Sequence[NewNode], theta_new: np.ndarray
-    ) -> None:
-        """Append freshly folded rows to the growable served model.
+    # ------------------------------------------------------------------
+    # extension-space management
+    # ------------------------------------------------------------------
+    def evict(self, max_nodes: int) -> tuple[object, ...]:
+        """Shrink the extension space to at most ``max_nodes`` nodes.
 
-        Amortized ``O(len(nodes))``: the theta buffer doubles its
-        capacity geometrically (one base copy on the first delta, then
-        row writes), and the node index/type containers are mutated in
-        place.  A new :class:`FrozenModel` façade is assembled per
-        delta, but it only holds references -- no per-delta copy of the
-        base state.
+        Eviction order is least-recently-used by *query age*: the
+        operation clock advances on every delta, and a node's age
+        refreshes when it is created, read (:meth:`membership_of`),
+        re-linked, or referenced by a transient query.  A node that a
+        surviving extension node links to is **pinned** (its membership
+        row backs the survivor's future re-folds); pinned nodes are
+        skipped and survive even beyond the budget.
+
+        Returns the evicted node ids (oldest first).  Evicted nodes
+        leave the served index space entirely -- and will not be part
+        of a later :meth:`promote`.
         """
-        base = self._base
-        k = base.n_clusters
-        if self._theta_buf is None:
-            capacity = base.num_nodes + max(len(nodes), 64)
-            self._theta_buf = np.empty((capacity, k))
-            self._theta_buf[: base.num_nodes] = base.theta
-            self._live_index = dict(base.node_index)
-            self._live_types = list(base.node_types)
-        needed = self._size + len(nodes)
-        if needed > self._theta_buf.shape[0]:
-            capacity = max(needed, 2 * self._theta_buf.shape[0])
-            grown = np.empty((capacity, k))
-            grown[: self._size] = self._theta_buf[: self._size]
-            self._theta_buf = grown
-        self._theta_buf[self._size : needed] = theta_new
-        for offset, spec in enumerate(nodes):
-            self._live_index[spec.node] = self._size + offset
-            self._live_types.append(spec.object_type)
-        self._size = needed
-        served = FrozenModel(
-            theta=self._theta_buf[: self._size],
-            gamma=base.gamma,
-            relation_names=base.relation_names,
-            relation_types=base.relation_types,
-            object_types=base.object_types,
-            node_index=self._live_index,
-            node_types=self._live_types,
-            attribute_params=base.attribute_params,
+        if max_nodes < 0:
+            raise ServingError(
+                f"max_nodes must be >= 0, got {max_nodes}"
+            )
+        state = self._state
+        excess = state.num_extension_nodes - max_nodes
+        if excess <= 0:
+            return ()
+        row = state.node_index
+        # fully deterministic order: query age, then served row --
+        # never set iteration order (nodes extended in one batch share
+        # an age, and pin sets are unordered)
+        def order_key(node):
+            return (self._last_used.get(node, 0), row[node])
+
+        # worklist selection: each node is examined once per resolved
+        # blocker (O(nodes + dependency links) total, no quadratic
+        # multi-pass); nodes pinned by a never-chosen survivor stay
+        # parked in `blocked_on` and survive
+        queue = deque(sorted(state.extension_nodes(), key=order_key))
+        blocked_on: dict[object, list[object]] = {}
+        chosen_set: set[object] = set()
+        while queue and len(chosen_set) < excess:
+            node = queue.popleft()
+            # a node pins itself only through *other* survivors: a
+            # self-link dies with the node, so it never blocks
+            pins = (
+                state.extension_dependants(node)
+                - chosen_set
+                - {node}
+            )
+            if pins:
+                blocker = min(pins, key=lambda n: row[n])
+                blocked_on.setdefault(blocker, []).append(node)
+                continue
+            chosen_set.add(node)
+            for waiter in blocked_on.pop(node, ()):
+                queue.append(waiter)
+        if not chosen_set:
+            return ()
+        # capture the report order before eviction renumbers the rows
+        chosen = tuple(sorted(chosen_set, key=order_key))
+        state.evict_extensions(chosen_set)
+        for node in chosen:
+            self._last_used.pop(node, None)
+        self._evicted_total += len(chosen)
+        self._model = state.frozen_view()
+        self._invalidate_cache()
+        return chosen
+
+    # ------------------------------------------------------------------
+    # promotion: refit from extended state
+    # ------------------------------------------------------------------
+    def promote(
+        self, config: GenClusConfig | None = None
+    ) -> GenClusResult:
+        """Refit from the extended state and serve the promoted model.
+
+        Folded-in nodes, their accumulated links, and their
+        observations are materialized into a full clustering problem
+        (link views patched from the base fit's operator, not rebuilt)
+        and Algorithm 1 runs **warm-started** from the served
+        theta/gamma/attribute parameters.  Starting at an
+        already-converged interior point, the refit typically needs far
+        fewer outer iterations than a cold fit of the same extended
+        network -- and its final ``g1`` is verifiable against the cold
+        fit's through both results' histories.
+
+        Afterwards the engine serves the promoted model: the returned
+        result becomes the new frozen base, the extension space is
+        empty, and the query cache is cold.
+
+        Parameters
+        ----------
+        config:
+            Controls for the refit.  Defaults to
+            ``GenClusConfig(n_clusters=K)`` with the library's standard
+            budgets; ``n_clusters`` must match the served model.
+
+        Raises
+        ------
+        ServingError
+            If the served model is not refit-capable (schema-v1
+            artifact: no training links/observations) or the config
+            disagrees on ``K``.
+        """
+        state = self._state
+        if not state.refit_capable:
+            raise ServingError(
+                "cannot promote: the served model is serve-only (no "
+                "embedded training data; re-export it as a schema-v2 "
+                "artifact from the original fit)"
+            )
+        if config is None:
+            config = GenClusConfig(n_clusters=state.n_clusters)
+        elif config.n_clusters != state.n_clusters:
+            raise ServingError(
+                f"promote config has n_clusters={config.n_clusters}, "
+                f"but the served model has K={state.n_clusters}"
+            )
+        problem = state.to_problem()
+        result = GenClus(config).fit_problem(problem, warm_start=state)
+        # rebase: the promoted fit is the new frozen base; reuse the
+        # patched link views (and their operator) for the next cycle
+        self._state = ModelState(
+            network=problem.network,
+            matrices=problem.matrices,
+            theta=result.theta,
+            gamma=result.gamma,
+            relation_names=problem.matrices.relation_names,
+            attribute_names=problem.attribute_names,
+            attribute_params=result.attribute_params,
+            refit_capable=True,
         )
-        # carry the per-model vocabulary cache across deltas (it only
-        # depends on the frozen attribute params)
-        served.__dict__["vocabulary_index"] = self._model.vocabulary_index
-        self._model = served
+        # the served artifact is stale now; refreeze lazily on the next
+        # `.artifact` access instead of paying the copies every cycle
+        self._artifact = None
+        self._promoted_result = result
+        self._model = self._state.frozen_view()
+        self._last_used = {}
+        self._promotions += 1
+        self._invalidate_cache()
+        return result
 
     # ------------------------------------------------------------------
     # transient queries
@@ -336,6 +507,7 @@ class InferenceEngine:
         except ServingError as exc:
             raise _dequalify(exc) from None
         key = _canonical_key(spec)
+        self._touch_query_targets(spec)
         cached = self._cache.get(key)
         if cached is not None:
             self._hits += 1
@@ -351,6 +523,7 @@ class InferenceEngine:
             )
         except ServingError as exc:
             raise _dequalify(exc) from None
+        self._foldin_sweeps += outcome.iterations
         membership = outcome.theta[0]
         if self._cache_size > 0:
             self._cache[key] = membership.copy()
@@ -369,6 +542,24 @@ class InferenceEngine:
         return int(
             np.argmax(self.query(object_type, links, text, numeric))
         )
+
+    # ------------------------------------------------------------------
+    def _touch_usage(self, node: object) -> None:
+        if self._state.is_extension(node):
+            self._clock += 1
+            self._last_used[node] = self._clock
+
+    def _touch_query_targets(self, spec: NewNode) -> None:
+        """Refresh the LRU age of extension nodes a query links to."""
+        touched = [
+            target
+            for _, target, _ in spec.links
+            if self._state.is_extension(target)
+        ]
+        if touched:
+            self._clock += 1
+            for target in touched:
+                self._last_used[target] = self._clock
 
     def _invalidate_cache(self) -> None:
         self._cache.clear()

@@ -189,6 +189,28 @@ class FrozenModel:
             if params["kind"] == "categorical"
         }
 
+    def without(self, nodes: Iterable[object]) -> FrozenModel:
+        """A view of this model with some served nodes *hidden*.
+
+        Used to re-fold a subset of already-served extension nodes: the
+        subset must look unseen to :func:`fold_in` (it re-enters as the
+        batch), while every other served row stays a valid link target.
+        Theta rows of hidden nodes are never read -- their ids resolve
+        through the batch index instead.
+        """
+        masked = FrozenModel(
+            theta=self.theta,
+            gamma=self.gamma,
+            relation_names=self.relation_names,
+            relation_types=self.relation_types,
+            object_types=self.object_types,
+            node_index=_MaskedIndex(self.node_index, frozenset(nodes)),
+            node_types=self.node_types,
+            attribute_params=self.attribute_params,
+        )
+        masked.__dict__["vocabulary_index"] = self.vocabulary_index
+        return masked
+
     @classmethod
     def from_artifact(cls, artifact) -> FrozenModel:
         """Freeze an artifact for serving (arrays shared, not copied)."""
@@ -205,6 +227,37 @@ class FrozenModel:
 
     def type_of(self, node: object) -> str:
         return self.node_types[self.node_index[node]]
+
+
+class _MaskedIndex(Mapping):
+    """A live node-index mapping with a set of ids hidden.
+
+    O(1) per lookup and O(|hidden|) to build -- no copy of the
+    underlying (possibly very large) index.  ``hidden`` must be a
+    subset of the base mapping's keys.
+    """
+
+    __slots__ = ("_base", "_hidden")
+
+    def __init__(
+        self, base: Mapping[object, int], hidden: frozenset
+    ) -> None:
+        self._base = base
+        self._hidden = hidden
+
+    def __getitem__(self, key: object) -> int:
+        if key in self._hidden:
+            raise KeyError(key)
+        return self._base[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key not in self._hidden and key in self._base
+
+    def __iter__(self):
+        return (key for key in self._base if key not in self._hidden)
+
+    def __len__(self) -> int:
+        return len(self._base) - len(self._hidden)
 
 
 @dataclass(frozen=True)

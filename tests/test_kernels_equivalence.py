@@ -225,6 +225,125 @@ class TestPropagationOperator:
         )
 
 
+class TestPatchOnGrow:
+    """Growing the operator by appending rows (``grown`` /
+    ``append_relation_rows``) must be bit-identical to building a fresh
+    operator over the fully rebuilt matrices."""
+
+    @staticmethod
+    def _grow_pair(seed, n=24, m=7, num_relations=3, deltas=9):
+        from repro.hin.views import (
+            RelationMatrices,
+            append_relation_rows,
+            extend_relation_matrices,
+        )
+
+        rng = np.random.default_rng(seed)
+        mats = random_matrices(rng, n, num_relations)
+        names = tuple(f"r{r}" for r in range(num_relations))
+        base = RelationMatrices(
+            relation_names=names, matrices=tuple(mats), num_nodes=n
+        )
+        links = {}
+        for name in names:
+            entries = []
+            for _ in range(deltas):
+                source = int(rng.integers(n, n + m))
+                target = int(rng.integers(0, n + m))
+                entries.append((source, target, float(rng.random()) + 0.1))
+            links[name] = entries
+        patched = append_relation_rows(base, m, links)
+        rebuilt = extend_relation_matrices(base, m, links)
+        return base, patched, rebuilt, rng
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_grown_combined_matches_rebuilt(self, seed):
+        base, patched, rebuilt, rng = self._grow_pair(seed)
+        fresh = PropagationOperator(
+            rebuilt.matrices,
+            shape=(rebuilt.num_nodes, rebuilt.num_nodes),
+        )
+        for _ in range(3):  # several gamma rewrites over the patch
+            gamma = rng.random(base.num_relations) * 2
+            np.testing.assert_array_equal(
+                patched.operator.combined(gamma).toarray(),
+                fresh.combined(gamma).toarray(),
+            )
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_grown_propagate_matches_reference(self, seed):
+        base, patched, rebuilt, rng = self._grow_pair(seed)
+        k = 4
+        total = rebuilt.num_nodes
+        theta = rng.dirichlet(np.ones(k), size=total)
+        gamma = rng.random(base.num_relations) * 2
+        reference = np.zeros((total, k))
+        for g, matrix in zip(gamma, rebuilt.matrices):
+            reference += g * (matrix @ theta)
+        np.testing.assert_allclose(
+            patched.operator.propagate(theta, gamma),
+            reference,
+            rtol=RTOL,
+            atol=1e-14,
+        )
+
+    def test_grown_matrices_equal_rebuilt(self):
+        base, patched, rebuilt, _ = self._grow_pair(5)
+        for grown, reference in zip(patched.matrices, rebuilt.matrices):
+            assert (grown != reference).nnz == 0
+
+    def test_base_operator_untouched_by_growth(self):
+        base, patched, _, rng = self._grow_pair(6)
+        gamma = rng.random(base.num_relations)
+        before = base.operator.combined(gamma).toarray().copy()
+        patched.operator.combined(gamma * 2.0)
+        np.testing.assert_array_equal(
+            base.operator.combined(gamma).toarray(), before
+        )
+        assert base.operator.shape == (base.num_nodes, base.num_nodes)
+
+    def test_zero_growth_is_identity(self):
+        from repro.hin.views import RelationMatrices, append_relation_rows
+
+        rng = np.random.default_rng(7)
+        mats = random_matrices(rng, 15, 2)
+        base = RelationMatrices(
+            relation_names=("a", "b"),
+            matrices=tuple(mats),
+            num_nodes=15,
+        )
+        grown = base.operator.grown(
+            [sparse.csr_matrix((0, 15)) for _ in range(2)], 0
+        )
+        gamma = np.array([0.7, 1.3])
+        np.testing.assert_array_equal(
+            grown.combined(gamma).toarray(),
+            base.operator.combined(gamma).toarray(),
+        )
+
+    def test_base_source_links_rejected(self):
+        from repro.hin.views import RelationMatrices, append_relation_rows
+
+        rng = np.random.default_rng(8)
+        mats = random_matrices(rng, 10, 1)
+        base = RelationMatrices(
+            relation_names=("a",), matrices=tuple(mats), num_nodes=10
+        )
+        with pytest.raises(ValueError, match="sources"):
+            append_relation_rows(base, 2, {"a": [(0, 11, 1.0)]})
+
+    def test_unknown_relation_rejected(self):
+        from repro.hin.views import RelationMatrices, append_relation_rows
+
+        rng = np.random.default_rng(9)
+        mats = random_matrices(rng, 10, 1)
+        base = RelationMatrices(
+            relation_names=("a",), matrices=tuple(mats), num_nodes=10
+        )
+        with pytest.raises(KeyError, match="ghost"):
+            append_relation_rows(base, 1, {"ghost": [(10, 0, 1.0)]})
+
+
 class TestSmallHelpers:
     @pytest.mark.parametrize("k", [1, 2, 4, 7, 9, 20])
     def test_row_sum_and_max(self, k):

@@ -104,15 +104,52 @@ class TestArtifactRoundtrip:
             loaded.history.g1_series(), forum_result.history.g1_series()
         )
 
-    def test_loaded_network_has_no_edges(self, forum_result, tmp_path):
-        """Training links are deliberately not persisted."""
+    def test_loaded_network_carries_training_edges(
+        self, forum_result, tmp_path
+    ):
+        """Schema v2 embeds the training links: a reloaded result's
+        network is refit-capable, edge for edge."""
         path = forum_result.save(tmp_path / "model.npz")
         loaded = GenClusResult.load(path)
-        assert loaded.network.num_edges() == 0
-        # ... but the relation declarations survive for fold-in checks
+        source = forum_result.network
+        assert loaded.network.num_edges() == source.num_edges()
+        for edge in source.edges():
+            assert (
+                loaded.network.edge_weight(
+                    edge.source, edge.target, edge.relation
+                )
+                == edge.weight
+            )
         assert set(loaded.network.schema.relation_names) == set(
-            forum_result.network.schema.relation_names
+            source.schema.relation_names
         )
+
+    def test_loaded_network_carries_observations(
+        self, forum_result, tmp_path
+    ):
+        """Schema v2 embeds the raw attribute tables, not just the
+        learned parameters."""
+        path = forum_result.save(tmp_path / "model.npz")
+        loaded = GenClusResult.load(path)
+        source = forum_result.network.attribute("text")
+        restored = loaded.network.attribute("text")
+        assert set(restored.nodes_with_observations()) == set(
+            source.nodes_with_observations()
+        )
+        for node in source.nodes_with_observations():
+            assert restored.bag_of(node) == source.bag_of(node)
+
+    def test_v1_bundle_loads_serve_only(self, forum_result, tmp_path):
+        """Legacy schema-v1 bundles still load: same parameters, but a
+        node-only network (no links, no observations)."""
+        artifact = ModelArtifact.from_result(forum_result)
+        path = artifact.save(tmp_path / "model-v1.npz", schema_version=1)
+        loaded = load_artifact(path)
+        assert not loaded.refit_capable
+        result = loaded.to_result()
+        np.testing.assert_array_equal(result.theta, forum_result.theta)
+        assert result.network.num_edges() == 0
+        assert result.network.attribute_names == ()
 
     def test_result_api_works_after_reload(self, forum_result, tmp_path):
         path = forum_result.save(tmp_path / "model.npz")
