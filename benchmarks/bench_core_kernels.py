@@ -51,6 +51,13 @@ SCALES = {
         n_observations=8,
         seed=0,
     ),
+    "weather_xl": dict(
+        n_temperature=6400,
+        n_precipitation=3200,
+        k_neighbors=10,
+        n_observations=10,
+        seed=0,
+    ),
 }
 
 
@@ -71,12 +78,13 @@ def build_problem(scale: str):
     return problem, theta, gamma
 
 
-def make_em_call(problem, theta, gamma):
+def make_em_call(problem, theta, gamma, workers=1, block_size=None):
     """The EM kernel exactly as ``run_em`` drives it.
 
-    The operator/workspace fast path is optional API; older checkouts
-    of this harness fall back to the plain signature so the same file
-    can time a pre-fused baseline.
+    The operator/workspace/blocked-execution fast paths are optional
+    API; older checkouts of this harness fall back to the plain
+    signature so the same file can time a pre-fused or pre-blocked
+    baseline.
     """
     try:
         from repro.core.kernels import EMWorkspace, PropagationOperator
@@ -84,6 +92,14 @@ def make_em_call(problem, theta, gamma):
         operator = PropagationOperator.wrap(problem.matrices)
         workspace = EMWorkspace(problem.num_nodes, problem.n_clusters)
         out = np.empty_like(theta)
+        kwargs = {}
+        try:  # blocked multi-core path (this PR); absent on parents
+            plan = operator.block_plan(problem.n_clusters, block_size)
+            for model in problem.attribute_models:
+                model.set_block_rows(block_size)
+            kwargs = dict(num_workers=workers, plan=plan)
+        except (AttributeError, TypeError):
+            pass
 
         def call():
             return em_update(
@@ -93,7 +109,10 @@ def make_em_call(problem, theta, gamma):
                 problem.attribute_models,
                 out=out,
                 workspace=workspace,
+                **kwargs,
             )
+
+        call.blocked = bool(kwargs)
 
     except ImportError:
 
@@ -102,13 +121,28 @@ def make_em_call(problem, theta, gamma):
                 theta, gamma, problem.matrices, problem.attribute_models
             )
 
+        call.blocked = False
+
     return call
 
 
-def make_strength_call(problem, theta, gamma):
-    def call():
-        return learn_strengths(theta, problem.matrices, gamma, 0.1, 30)
+def make_strength_call(problem, theta, gamma, workers=1, block_size=None):
+    kwargs = {}
+    try:  # blocked multi-core path (this PR); absent on parents
+        from repro.core.kernels import PropagationOperator
 
+        operator = PropagationOperator.wrap(problem.matrices)
+        plan = operator.block_plan(problem.n_clusters, block_size)
+        kwargs = dict(num_workers=workers, plan=plan)
+    except (ImportError, AttributeError, TypeError):
+        pass
+
+    def call():
+        return learn_strengths(
+            theta, problem.matrices, gamma, 0.1, 30, **kwargs
+        )
+
+    call.blocked = bool(kwargs)
     return call
 
 
@@ -124,30 +158,73 @@ def _time_best(fn, repeats: int, warmup: int = 2) -> float:
     return best
 
 
-def run_harness(repeats_em: int = 30, repeats_strength: int = 10) -> dict:
-    """Time both kernels at both scales; returns the report dict."""
+def run_harness(
+    repeats_em: int = 30,
+    repeats_strength: int = 10,
+    workers: int = 1,
+    block_size: int | None = None,
+    worker_sweep: tuple[int, ...] = (),
+) -> dict:
+    """Time both kernels at every scale; returns the report dict.
+
+    ``workers``/``block_size`` set the blocked-execution shape of the
+    headline numbers; ``worker_sweep`` additionally times ``em_update``
+    and ``learn_strengths`` at each listed worker count (same problem,
+    same plan) and attaches the results under ``"workers"``.
+    """
     report: dict = {}
     for scale in SCALES:
         problem, theta, gamma = build_problem(scale)
-        report[scale] = {
+        em_call = make_em_call(problem, theta, gamma, workers, block_size)
+        strength_call = make_strength_call(
+            problem, theta, gamma, workers, block_size
+        )
+        entry = {
             "num_nodes": problem.num_nodes,
             "num_relations": problem.num_relations,
             "nnz_links": int(
                 sum(m.nnz for m in problem.matrices.matrices)
             ),
-            "em_update_seconds": _time_best(
-                make_em_call(problem, theta, gamma), repeats_em
-            ),
+            # record the EFFECTIVE width: on checkouts without the
+            # blocked API the calls fall back to serial, and the report
+            # must say so rather than claim multi-worker timings
+            "workers": workers if em_call.blocked else 1,
+            "em_update_seconds": _time_best(em_call, repeats_em),
             "learn_strengths_seconds": _time_best(
-                make_strength_call(problem, theta, gamma),
-                repeats_strength,
+                strength_call, repeats_strength
             ),
         }
+        if block_size is not None:
+            entry["block_size"] = block_size
+        if worker_sweep:
+            sweep: dict = {}
+            for count in worker_sweep:
+                sweep[str(count)] = {
+                    "em_update_seconds": _time_best(
+                        make_em_call(
+                            problem, theta, gamma, count, block_size
+                        ),
+                        repeats_em,
+                    ),
+                    "learn_strengths_seconds": _time_best(
+                        make_strength_call(
+                            problem, theta, gamma, count, block_size
+                        ),
+                        repeats_strength,
+                    ),
+                }
+            entry["worker_sweep"] = sweep
+        report[scale] = entry
     return report
 
 
 def merge_with_baseline(baseline: dict, current: dict) -> dict:
-    """``{before, after, speedup}`` report from two harness runs."""
+    """``{before, after, speedup}`` report from two harness runs.
+
+    Speedups compare the headline (``workers``-wide) numbers; when both
+    runs carry a ``worker_sweep``, per-worker-count speedups ride along
+    so serial and multi-worker columns can be read off one report.
+    """
     speedups: dict = {}
     for scale, after in current.items():
         before = baseline.get(scale)
@@ -160,7 +237,76 @@ def merge_with_baseline(baseline: dict, current: dict) -> dict:
             )
             for kernel in ("em_update", "learn_strengths")
         }
+        before_sweep = before.get("worker_sweep") or {}
+        after_sweep = after.get("worker_sweep") or {}
+        for count, timings in after_sweep.items():
+            # baselines without a sweep (pre-blocked parents) compare
+            # against their serial headline numbers
+            reference = before_sweep.get(count, before)
+            speedups[scale][f"workers_{count}"] = {
+                kernel: round(
+                    reference[f"{kernel}_seconds"]
+                    / timings[f"{kernel}_seconds"],
+                    2,
+                )
+                for kernel in ("em_update", "learn_strengths")
+            }
     return {"before": baseline, "after": current, "speedup": speedups}
+
+
+def verify_parallel_fit(workers: tuple[int, ...] = (1, 4)) -> bool:
+    """Full-fit determinism gate: hard assignments (and theta/gamma)
+    must be **identical** across worker counts.
+
+    Runs a small weather fit at each worker count and compares the
+    results exactly.  Returns True when every run agrees; used by CI's
+    parallel-smoke job to fail loudly on serial/parallel divergence.
+    """
+    from repro.core.config import GenClusConfig
+    from repro.core.genclus import GenClus
+    from repro.datagen.weather import (
+        WeatherConfig,
+        generate_weather_network,
+    )
+
+    generated = generate_weather_network(
+        WeatherConfig(**SCALES["weather_mid"])
+    )
+    results = []
+    for count in workers:
+        config = GenClusConfig(
+            n_clusters=4,
+            outer_iterations=2,
+            seed=0,
+            n_init=2,
+            num_workers=count,
+        )
+        results.append(
+            GenClus(config).fit(
+                generated.network, attributes=WEATHER_ATTRIBUTES
+            )
+        )
+    head = results[0]
+    agree = True
+    for count, result in zip(workers[1:], results[1:]):
+        if not (
+            np.array_equal(head.theta, result.theta)
+            and np.array_equal(head.gamma, result.gamma)
+            and np.array_equal(
+                head.hard_labels(), result.hard_labels()
+            )
+        ):
+            print(
+                f"PARALLEL DIVERGENCE: workers={count} disagrees "
+                f"with workers={workers[0]}"
+            )
+            agree = False
+    if agree:
+        print(
+            f"parallel fit check OK: workers {list(workers)} "
+            f"bit-identical ({head.theta.shape[0]} nodes)"
+        )
+    return agree
 
 
 # ----------------------------------------------------------------------
@@ -184,6 +330,42 @@ if pytest is not None:
         outcome = benchmark(make_strength_call(problem, theta, gamma))
         assert np.all(outcome.gamma >= 0.0)
 
+    def _snapshot_params(problem):
+        params = []
+        for model in problem.attribute_models:
+            if hasattr(model, "beta"):
+                params.append((model.beta.copy(),))
+            else:
+                params.append(
+                    (model.means.copy(), model.variances.copy())
+                )
+        return params
+
+    def _restore_params(problem, params):
+        for model, saved in zip(problem.attribute_models, params):
+            if len(saved) == 1:
+                model.beta = saved[0].copy()
+            else:
+                model.means = saved[0].copy()
+                model.variances = saved[1].copy()
+
+    def test_em_update_kernel_parallel(benchmark, compiled_problem):
+        """The 4-worker blocked path: must match serial bit-for-bit.
+
+        ``em_update`` refreshes attribute parameters in place, so the
+        parameters are restored between the serial reference call and
+        the parallel one (and before the timed reps).
+        """
+        problem, theta, gamma = compiled_problem
+        saved = _snapshot_params(problem)
+        serial = make_em_call(problem, theta, gamma, workers=1)().copy()
+        _restore_params(problem, saved)
+        parallel = make_em_call(problem, theta, gamma, workers=4)()
+        np.testing.assert_array_equal(parallel, serial)
+        _restore_params(problem, saved)
+        result = benchmark(make_em_call(problem, theta, gamma, workers=4))
+        assert result.shape == theta.shape
+
 
 # ----------------------------------------------------------------------
 # standalone harness
@@ -205,9 +387,45 @@ def main(argv=None) -> int:
         action="store_true",
         help="fewer repeats (CI smoke mode)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="blocked-kernel pool width for the headline numbers "
+        "(1 = inline serial reference, 0 = auto)",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="rows per execution block (default: cache-sized auto)",
+    )
+    parser.add_argument(
+        "--sweep-workers",
+        default="",
+        help="comma-separated worker counts to time additionally per "
+        "scale (e.g. '1,4'); attached as worker_sweep",
+    )
+    parser.add_argument(
+        "--verify-parallel",
+        action="store_true",
+        help="run a small fit at 1 and 4 workers and exit non-zero "
+        "if the results (theta/gamma/assignments) diverge",
+    )
     args = parser.parse_args(argv)
+    if args.verify_parallel and not verify_parallel_fit():
+        return 1
+    sweep = tuple(
+        int(part) for part in args.sweep_workers.split(",") if part
+    )
     repeats_em, repeats_strength = (10, 3) if args.quick else (30, 10)
-    current = run_harness(repeats_em, repeats_strength)
+    current = run_harness(
+        repeats_em,
+        repeats_strength,
+        workers=args.workers,
+        block_size=args.block_size,
+        worker_sweep=sweep,
+    )
     if args.baseline:
         with open(args.baseline) as handle:
             baseline = json.load(handle)

@@ -128,6 +128,64 @@ def test_repeated_query_cache_hit(benchmark, served_model, sensor_batch):
     assert stats["misses"] == 1
 
 
+def test_score_many_batched_throughput(
+    benchmark, served_model, sensor_batch
+):
+    """The batch request path: N transient queries coalesced into ONE
+    blocked fold-in sweep via ``engine.score_many`` (vs N single
+    ``query`` calls, each paying its own fixed point).  The cache is
+    disabled so every round times the full batched fold-in."""
+    _, artifact = served_model
+    engine = InferenceEngine(artifact, cache_size=0)
+    queries = [
+        dict(
+            object_type=TEMPERATURE_TYPE,
+            links=spec.links,
+            numeric=spec.numeric,
+        )
+        for spec in sensor_batch
+    ]
+
+    memberships = benchmark(engine.score_many, queries)
+    assert len(memberships) == BATCH_SIZE
+    assert all(m.shape == (4,) for m in memberships)
+    benchmark.extra_info["batch_size"] = BATCH_SIZE
+    benchmark.extra_info["queries_per_sec"] = round(
+        BATCH_SIZE / benchmark.stats.stats.mean, 1
+    )
+
+
+def test_score_many_vs_single_queries(
+    benchmark, served_model, sensor_batch
+):
+    """Reference loop for the batched path above: the same queries
+    scored one at a time against one cache-disabled engine (every
+    call pays its own fold-in fixed point), so the two benches' ratio
+    is exactly the coalescing win -- engine construction stays outside
+    the timed region on both sides."""
+    _, artifact = served_model
+    subset = sensor_batch[:20]
+    queries = [
+        dict(
+            object_type=TEMPERATURE_TYPE,
+            links=spec.links,
+            numeric=spec.numeric,
+        )
+        for spec in subset
+    ]
+    engine = InferenceEngine(artifact, cache_size=0)
+
+    def single_loop():
+        return [engine.query(**query) for query in queries]
+
+    memberships = benchmark(single_loop)
+    assert len(memberships) == len(subset)
+    benchmark.extra_info["batch_size"] = len(subset)
+    benchmark.extra_info["queries_per_sec"] = round(
+        len(subset) / benchmark.stats.stats.mean, 1
+    )
+
+
 def test_add_links_touched_component(
     benchmark, served_model, sensor_batch
 ):

@@ -124,6 +124,21 @@ def persist_and_serve(result: GenClusResult) -> None:
             f"{int(membership.argmax())}, "
             f"memberships ({', '.join(f'{p:.2f}' for p in membership)})"
         )
+        # many transient queries coalesce into ONE fold-in batch
+        # (engine.score_many): one blocked sweep instead of N fixed
+        # points -- the bulk-scoring path for request bursts
+        batch = engine.score_many(
+            [
+                {"object_type": "paper",
+                 "text": {"title": ["mining", "graph"]}},
+                {"object_type": "paper",
+                 "links": [("written_by", "author-4", 1.0)]},
+            ]
+        )
+        print(
+            "  score_many (2 queries, one batch) -> clusters "
+            f"{[int(m.argmax()) for m in batch]}"
+        )
         # a durable delta: a linked paper with NO attributes at all --
         # fold-in still assigns it through its out-links
         engine.extend(
@@ -217,11 +232,21 @@ def model_lifecycle(result: GenClusResult) -> None:
 # serving fold-in sweep) the per-relation link matrices collapse into
 # one cached combined CSR (``PropagationOperator``), and the EM /
 # Newton loops write into preallocated workspaces instead of allocating
-# per iteration.  The kernel wall-times are tracked in
-# ``BENCH_core.json`` at the repo root; refresh or compare them with
+# per iteration.  The kernels execute in contiguous row **blocks**
+# (``BlockPlan``) and can fan the blocks out across cores:
+#
+#     GenClusConfig(n_clusters=4, num_workers=4)      # training
+#     InferenceEngine.load(path, num_workers=4)       # serving
+#
+# ``num_workers=0`` auto-sizes to the machine, and results are
+# bit-identical at every worker count (the block decomposition depends
+# only on the problem shape; reductions accumulate in block order).
+# The kernel wall-times are tracked in ``BENCH_core.json`` at the repo
+# root; refresh or compare them with
 #
 #     PYTHONPATH=src python benchmarks/bench_core_kernels.py \
-#         --json /tmp/now.json --baseline BENCH_core.json
+#         --json /tmp/now.json --baseline BENCH_core.json \
+#         --workers 1 --sweep-workers 1,4
 #
 # (see the ROADMAP "Performance" section for how to read the report).
 

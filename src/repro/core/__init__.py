@@ -14,7 +14,9 @@ and the iterative algorithm of Section 4:
   (Eq. 17) and the projected Newton-Raphson solver.
 * :mod:`repro.core.genclus` -- Algorithm 1, alternating the two steps.
 * :mod:`repro.core.kernels` -- the fused/allocation-free numeric core
-  shared by training and serving (propagation operator, workspaces).
+  shared by training and serving (propagation operator, workspaces,
+  and the :class:`~repro.core.kernels.BlockPlan` blocked multi-core
+  execution layer).
 * :mod:`repro.core.state` -- :class:`~repro.core.state.ModelState`, the
   mutable, versioned model container shared by training, serving, and
   refit (warm starts, extension space, patched link views).
@@ -30,12 +32,17 @@ from repro.core.feature import (
     structural_consistency,
 )
 from repro.core.genclus import GenClus
-from repro.core.kernels import EMWorkspace, PropagationOperator
+from repro.core.kernels import (
+    BlockPlan,
+    EMWorkspace,
+    PropagationOperator,
+)
 from repro.core.problem import ClusteringProblem, compile_problem
 from repro.core.result import GenClusResult
 from repro.core.state import ModelState
 
 __all__ = [
+    "BlockPlan",
     "ClusteringProblem",
     "EMWorkspace",
     "GenClus",

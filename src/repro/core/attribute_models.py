@@ -52,7 +52,13 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
-from repro.core.kernels import csr_matmul, row_max, row_sum
+from repro.core.kernels import (
+    csr_matmul_rows,
+    ordered_block_sum,
+    plan_for_observations,
+    row_sum,
+    run_blocks,
+)
 from repro.exceptions import ConfigError
 from repro.hin.attributes import (
     CompiledNumericAttribute,
@@ -276,6 +282,12 @@ class CategoricalModel:
         self._ratio_data = np.empty(nnz)
         self._ratio = self._pattern.ratio_matrix(self._ratio_data)
         self._theta_obs = np.empty((n_obs_nodes, n_clusters))
+        self._term = np.empty((n_obs_nodes, n_clusters))
+        self._beta_t = np.empty((compiled.counts.shape[1], n_clusters))
+        # blocked execution over observed-node rows: each block owns a
+        # contiguous nnz range of the canonical counts pattern
+        self._block_rows: int | None = None
+        self._plan = None
 
     # ------------------------------------------------------------------
     def init_params(
@@ -313,8 +325,26 @@ class CategoricalModel:
         self.beta = beta.copy()
 
     # ------------------------------------------------------------------
+    def set_block_rows(self, block_rows: int | None) -> None:
+        """Override the blocked-execution row count (``None`` = auto)."""
+        if block_rows != self._block_rows:
+            self._block_rows = block_rows
+            self._plan = None
+
+    def _get_plan(self):
+        plan = self._plan
+        if plan is None:
+            plan = plan_for_observations(
+                self.compiled.counts.shape[0],
+                self.n_clusters,
+                self._pattern.nnz,
+                self._block_rows,
+            )
+            self._plan = plan
+        return plan
+
     def accumulate_em_step(
-        self, theta: np.ndarray, out: np.ndarray
+        self, theta: np.ndarray, out: np.ndarray, num_workers: int = 1
     ) -> None:
         """One EM pass (Eq. 10), adding the theta contribution to ``out``.
 
@@ -322,22 +352,48 @@ class CategoricalModel:
         each observed object, computed with the *incoming* parameters
         exactly as Eq. 10 prescribes; ``beta`` is then updated in place
         from the same responsibilities.
+
+        The E pass runs over contiguous observed-node blocks (each
+        block owns its nnz range of the canonical counts pattern and
+        writes disjoint rows of ``out``), so results are bit-identical
+        at any ``num_workers``; the ``beta`` M-step is a serial
+        epilogue over the blockwise-filled ratio matrix.
         """
         beta = self._require_params()
         if self._pattern.nnz == 0:
             return
         indices = self.compiled.node_indices
         theta_obs = self._theta_obs
-        np.take(theta, indices, axis=0, out=theta_obs)
-        _categorical_denominators(
-            theta_obs, self._pattern, beta, out=self._denom
-        )
-        np.maximum(self._denom, 1e-300, out=self._denom)
-        np.divide(self._pattern.vals, self._denom, out=self._ratio_data)
-        # self._ratio shares _ratio_data, so it now holds C / d
-        term = self._ratio @ beta.T
-        term *= theta_obs
-        out[indices] += term
+        pattern = self._pattern
+        self._beta_t[...] = beta.T
+        denom = self._denom
+        ratio_data = self._ratio_data
+
+        def block(_index: int, v0: int, v1: int) -> None:
+            p0 = int(pattern.indptr[v0])
+            p1 = int(pattern.indptr[v1])
+            rows_slice = theta_obs[v0:v1]
+            np.take(theta, indices[v0:v1], axis=0, out=rows_slice)
+            if p1 > p0:
+                np.einsum(
+                    "nk,kn->n",
+                    theta_obs[pattern.rows[p0:p1]],
+                    beta[:, pattern.cols[p0:p1]],
+                    out=denom[p0:p1],
+                )
+                np.maximum(denom[p0:p1], 1e-300, out=denom[p0:p1])
+                np.divide(
+                    pattern.vals[p0:p1],
+                    denom[p0:p1],
+                    out=ratio_data[p0:p1],
+                )
+            # self._ratio shares ratio_data: its rows v0:v1 now hold C/d
+            csr_matmul_rows(self._ratio, self._beta_t, self._term, v0, v1)
+            term_slice = self._term[v0:v1]
+            term_slice *= rows_slice
+            out[indices[v0:v1]] += term_slice
+
+        run_blocks(self._get_plan(), block, num_workers)
         # beta M-step: beta_kl propto sum_v c_vl p(z=k) = beta_kl * [theta^T (C/d)]_kl
         beta_new = beta * (theta_obs.T @ self._ratio)
         beta_new += self.smoothing
@@ -402,26 +458,45 @@ class GaussianModel:
         self.variance_floor = variance_floor
         self.means: np.ndarray | None = None
         self.variances: np.ndarray | None = None
-        # frozen observation structure + per-call buffers
-        n_obs = compiled.values.size
+        # frozen observation structure + per-call buffers.  Blocked
+        # execution needs each observed node's observations contiguous,
+        # so the flattened observation list is canonicalized to
+        # owner-grouped order once (compile() already emits it grouped;
+        # the stable sort is a no-op then).
+        owners = compiled.owners.astype(np.int64, copy=False)
+        values = np.asarray(compiled.values, dtype=np.float64)
+        if owners.size and np.any(np.diff(owners) < 0):
+            order = np.argsort(owners, kind="stable")
+            owners = owners[order]
+            values = values[order]
+        self._owners = owners
+        self._values = np.ascontiguousarray(values)
+        n_obs = values.size
         n_obs_nodes = compiled.node_indices.shape[0]
         # owners index into the local observed-node block; precompose
         # with node_indices so theta rows gather in one take
-        self._global_owners = compiled.node_indices[compiled.owners]
-        self._scatter = sparse.csr_matrix(
-            (
-                np.ones(n_obs),
-                (
-                    compiled.owners.astype(np.int64, copy=False),
-                    np.arange(n_obs, dtype=np.int64),
-                ),
-            ),
-            shape=(n_obs_nodes, n_obs),
+        self._global_owners = compiled.node_indices[owners]
+        # per-node observation ranges: node v owns observations
+        # _obs_indptr[v] .. _obs_indptr[v + 1] of the grouped arrays
+        self._obs_indptr = np.searchsorted(
+            owners, np.arange(n_obs_nodes + 1)
         )
-        self._resp = np.empty((n_obs, n_clusters))
-        self._dev = np.empty((n_obs, n_clusters))
+        # the E+M sweep runs in *component-major* ``(K, n_obs)`` layout:
+        # every per-component field is then a contiguous row, so the
+        # scalar/broadcast ufuncs stay on numpy's SIMD fast paths (the
+        # historical ``(n_obs, K)`` layout paid strided inner loops of
+        # length K on every broadcastng pass)
+        self._resp = np.empty((n_clusters, n_obs))
+        self._dev = np.empty((n_clusters, n_obs))
+        self._gather = np.empty((n_clusters, n_obs))
         self._obs_buf = np.empty(n_obs)
         self._per_node = np.empty((n_obs_nodes, n_clusters))
+        self._theta_t = np.empty((n_clusters, num_nodes))
+        # blocked execution over observed-node rows + per-block M-step
+        # partials (accumulated in block order for determinism)
+        self._block_rows: int | None = None
+        self._plan = None
+        self._partials: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def init_params(
@@ -491,80 +566,145 @@ class GaussianModel:
 
     # ------------------------------------------------------------------
     def _log_pdf(self) -> np.ndarray:
-        """``(n_obs, K)`` log densities of every observation per cluster."""
+        """``(n_obs, K)`` log densities of every observation per cluster
+        (in the canonical owner-grouped order of ``_values``)."""
         means, variances = self._require_params()
-        return gaussian_log_pdf(self.compiled.values, means, variances)
+        return gaussian_log_pdf(self._values, means, variances)
 
-    def _responsibilities_into(self, theta: np.ndarray) -> np.ndarray:
-        """Eq. 11 E-step, written into the preallocated ``_resp`` buffer.
+    def set_block_rows(self, block_rows: int | None) -> None:
+        """Override the blocked-execution row count (``None`` = auto)."""
+        if block_rows != self._block_rows:
+            self._block_rows = block_rows
+            self._plan = None
+            self._partials = None
 
-        Same posterior as :func:`gaussian_responsibilities`, evaluated
-        with the row shift taken over the log *densities* alone: after
-        exponentiation the theta mixing weights multiply in linear
-        space, saving the log/clamp passes over the theta gather (the
-        softmax is shift-invariant per row, so the result is identical
-        up to roundoff).
-        """
-        means, variances = self._require_params()
-        resp = self._resp
-        values = self.compiled.values
-        # log N(x; mu_k, s_k) = -(x - mu_k)^2 / (2 s_k) + A_k in place
-        np.subtract(values[:, None], means[None, :], out=resp)
-        resp *= resp
-        resp *= -0.5 / variances[None, :]
-        resp += -0.5 * (_LOG_2PI + np.log(variances))[None, :]
-        # stabilize rows by the peak log density, then exponentiate
-        row_max(resp, self._obs_buf)
-        resp -= self._obs_buf[:, None]
-        np.exp(resp, out=resp)
-        # weight by the owning object's memberships and normalize
-        gather = self._dev  # free at this point; reuse as scratch
-        np.take(theta, self._global_owners, axis=0, out=gather)
-        resp *= gather
-        row_sum(resp, self._obs_buf)
-        if float(np.min(self._obs_buf)) <= 0.0:
-            # a theta row with zero mass on the locally dominant
-            # component can underflow the whole row (density spread
-            # > ~708 nats); re-score just those rows through the
-            # clamped log-space reference, which cannot vanish
-            bad = np.flatnonzero(self._obs_buf <= 0.0)
-            resp[bad] = gaussian_responsibilities(
-                theta[self._global_owners[bad]],
-                values[bad],
-                np.arange(bad.size),
-                means,
-                variances,
+    def _get_plan(self):
+        plan = self._plan
+        if plan is None:
+            plan = plan_for_observations(
+                self.compiled.node_indices.shape[0],
+                self.n_clusters,
+                self._values.size,
+                self._block_rows,
             )
-            self._obs_buf[bad] = 1.0
-        resp /= self._obs_buf[:, None]
-        return resp
+            self._plan = plan
+            self._partials = np.empty(
+                (3, plan.num_blocks, self.n_clusters)
+            )
+        return plan
 
     def accumulate_em_step(
-        self, theta: np.ndarray, out: np.ndarray
+        self, theta: np.ndarray, out: np.ndarray, num_workers: int = 1
     ) -> None:
         """One EM pass (Eq. 11), adding the theta contribution to ``out``.
 
         ``out[v] += sum_{x in v[X]} p(z_{v,x} = k)`` for observed
         objects; means and variances are then refreshed from the same
         responsibilities (their M-step in Eq. 11).
+
+        The E and M passes are fused into one sweep over contiguous
+        observed-node blocks in component-major ``(K, n_obs)`` layout:
+        every per-component field is a contiguous row (scalar-operand
+        ufuncs, SIMD-friendly), a block's fields stay cache-resident
+        across the density / gather / normalize / scatter / moment
+        passes, and the M-step reduces per-block moment partials in
+        block order, so results are bit-identical at any
+        ``num_workers``.  The second moment is taken around the
+        incoming means -- exactly the ``(x - mu_k)^2`` field the
+        density already computed, removed as a shift afterwards --
+        which folds the variance pass into the same block sweep
+        without the cancellation a raw ``E[x^2]`` would risk.
         """
-        self._require_params()
-        if self.compiled.values.size == 0:
-            return
-        resp = self._responsibilities_into(theta)
-        per_node = csr_matmul(self._scatter, resp, out=self._per_node)
-        out[self.compiled.node_indices] += per_node
-        # M-step for component parameters
-        values = self.compiled.values
-        totals = resp.sum(axis=0)
-        safe_totals = np.maximum(totals, 1e-300)
-        means_new = values @ resp
-        means_new /= safe_totals
-        np.subtract(values[:, None], means_new[None, :], out=self._dev)
-        self._dev *= self._dev
-        var_new = np.einsum("nk,nk->k", resp, self._dev)
-        var_new /= safe_totals
         means, variances = self._require_params()
+        if self._values.size == 0:
+            return
+        plan = self._get_plan()
+        k_components = self.n_clusters
+        values = self._values
+        indices = self.compiled.node_indices
+        obs_indptr = self._obs_indptr
+        owners = self._owners
+        global_owners = self._global_owners
+        theta_t = self._theta_t
+        np.copyto(theta_t, theta.T)
+        # log N(x; mu_k, s_k) = coeff_k (x - mu_k)^2 + log_norm_k; the
+        # row max-shift of the softmax is skipped -- log_norm is bounded
+        # (|A_k| < 709 for any positive float64 variance) so exp cannot
+        # overflow, and fully-underflowed rows take the same clamped
+        # log-space fallback the shifted path used
+        coeff = -0.5 / variances
+        log_norm = -0.5 * (_LOG_2PI + np.log(variances))
+        partials = self._partials
+        totals_p, m1_p, m2_p = partials[0], partials[1], partials[2]
+
+        def block(index: int, v0: int, v1: int) -> None:
+            o0 = int(obs_indptr[v0])
+            o1 = int(obs_indptr[v1])
+            x = values[o0:o1]
+            r = self._resp[:, o0:o1]
+            dev = self._dev[:, o0:o1]
+            gather = self._gather[:, o0:o1]
+            sums = self._obs_buf[o0:o1]
+            for k in range(k_components):
+                np.subtract(x, means[k], out=dev[k])
+            np.multiply(dev, dev, out=dev)  # dev = (x - mu_k)^2
+            np.multiply(dev, coeff[:, None], out=r)
+            r += log_norm[:, None]
+            np.exp(r, out=r)
+            # weight by the owning object's memberships and normalize
+            np.take(theta_t, global_owners[o0:o1], axis=1, out=gather)
+            r *= gather
+            if k_components == 1:
+                np.copyto(sums, r[0])
+            else:
+                np.add(r[0], r[1], out=sums)
+                for k in range(2, k_components):
+                    sums += r[k]
+            if o1 > o0 and float(np.min(sums)) <= 0.0:
+                # every component underflowed (density spread > ~708
+                # nats from the theta-supported one): re-score just
+                # those observations through the clamped log-space
+                # reference, which cannot vanish
+                bad = np.flatnonzero(sums <= 0.0)
+                r[:, bad] = gaussian_responsibilities(
+                    theta[global_owners[o0:o1][bad]],
+                    x[bad],
+                    np.arange(bad.size),
+                    means,
+                    variances,
+                ).T
+                sums[bad] = 1.0
+            r /= sums[None, :]
+            # scatter + M-step moment partials for this block
+            local = owners[o0:o1] - v0
+            per_node = self._per_node
+            for k in range(k_components):
+                counts = np.bincount(
+                    local, weights=r[k], minlength=v1 - v0
+                )
+                per_node[v0:v1, k] = counts
+                totals_p[index, k] = counts.sum()
+                m1_p[index, k] = np.dot(x, r[k])
+                m2_p[index, k] = np.dot(r[k], dev[k])
+            out[indices[v0:v1]] += per_node[v0:v1]
+
+        run_blocks(plan, block, num_workers)
+        num_blocks = plan.num_blocks
+        totals = ordered_block_sum(
+            totals_p[:num_blocks], np.empty(self.n_clusters)
+        )
+        m1 = ordered_block_sum(
+            m1_p[:num_blocks], np.empty(self.n_clusters)
+        )
+        m2 = ordered_block_sum(
+            m2_p[:num_blocks], np.empty(self.n_clusters)
+        )
+        safe_totals = np.maximum(totals, 1e-300)
+        means_new = m1 / safe_totals
+        # shifted second moment around the incoming means c = mu_k:
+        # E[(x - m)^2] = E[(x - c)^2] - (m - c)^2
+        delta = means_new - means
+        var_new = m2 / safe_totals - delta * delta
         # clusters with no responsibility mass keep their parameters
         dead = totals <= 1e-300
         means_new[dead] = means[dead]

@@ -34,10 +34,11 @@ import numpy as np
 from repro.core.attribute_models import AttributeModel
 from repro.core.feature import floor_distribution
 from repro.core.kernels import (
+    BlockPlan,
     EMWorkspace,
     PropagationOperator,
-    floor_normalize_inplace,
-    row_sum,
+    normalize_update_block,
+    run_blocks,
 )
 from repro.core.objective import g1
 from repro.hin.views import RelationMatrices
@@ -98,6 +99,8 @@ def em_update(
     floor: float = 1e-12,
     out: np.ndarray | None = None,
     workspace: EMWorkspace | None = None,
+    num_workers: int = 1,
+    plan: BlockPlan | None = None,
 ) -> np.ndarray:
     """One Jacobi EM update of Theta (Eqs. 10-12), returning the new Theta.
 
@@ -116,25 +119,37 @@ def em_update(
     workspace:
         Optional scratch reused across iterations; allocated on the fly
         when omitted (single-call convenience path).
+    num_workers, plan:
+        Blocked-execution controls.  The update always runs block-by-
+        block over the operator's cached :class:`BlockPlan` (``plan``
+        overrides it); ``num_workers > 1`` fans the blocks out on the
+        shared kernel pool.  Every per-row stage writes disjoint row
+        slices and every cross-block reduction is block-ordered, so
+        the result is bit-identical at any worker count.
     """
     operator = PropagationOperator.wrap(matrices)
     n, k = theta.shape
     if workspace is None:
         workspace = EMWorkspace(n, k)
+    if plan is None:
+        plan = operator.block_plan(k)
     update = workspace.update
-    operator.propagate(theta, gamma, out=update)
+    operator.propagate(
+        theta, gamma, out=update, num_workers=num_workers, plan=plan
+    )
     for model in models:
-        model.accumulate_em_step(theta, update)
-    row_sums = row_sum(update, workspace.row_sums)
-    if float(np.min(row_sums)) <= 0.0:
-        # no out-links and no observations: keep the previous membership
-        dead = row_sums <= 0.0
-        update[dead] = theta[dead]
-        row_sum(update, row_sums)
+        model.accumulate_em_step(theta, update, num_workers=num_workers)
     if out is None:
         out = np.empty_like(update)
-    np.divide(update, row_sums[:, None], out=out)
-    return floor_normalize_inplace(out, floor, row_sums)
+    row_sums = workspace.row_sums
+
+    def normalize_block(_index: int, start: int, stop: int) -> None:
+        normalize_update_block(
+            update, theta, out, row_sums, floor, start, stop
+        )
+
+    run_blocks(plan, normalize_block, num_workers)
+    return out
 
 
 def run_em(
@@ -146,6 +161,8 @@ def run_em(
     tol: float = 1e-4,
     floor: float = 1e-12,
     track_objective: bool = True,
+    num_workers: int = 1,
+    plan: BlockPlan | None = None,
 ) -> EMOutcome:
     """Run the inner EM loop to convergence (Algorithm 1, step 1).
 
@@ -163,11 +180,17 @@ def run_em(
     track_objective:
         When false, ``g1`` is only computed once at the end (saves time
         in benchmarks).
+    num_workers, plan:
+        Blocked-execution controls threaded through every
+        :func:`em_update`; results are bit-identical at any worker
+        count (see :func:`em_update`).
     """
     theta = floor_distribution(np.asarray(theta0, dtype=np.float64), floor)
     gamma = np.asarray(gamma, dtype=np.float64)
     operator = PropagationOperator.wrap(matrices)
     workspace = EMWorkspace(*theta.shape)
+    if plan is None:
+        plan = operator.block_plan(theta.shape[1])
     # Jacobi double buffer: theta holds iteration t-1, spare receives t
     spare = np.empty_like(theta)
     trace: list[float] = []
@@ -177,19 +200,25 @@ def run_em(
         theta_next = em_update(
             theta, gamma, operator, models, floor,
             out=spare, workspace=workspace,
+            num_workers=num_workers, plan=plan,
         )
         np.subtract(theta_next, theta, out=workspace.update)
         delta = float(np.max(np.abs(workspace.update)))
         theta, spare = theta_next, theta
         if track_objective:
-            trace.append(g1(theta, gamma, operator, models, floor))
+            trace.append(
+                g1(
+                    theta, gamma, operator, models, floor,
+                    num_workers=num_workers,
+                )
+            )
         if delta < tol:
             converged = True
             break
     objective = (
         trace[-1]
         if trace
-        else g1(theta, gamma, operator, models, floor)
+        else g1(theta, gamma, operator, models, floor, num_workers=num_workers)
     )
     return EMOutcome(
         theta=theta,

@@ -273,6 +273,34 @@ class ModelState:
         whose re-folds would need its membership row)."""
         return frozenset(self._ext_rev.get(node, ()))
 
+    def execution_shape(
+        self, block_size: int | None = None
+    ) -> dict[str, int]:
+        """The blocked-execution decomposition of the served index space.
+
+        Telemetry for serving operators (surfaced through
+        ``InferenceEngine.info()``): how many row blocks the current
+        base + extension space splits into and how many rows each block
+        carries.  Uses the plan cached on the base link views' operator
+        when one exists (the plan every training-side kernel shares),
+        else derives a fresh shape-only plan.
+        """
+        # local import: repro.core.kernels does not import state
+        from repro.core.kernels import BlockPlan
+
+        k = self.n_clusters
+        if self.matrices is not None:
+            plan = self.matrices.block_plan(k, block_size)
+            if plan.num_rows != self.num_nodes:
+                plan = plan.grown(self.num_nodes - plan.num_rows)
+        else:
+            plan = BlockPlan.for_shape(self.num_nodes, k, block_size)
+        return {
+            "block_rows": plan.block_rows,
+            "block_count": plan.num_blocks,
+            "num_rows": plan.num_rows,
+        }
+
     @property
     def theta_capacity(self) -> int:
         """Allocated rows of the growable membership buffer."""

@@ -43,7 +43,15 @@ import numpy as np
 from scipy.special import gammaln, polygamma, psi
 
 from repro.core.feature import floor_distribution
-from repro.core.kernels import PropagationOperator, trigamma_ge1
+from repro.core.kernels import (
+    BlockPlan,
+    PropagationOperator,
+    csr_matmul_rows,
+    ordered_block_sum,
+    row_sum,
+    run_blocks,
+    trigamma_ge1,
+)
 from repro.hin.views import RelationMatrices
 
 
@@ -78,24 +86,70 @@ class StrengthOutcome:
     """True when any iteration fell back to gradient ascent."""
 
 
+def _plan_for(
+    matrices: RelationMatrices | PropagationOperator,
+    num_rows: int,
+    row_width: int,
+    block_rows: int | None = None,
+) -> BlockPlan:
+    """The shared row-block plan for a problem's node space.
+
+    Reuses the plan cached on the (possibly already-built) propagation
+    operator so EM and strength learning block identically; falls back
+    to a fresh shape-derived plan when no operator exists yet (building
+    one just for its plan would pay the union construction).
+    """
+    operator = None
+    if isinstance(matrices, PropagationOperator):
+        operator = matrices
+    else:
+        cached = matrices.__dict__.get("operator")
+        if isinstance(cached, PropagationOperator):
+            operator = cached
+    if operator is not None:
+        return operator.block_plan(row_width, block_rows)
+    return BlockPlan.for_shape(num_rows, row_width, block_rows)
+
+
 def compute_statistics(
     theta: np.ndarray,
     matrices: RelationMatrices | PropagationOperator,
     floor: float = 1e-12,
+    num_workers: int = 1,
+    plan: BlockPlan | None = None,
 ) -> StrengthStatistics:
-    """Precompute S, rowsums and cross-entropy totals for g2'."""
+    """Precompute S, rowsums and cross-entropy totals for g2'.
+
+    Runs block-by-block over the node rows: each block fills its slice
+    of every relation's ``S[r]`` / row sums and contributes a
+    cross-entropy partial, reduced in block order -- bit-identical at
+    any ``num_workers``.
+    """
     theta = floor_distribution(theta, floor)
-    log_theta = np.log(theta)
+    log_theta = np.empty_like(theta)
     n, k = theta.shape
     num_relations = matrices.num_relations
     propagated = np.empty((num_relations, n, k))
     rowsums = np.empty((n, num_relations))
-    ce_totals = np.empty(num_relations)
-    for r, matrix in enumerate(matrices.matrices):
-        s = matrix @ theta
-        propagated[r] = s
-        rowsums[:, r] = s.sum(axis=1)
-        ce_totals[r] = float(np.sum(s * log_theta))
+    if plan is None:
+        plan = _plan_for(matrices, n, k)
+    ce_partials = np.empty((plan.num_blocks, num_relations))
+    mats = matrices.matrices
+
+    def block(index: int, v0: int, v1: int) -> None:
+        np.log(theta[v0:v1], out=log_theta[v0:v1])
+        for r, matrix in enumerate(mats):
+            s = propagated[r]
+            csr_matmul_rows(matrix, theta, s, v0, v1)
+            row_sum(s[v0:v1], rowsums[v0:v1, r])
+            ce_partials[index, r] = np.einsum(
+                "nk,nk->", s[v0:v1], log_theta[v0:v1]
+            )
+
+    run_blocks(plan, block, num_workers)
+    ce_totals = ordered_block_sum(
+        ce_partials, np.empty(num_relations)
+    )
     return StrengthStatistics(
         propagated=propagated, rowsums=rowsums, ce_totals=ce_totals
     )
@@ -112,7 +166,9 @@ class _NewtonWorkspace:
     ``alphas``/``alpha_sums`` hold the Eq. 15 field of the *current*
     gamma (shared by gradient and Hessian); ``cand_alphas`` and the
     special-function fields are overwritten freely by whichever kernel
-    runs next.
+    runs next.  The workspace also carries the node-space
+    :class:`BlockPlan` every kernel blocks over and the per-block
+    partial buffers their block-ordered reductions land in.
     """
 
     __slots__ = (
@@ -122,19 +178,34 @@ class _NewtonWorkspace:
         "cand_sums",
         "field",
         "row",
-        "scratch",
+        "weighted",
         "weighted_rowsums",
+        "plan",
+        "partial_vec",
+        "partial_vec2",
+        "partial_mat",
+        "partial_mat2",
+        "partial_scalar",
     )
 
-    def __init__(self, n: int, k: int, r: int) -> None:
+    def __init__(
+        self, n: int, k: int, r: int, plan: BlockPlan
+    ) -> None:
         self.alphas = np.empty((n, k))
         self.cand_alphas = np.empty((n, k))
         self.alpha_sums = np.empty(n)
         self.cand_sums = np.empty(n)
         self.field = np.empty((n, k))  # psi / trigamma / gammaln of alphas
         self.row = np.empty(n)  # the same of alpha_sums
-        self.scratch = np.empty(n * k)
+        self.weighted = np.empty((n, k))  # one relation's trigamma-weighted S
         self.weighted_rowsums = np.empty((n, r))
+        self.plan = plan
+        num_blocks = plan.num_blocks
+        self.partial_vec = np.empty((num_blocks, r))
+        self.partial_vec2 = np.empty((num_blocks, r))
+        self.partial_mat = np.empty((num_blocks, r, r))
+        self.partial_mat2 = np.empty((num_blocks, r, r))
+        self.partial_scalar = np.empty(num_blocks)
 
 
 def _alphas_into(
@@ -142,17 +213,38 @@ def _alphas_into(
     gamma: np.ndarray,
     alphas: np.ndarray,
     alpha_sums: np.ndarray,
+    ws: "_NewtonWorkspace | None" = None,
+    num_workers: int = 1,
 ) -> None:
     """Eq. 15 field and its row sums, written into caller buffers.
 
     The row sums use ``sum_k alpha_ik = K + rowsums_i . gamma`` instead
-    of summing the ``(n, K)`` field -- one ``(n, R)`` matvec.
+    of summing the ``(n, K)`` field -- one ``(n, R)`` matvec.  With a
+    workspace the rows are filled block-by-block (disjoint slices, so
+    worker count cannot change the result).
     """
     k = alphas.shape[1]
-    np.dot(gamma, stats.flat, out=alphas.reshape(-1))
-    alphas += 1.0
-    np.dot(stats.rowsums, gamma, out=alpha_sums)
-    alpha_sums += float(k)
+    if ws is None:
+        np.dot(gamma, stats.flat, out=alphas.reshape(-1))
+        alphas += 1.0
+        np.dot(stats.rowsums, gamma, out=alpha_sums)
+        alpha_sums += float(k)
+        return
+    propagated = stats.propagated
+    rowsums = stats.rowsums
+
+    def block(_index: int, v0: int, v1: int) -> None:
+        np.einsum(
+            "r,rnk->nk",
+            gamma,
+            propagated[:, v0:v1],
+            out=alphas[v0:v1],
+        )
+        alphas[v0:v1] += 1.0
+        np.matmul(rowsums[v0:v1], gamma, out=alpha_sums[v0:v1])
+        alpha_sums[v0:v1] += float(k)
+
+    run_blocks(ws.plan, block, num_workers)
 
 
 def _gradient_into(
@@ -160,15 +252,33 @@ def _gradient_into(
     gamma: np.ndarray,
     sigma: float,
     ws: _NewtonWorkspace,
+    num_workers: int = 1,
 ) -> np.ndarray:
     """Eq. 16 from the current-gamma alpha field in ``ws`` (allocates
-    only the ``(R,)`` result)."""
-    psi(ws.alphas, out=ws.field)
-    psi(ws.alpha_sums, out=ws.row)
-    # term1[r] = sum_{i,k} psi(alpha_ik) S[r][i,k]
-    term1 = stats.flat @ ws.field.reshape(-1)
-    # term2[r] = sum_i psi(alpha_i0) rowsum[i,r]
-    term2 = ws.row @ stats.rowsums
+    only the ``(R,)`` result; per-block partials reduce in block
+    order)."""
+    propagated = stats.propagated
+    rowsums = stats.rowsums
+
+    def block(index: int, v0: int, v1: int) -> None:
+        psi(ws.alphas[v0:v1], out=ws.field[v0:v1])
+        psi(ws.alpha_sums[v0:v1], out=ws.row[v0:v1])
+        # term1[r] = sum_{i,k} psi(alpha_ik) S[r][i,k]
+        np.einsum(
+            "rnk,nk->r",
+            propagated[:, v0:v1],
+            ws.field[v0:v1],
+            out=ws.partial_vec[index],
+        )
+        # term2[r] = sum_i psi(alpha_i0) rowsum[i,r]
+        np.matmul(
+            ws.row[v0:v1], rowsums[v0:v1], out=ws.partial_vec2[index]
+        )
+
+    run_blocks(ws.plan, block, num_workers)
+    num_relations = stats.num_relations
+    term1 = ordered_block_sum(ws.partial_vec, np.empty(num_relations))
+    term2 = ordered_block_sum(ws.partial_vec2, np.empty(num_relations))
     return stats.ce_totals - (term1 - term2) - gamma / sigma**2
 
 
@@ -177,22 +287,43 @@ def _hessian_into(
     gamma: np.ndarray,
     sigma: float,
     ws: _NewtonWorkspace,
+    num_workers: int = 1,
 ) -> np.ndarray:
     """Eq. 17 from the current-gamma alpha field in ``ws`` (allocates
-    only the ``(R, R)`` result)."""
+    only the ``(R, R)`` result; per-block partials reduce in block
+    order)."""
     num_relations = stats.num_relations
-    # trigamma of the alpha field; alphas >= 1 by Eq. 15, so the fast
-    # recurrence + asymptotic-series evaluation applies
-    trigamma_ge1(ws.alphas, out=ws.field)
-    trigamma_ge1(ws.alpha_sums, out=ws.row)
-    tri_flat = ws.field.reshape(-1)
-    term1 = np.empty((num_relations, num_relations))
-    flat = stats.flat
-    for r in range(num_relations):
-        np.multiply(flat[r], tri_flat, out=ws.scratch)
-        np.dot(flat, ws.scratch, out=term1[r])
-    np.multiply(stats.rowsums, ws.row[:, None], out=ws.weighted_rowsums)
-    term2 = stats.rowsums.T @ ws.weighted_rowsums
+    propagated = stats.propagated
+    rowsums = stats.rowsums
+
+    def block(index: int, v0: int, v1: int) -> None:
+        # trigamma of the alpha field; alphas >= 1 by Eq. 15, so the
+        # fast recurrence + asymptotic-series evaluation applies
+        trigamma_ge1(ws.alphas[v0:v1], out=ws.field[v0:v1])
+        trigamma_ge1(ws.alpha_sums[v0:v1], out=ws.row[v0:v1])
+        # one relation's weighted field at a time: the (n, K) scratch
+        # row slice is block-disjoint, so no (R, n, K) buffer is needed
+        weighted = ws.weighted[v0:v1]
+        for r in range(num_relations):
+            np.multiply(
+                propagated[r, v0:v1], ws.field[v0:v1], out=weighted
+            )
+            np.einsum(
+                "nk,snk->s",
+                weighted,
+                propagated[:, v0:v1],
+                out=ws.partial_mat[index, r],
+            )
+        wrs = ws.weighted_rowsums[v0:v1]
+        np.multiply(rowsums[v0:v1], ws.row[v0:v1, None], out=wrs)
+        np.matmul(
+            rowsums[v0:v1].T, wrs, out=ws.partial_mat2[index]
+        )
+
+    run_blocks(ws.plan, block, num_workers)
+    shape = (num_relations, num_relations)
+    term1 = ordered_block_sum(ws.partial_mat, np.empty(shape))
+    term2 = ordered_block_sum(ws.partial_mat2, np.empty(shape))
     return -term1 + term2 - np.eye(num_relations) / sigma**2
 
 
@@ -202,13 +333,24 @@ def _objective_from_alphas(
     sigma: float,
     alphas: np.ndarray,
     alpha_sums: np.ndarray,
-    field: np.ndarray,
-    row: np.ndarray,
+    ws: _NewtonWorkspace,
+    num_workers: int = 1,
 ) -> float:
     """g2'(gamma) given an already-evaluated Eq. 15 field."""
-    gammaln(alphas, out=field)
-    gammaln(alpha_sums, out=row)
-    log_partition = float(field.sum() - row.sum())
+    field = ws.field
+    row = ws.row
+
+    def block(index: int, v0: int, v1: int) -> None:
+        gammaln(alphas[v0:v1], out=field[v0:v1])
+        gammaln(alpha_sums[v0:v1], out=row[v0:v1])
+        ws.partial_scalar[index] = (
+            field[v0:v1].sum() - row[v0:v1].sum()
+        )
+
+    run_blocks(ws.plan, block, num_workers)
+    log_partition = 0.0
+    for partial in ws.partial_scalar:
+        log_partition += float(partial)
     feature_total = float(np.dot(gamma, stats.ce_totals))
     prior = float(np.dot(gamma, gamma)) / (2.0 * sigma**2)
     return feature_total - log_partition - prior
@@ -263,6 +405,8 @@ def learn_strengths(
     max_iterations: int = 50,
     tol: float = 1e-6,
     floor: float = 1e-12,
+    num_workers: int = 1,
+    plan: BlockPlan | None = None,
 ) -> StrengthOutcome:
     """Algorithm 1, step 2: projected Newton-Raphson on g2'.
 
@@ -278,19 +422,31 @@ def learn_strengths(
         Prior scale of Eq. 8.
     max_iterations, tol:
         Stop when ``max |gamma_t - gamma_{t-1}| < tol`` or at the cap.
+    num_workers, plan:
+        Blocked-execution controls.  The statistics pass and every
+        Newton kernel (Eq. 15 field, Eq. 16/17 sums, the line-search
+        objective) run over the same node-space :class:`BlockPlan`
+        with block-ordered reductions -- results are bit-identical at
+        any worker count.
     """
-    stats = compute_statistics(theta, matrices, floor)
+    n, k = theta.shape
+    if plan is None:
+        plan = _plan_for(matrices, n, k)
+    stats = compute_statistics(
+        theta, matrices, floor, num_workers=num_workers, plan=plan
+    )
     gamma = np.clip(np.asarray(gamma0, dtype=np.float64).copy(), 0.0, None)
     if gamma.shape != (matrices.num_relations,):
         raise ValueError(
             f"gamma0 must have shape ({matrices.num_relations},), "
             f"got {gamma.shape}"
         )
-    n, k = theta.shape
-    ws = _NewtonWorkspace(n, k, stats.num_relations)
-    _alphas_into(stats, gamma, ws.alphas, ws.alpha_sums)
+    ws = _NewtonWorkspace(n, k, stats.num_relations, plan)
+    _alphas_into(
+        stats, gamma, ws.alphas, ws.alpha_sums, ws, num_workers
+    )
     value = _objective_from_alphas(
-        stats, gamma, sigma, ws.alphas, ws.alpha_sums, ws.field, ws.row
+        stats, gamma, sigma, ws.alphas, ws.alpha_sums, ws, num_workers
     )
     converged = False
     used_fallback = False
@@ -299,14 +455,14 @@ def learn_strengths(
         # ws.alphas already holds the Eq. 15 field of the current gamma
         # (from initialization or the accepted line-search candidate);
         # gradient and Hessian share that single evaluation
-        grad = _gradient_into(stats, gamma, sigma, ws)
-        hess = _hessian_into(stats, gamma, sigma, ws)
+        grad = _gradient_into(stats, gamma, sigma, ws, num_workers)
+        hess = _hessian_into(stats, gamma, sigma, ws, num_workers)
         step = _newton_direction(hess, grad)
         if step is None:
             used_fallback = True
             step = grad * (sigma**2)  # scaled gradient ascent direction
         candidate, cand_value, fell_back, improved = _line_search(
-            stats, gamma, step, value, sigma, ws
+            stats, gamma, step, value, sigma, ws, num_workers
         )
         if improved:
             # the candidate buffers hold the accepted gamma's field
@@ -351,6 +507,7 @@ def _line_search(
     current_value: float,
     sigma: float,
     ws: _NewtonWorkspace,
+    num_workers: int = 1,
     max_halvings: int = 30,
 ) -> tuple[np.ndarray, float, bool, bool]:
     """Projected backtracking: halve the step until g2' improves.
@@ -366,10 +523,13 @@ def _line_search(
     scale = 1.0
     for attempt in range(max_halvings):
         candidate = np.clip(gamma + scale * step, 0.0, None)
-        _alphas_into(stats, candidate, ws.cand_alphas, ws.cand_sums)
+        _alphas_into(
+            stats, candidate, ws.cand_alphas, ws.cand_sums,
+            ws, num_workers,
+        )
         value = _objective_from_alphas(
             stats, candidate, sigma,
-            ws.cand_alphas, ws.cand_sums, ws.field, ws.row,
+            ws.cand_alphas, ws.cand_sums, ws, num_workers,
         )
         if np.isfinite(value) and value >= current_value - 1e-12:
             return candidate, value, attempt > 0, True

@@ -75,6 +75,18 @@ class RelationMatrices:
             self.matrices, shape=(self.num_nodes, self.num_nodes)
         )
 
+    def block_plan(self, row_width: int, block_rows: int | None = None):
+        """The node-space :class:`~repro.core.kernels.BlockPlan` shared
+        by every blocked kernel over these views.
+
+        Delegates to the cached operator so trainer, objectives, and
+        serving block identically -- and so the plan is **patched, not
+        rebuilt**, when the views grow through
+        :func:`append_relation_rows` (the grown operator carries the
+        grown plans).
+        """
+        return self.operator.block_plan(row_width, block_rows)
+
     def out_weight_totals(self) -> np.ndarray:
         """``(n, R)`` array: total out-link weight per node per relation."""
         totals = np.zeros((self.num_nodes, self.num_relations))

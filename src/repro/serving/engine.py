@@ -34,6 +34,7 @@ frozen under serving; only :meth:`promote` re-learns them.
 
 from __future__ import annotations
 
+import re
 from collections import OrderedDict, deque
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
@@ -43,6 +44,7 @@ import numpy as np
 
 from repro.core.config import GenClusConfig
 from repro.core.genclus import GenClus
+from repro.core.kernels import resolve_workers
 from repro.core.result import GenClusResult
 from repro.core.state import ModelState
 from repro.exceptions import ServingError
@@ -69,6 +71,13 @@ class InferenceEngine:
         Maximum memoized transient queries (0 disables the cache).
     max_iterations, tol:
         Fold-in fixed-point controls, applied to every scoring path.
+    num_workers:
+        Width of the blocked-kernel pool used by every fold-in sweep
+        and (by default) by :meth:`promote` refits.  ``1`` = inline,
+        ``0`` = auto-size to the machine.  Scores are bit-identical at
+        any width.
+    block_size:
+        Row-block override for the blocked sweeps (``None`` = auto).
     """
 
     def __init__(
@@ -77,6 +86,8 @@ class InferenceEngine:
         cache_size: int = 1024,
         max_iterations: int = 100,
         tol: float = 1e-6,
+        num_workers: int = 1,
+        block_size: int | None = None,
     ) -> None:
         if cache_size < 0:
             raise ServingError(
@@ -86,6 +97,16 @@ class InferenceEngine:
             raise ServingError(
                 f"max_iterations must be >= 1, got {max_iterations}"
             )
+        if num_workers < 0:
+            raise ServingError(
+                f"num_workers must be >= 0 (0 = auto), got {num_workers}"
+            )
+        if block_size is not None and block_size < 1:
+            raise ServingError(
+                f"block_size must be >= 1 when set, got {block_size}"
+            )
+        self._num_workers = num_workers
+        self._block_size = block_size
         self._artifact: ModelArtifact | None = artifact
         self._promoted_result = None
         self._state = artifact.to_state()
@@ -214,6 +235,15 @@ class InferenceEngine:
                 "hits": self._hits,
                 "misses": self._misses,
             },
+            "execution": {
+                # the blocked-kernel shape scores run with: pool width
+                # (after auto-resolution), the block-size override, and
+                # the served index space's block decomposition
+                "num_workers": self._num_workers,
+                "pool_width": resolve_workers(self._num_workers),
+                "block_size": self._block_size,
+                **state.execution_shape(self._block_size),
+            },
             "extension": {
                 "nodes": state.num_extension_nodes,
                 "links": state.extension_link_count(),
@@ -246,6 +276,8 @@ class InferenceEngine:
             nodes,
             max_iterations=self._max_iterations,
             tol=self._tol,
+            num_workers=self._num_workers,
+            block_size=self._block_size,
         )
         self._foldin_sweeps += outcome.iterations
         if nodes:
@@ -325,6 +357,8 @@ class InferenceEngine:
             specs,
             max_iterations=self._max_iterations,
             tol=self._tol,
+            num_workers=self._num_workers,
+            block_size=self._block_size,
         )
         self._foldin_sweeps += outcome.iterations
         if merged:
@@ -451,7 +485,11 @@ class InferenceEngine:
                 "artifact from the original fit)"
             )
         if config is None:
-            config = GenClusConfig(n_clusters=state.n_clusters)
+            config = GenClusConfig(
+                n_clusters=state.n_clusters,
+                num_workers=self._num_workers,
+                block_size=self._block_size,
+            )
         elif config.n_clusters != state.n_clusters:
             raise ServingError(
                 f"promote config has n_clusters={config.n_clusters}, "
@@ -520,6 +558,8 @@ class InferenceEngine:
                 [spec],
                 max_iterations=self._max_iterations,
                 tol=self._tol,
+                num_workers=self._num_workers,
+                block_size=self._block_size,
             )
         except ServingError as exc:
             raise _dequalify(exc) from None
@@ -543,6 +583,110 @@ class InferenceEngine:
             np.argmax(self.query(object_type, links, text, numeric))
         )
 
+    def score_many(
+        self, queries: Sequence[Mapping[str, Any]]
+    ) -> list[np.ndarray]:
+        """Score many transient queries as **one** fold-in batch.
+
+        Each query is a mapping carrying :meth:`query`'s keyword
+        arguments (``object_type`` required; ``links`` / ``text`` /
+        ``numeric`` optional).  Transient queries are independent --
+        they cannot link to each other -- so coalescing them into a
+        single batch converges to the same per-query fixed points
+        while paying one blocked sweep per iteration instead of one
+        sweep per query: the batch request path of the serving
+        roadmap at its smallest useful size.
+
+        Queries already memoized are answered from the LRU cache and
+        duplicate queries within the call are folded once; every fresh
+        result is cached for later single or batched queries.  Because
+        the batch shares one convergence test (rows iterate until the
+        whole batch converges), a score can differ from the
+        single-query path within the fixed-point tolerance ``tol``.
+
+        Returns one ``(K,)`` posterior membership per query, in input
+        order.
+        """
+        allowed = {"object_type", "links", "text", "numeric"}
+        specs: list[NewNode] = []
+        keys: list[tuple] = []
+        for position, query in enumerate(queries):
+            if not isinstance(query, Mapping):
+                raise ServingError(
+                    f"query #{position}: expected a mapping of query "
+                    f"arguments, got {type(query).__name__}"
+                )
+            unknown = set(query) - allowed
+            if unknown:
+                raise ServingError(
+                    f"query #{position}: unknown arguments "
+                    f"{sorted(map(str, unknown))} (allowed: "
+                    f"{sorted(allowed)})"
+                )
+            if "object_type" not in query:
+                raise ServingError(
+                    f"query #{position}: object_type is required"
+                )
+            try:
+                spec = NewNode(
+                    node=(_QUERY_ID, position),
+                    object_type=query["object_type"],
+                    links=tuple(query.get("links") or ()),
+                    text=dict(query.get("text") or {}),
+                    numeric=dict(query.get("numeric") or {}),
+                )
+            except ServingError as exc:
+                raise _dequalify(exc) from None
+            specs.append(spec)
+            keys.append(_canonical_key(spec))
+            self._touch_query_targets(spec)
+        results: dict[int, np.ndarray] = {}
+        pending: dict[tuple, list[int]] = {}
+        for position, key in enumerate(keys):
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                results[position] = cached.copy()
+            else:
+                pending.setdefault(key, []).append(position)
+        if pending:
+            self._misses += len(pending)
+            batch = [
+                specs[positions[0]] for positions in pending.values()
+            ]
+            try:
+                outcome = fold_in(
+                    self._model,
+                    batch,
+                    max_iterations=self._max_iterations,
+                    tol=self._tol,
+                    num_workers=self._num_workers,
+                    block_size=self._block_size,
+                )
+            except ServingError as exc:
+                raise _dequalify(exc) from None
+            self._foldin_sweeps += outcome.iterations
+            for row, (key, positions) in enumerate(pending.items()):
+                membership = outcome.theta[row]
+                if self._cache_size > 0:
+                    self._cache[key] = membership.copy()
+                for position in positions:
+                    results[position] = membership.copy()
+            if self._cache_size > 0:
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return [results[position] for position in range(len(specs))]
+
+    def assign_many(
+        self, queries: Sequence[Mapping[str, Any]]
+    ) -> list[int]:
+        """Hard cluster labels for a batch of transient queries."""
+        return [
+            int(np.argmax(membership))
+            for membership in self.score_many(queries)
+        ]
+
     # ------------------------------------------------------------------
     def _touch_usage(self, node: object) -> None:
         if self._state.is_extension(node):
@@ -565,12 +709,18 @@ class InferenceEngine:
         self._cache.clear()
 
 
+_BATCH_QUERY_RE = re.compile(
+    r"node \('" + re.escape(_QUERY_ID) + r"', (\d+)\)"
+)
+
+
 def _dequalify(exc: ServingError) -> ServingError:
-    """Validation errors name the internal query sentinel id;
-    re-phrase them for users of the transient-query API."""
-    return ServingError(
-        str(exc).replace(f"node {_QUERY_ID!r}", "query")
-    )
+    """Validation errors name the internal query sentinel ids;
+    re-phrase them for users of the transient-query API (both the
+    single-query sentinel and the ``(sentinel, position)`` ids of
+    ``score_many`` batches)."""
+    message = str(exc).replace(f"node {_QUERY_ID!r}", "query")
+    return ServingError(_BATCH_QUERY_RE.sub(r"query #\1", message))
 
 
 def _canonical_key(spec: NewNode) -> tuple:

@@ -42,10 +42,12 @@ from repro.core.attribute_models import (
     gaussian_theta_term,
 )
 from repro.core.kernels import (
+    BlockPlan,
     EMWorkspace,
     PropagationOperator,
-    floor_normalize_inplace,
-    row_sum,
+    normalize_update_block,
+    resolve_workers,
+    run_blocks,
 )
 from repro.exceptions import ServingError
 
@@ -309,6 +311,8 @@ def fold_in(
     max_iterations: int = 100,
     tol: float = 1e-6,
     floor: float = 1e-12,
+    num_workers: int = 1,
+    block_size: int | None = None,
 ) -> FoldInOutcome:
     """Assign posterior memberships to a batch of unseen nodes.
 
@@ -317,6 +321,12 @@ def fold_in(
     :class:`~repro.exceptions.ServingError` on structurally invalid
     input (duplicate/known ids, unknown relations or targets, type
     mismatches, observations for unfitted attributes).
+
+    The fixed-point sweeps run block-by-block over the batch rows
+    (``block_size`` rows per block, cache-sized by default): the
+    propagation and normalization stages write disjoint row slices, so
+    results are bit-identical at any ``num_workers``.  Small batches
+    fit one block and behave exactly like the serial sweep.
     """
     n = model.num_nodes
     k = model.n_clusters
@@ -355,7 +365,15 @@ def fold_in(
         batch_blocks.append(new_rows[:, n:].tocsr())
     base_operator = PropagationOperator(base_blocks, shape=(m, n))
     batch_operator = PropagationOperator(batch_blocks, shape=(m, m))
-    constant = base_operator.propagate(model.theta, model.gamma)
+    num_workers = resolve_workers(num_workers)
+    plan = (
+        BlockPlan(m, block_size)
+        if block_size is not None
+        else batch_operator.block_plan(k)
+    )
+    constant = base_operator.propagate(
+        model.theta, model.gamma, num_workers=num_workers, plan=plan
+    )
 
     text_obs, oov_terms = _compile_text(model, nodes)
     numeric_obs = _compile_numeric(model, nodes)
@@ -364,10 +382,14 @@ def fold_in(
     spare = np.empty((m, k))
     workspace = EMWorkspace(m, k)
     update = workspace.update
+    row_sums = workspace.row_sums
     iterations = 0
     converged = False
     for iterations in range(1, max_iterations + 1):
-        batch_operator.propagate(theta, model.gamma, out=update)
+        batch_operator.propagate(
+            theta, model.gamma, out=update,
+            num_workers=num_workers, plan=plan,
+        )
         update += constant
         for rows, pattern, beta in text_obs:
             update[rows] += categorical_theta_term(
@@ -377,16 +399,18 @@ def fold_in(
             update[rows] += gaussian_theta_term(
                 theta[rows], values, owners, means, variances
             )
-        row_sums = row_sum(update, workspace.row_sums)
-        if float(np.min(row_sums)) <= 0.0:
-            # no out-links and no observations: stay at the prior
-            dead = row_sums <= 0.0
-            update[dead] = theta[dead]
-            row_sum(update, row_sums)
-        # normalize before flooring, exactly like training's em_update:
-        # the result must be invariant to the overall link-weight scale
-        np.divide(update, row_sums[:, None], out=spare)
-        theta_next = floor_normalize_inplace(spare, floor, row_sums)
+
+        # the closing normalize/floor step is the SAME shared kernel
+        # training's em_update runs (dead rows stay at the prior, rows
+        # re-normalize after flooring) -- one implementation, so
+        # training and serving cannot drift apart on these semantics
+        def normalize_block(_index: int, start: int, stop: int) -> None:
+            normalize_update_block(
+                update, theta, spare, row_sums, floor, start, stop
+            )
+
+        run_blocks(plan, normalize_block, num_workers)
+        theta_next = spare
         np.subtract(theta_next, theta, out=update)
         delta = float(np.max(np.abs(update)))
         theta, spare = theta_next, theta

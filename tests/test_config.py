@@ -34,6 +34,9 @@ class TestGenClusConfig:
             {"n_clusters": 4, "em_tol": -1.0},
             {"n_clusters": 4, "newton_tol": -1.0},
             {"n_clusters": 4, "gamma_tol": -1.0},
+            {"n_clusters": 4, "num_workers": -1},
+            {"n_clusters": 4, "block_size": 0},
+            {"n_clusters": 4, "block_size": -5},
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
@@ -43,3 +46,11 @@ class TestGenClusConfig:
     def test_newton_can_be_disabled(self):
         config = GenClusConfig(n_clusters=4, newton_iterations=0)
         assert config.newton_iterations == 0
+
+    def test_blocked_execution_knobs(self):
+        config = GenClusConfig(n_clusters=4)
+        assert config.num_workers == 1  # serial reference by default
+        assert config.block_size is None
+        auto = GenClusConfig(n_clusters=4, num_workers=0, block_size=4096)
+        assert auto.num_workers == 0  # 0 = auto-size to the machine
+        assert auto.block_size == 4096

@@ -27,12 +27,17 @@ from repro.core.genclus import GenClus
 from repro.core.config import GenClusConfig
 from repro.core.initialization import random_theta
 from repro.core.kernels import (
+    BlockPlan,
     EMWorkspace,
     PropagationOperator,
     csr_matmul,
+    csr_matmul_rows,
     floor_normalize_inplace,
+    ordered_block_sum,
+    plan_for_observations,
     row_max,
     row_sum,
+    run_blocks,
     trigamma_ge1,
 )
 from repro.core.objective import dirichlet_alphas, g1
@@ -681,6 +686,325 @@ class TestStrengthEquivalence:
                 break
         np.testing.assert_allclose(outcome.gamma, gamma, rtol=1e-8)
         assert outcome.objective == pytest.approx(value, rel=1e-10)
+
+
+WORKER_COUNTS = (1, 2, 7)
+
+
+class TestBlockPlan:
+    def test_blocks_cover_rows_exactly(self):
+        plan = BlockPlan(100, 32)
+        bounds = plan.bounds
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 100
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+        assert plan.num_blocks == 4  # 32 + 32 + 32 + 4
+        assert len(list(plan)) == 4
+
+    def test_shape_only_determinism(self):
+        # the plan must never depend on anything but (rows, block_rows)
+        assert BlockPlan(77, 10).bounds == BlockPlan(77, 10).bounds
+        auto = BlockPlan.for_shape(5000, 4)
+        assert auto.bounds == BlockPlan.for_shape(5000, 4).bounds
+
+    def test_zero_rows(self):
+        plan = BlockPlan(0, 16)
+        assert plan.num_blocks == 0
+        assert run_blocks(plan, lambda i, a, b: 1, num_workers=3) == []
+
+    def test_grown_preserves_existing_bounds(self):
+        plan = BlockPlan(70, 32)  # blocks 0-32, 32-64, 64-70
+        grown = plan.grown(50)
+        assert grown.bounds[: plan.num_blocks] == plan.bounds
+        assert grown.num_rows == 120
+        assert grown.bounds[plan.num_blocks][0] == 70
+        assert grown.bounds[-1][1] == 120
+        assert plan.grown(0) is plan
+
+    def test_observation_plan_scales_with_multiplicity(self):
+        dense = plan_for_observations(10000, 4, 10000 * 50)
+        sparse_plan = plan_for_observations(10000, 4, 10000)
+        assert dense.block_rows < sparse_plan.block_rows
+
+    def test_run_blocks_order_and_pool(self):
+        plan = BlockPlan(10, 3)
+        for workers in (1, 4):
+            results = run_blocks(
+                plan, lambda i, a, b: (i, a, b), num_workers=workers
+            )
+            assert results == [
+                (0, 0, 3), (1, 3, 6), (2, 6, 9), (3, 9, 10)
+            ]
+
+    def test_ordered_block_sum(self):
+        parts = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        out = np.empty(2)
+        np.testing.assert_array_equal(
+            ordered_block_sum(parts, out), [4.0, 6.0]
+        )
+
+    def test_csr_matmul_rows_matches_full(self):
+        rng = np.random.default_rng(0)
+        m = sparse.csr_matrix(
+            sparse.random(37, 21, density=0.2, random_state=1)
+        )
+        x = rng.random((21, 3))
+        full = m @ x
+        out = np.zeros((37, 3))
+        for start, stop in BlockPlan(37, 8):
+            csr_matmul_rows(m, x, out, start, stop)
+        np.testing.assert_allclose(out, full, rtol=RTOL, atol=1e-15)
+
+
+def _fresh_problem(seed, block_rows=None, **kwargs):
+    """One compiled random problem with deterministic init (and an
+    optional forced block size so small tests still get many blocks)."""
+    rng = np.random.default_rng(seed)
+    problem = random_network(rng, **kwargs)
+    init_rng = np.random.default_rng(seed + 1)
+    for model in problem.attribute_models:
+        model.init_params(init_rng)
+        model.set_block_rows(block_rows)
+    return problem
+
+
+class TestBlockedParallelEquivalence:
+    """The determinism contract: the blocked kernels must be
+    **bit-identical** across worker counts {1, 2, 7} -- same plan, same
+    block-ordered reductions, only the scheduling differs."""
+
+    BLOCK = 7  # tiny forced block size: ~6 blocks on a 40-node net
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_propagate_bit_identical_across_workers(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k = 60, 4
+        mats = random_matrices(rng, n, 3)
+        theta = rng.dirichlet(np.ones(k), size=n)
+        gamma = rng.random(3) * 2
+        operator = PropagationOperator(mats)
+        plan = BlockPlan(n, self.BLOCK)
+        outputs = []
+        for workers in WORKER_COUNTS:
+            out = np.empty((n, k))
+            operator.propagate(
+                theta, gamma, out=out, num_workers=workers, plan=plan
+            )
+            outputs.append(out)
+        for other in outputs[1:]:
+            np.testing.assert_array_equal(outputs[0], other)
+        # and the blocked path equals the unblocked serial matmul
+        np.testing.assert_array_equal(
+            outputs[0], operator.combined(gamma) @ theta
+        )
+
+    def test_grown_operator_blocked_propagate(self):
+        """The patched operator's grown plan + blocked propagate must
+        equal a fresh rebuild at every worker count."""
+        from repro.hin.views import (
+            RelationMatrices,
+            append_relation_rows,
+            extend_relation_matrices,
+        )
+
+        rng = np.random.default_rng(3)
+        n, m, k = 24, 7, 3
+        mats = random_matrices(rng, n, 2)
+        names = ("a", "b")
+        base = RelationMatrices(
+            relation_names=names, matrices=tuple(mats), num_nodes=n
+        )
+        base.block_plan(k, 5)  # cached plan that grow must patch
+        links = {
+            name: [
+                (
+                    int(rng.integers(n, n + m)),
+                    int(rng.integers(0, n + m)),
+                    float(rng.random()) + 0.1,
+                )
+                for _ in range(6)
+            ]
+            for name in names
+        }
+        patched = append_relation_rows(base, m, links)
+        rebuilt = extend_relation_matrices(base, m, links)
+        grown_plan = patched.block_plan(k, 5)
+        assert grown_plan.num_rows == n + m
+        assert grown_plan.bounds[: base.block_plan(k, 5).num_blocks] == (
+            base.block_plan(k, 5).bounds
+        )
+        theta = rng.dirichlet(np.ones(k), size=n + m)
+        gamma = rng.random(2) * 2
+        reference = rebuilt.operator.combined(gamma) @ theta
+        outputs = []
+        for workers in WORKER_COUNTS:
+            out = np.empty((n + m, k))
+            patched.operator.propagate(
+                theta, gamma, out=out,
+                num_workers=workers, plan=grown_plan,
+            )
+            outputs.append(out)
+        for other in outputs[1:]:
+            np.testing.assert_array_equal(outputs[0], other)
+        np.testing.assert_array_equal(outputs[0], reference)
+
+    @pytest.mark.parametrize(
+        "seed,kwargs",
+        [
+            (0, dict()),
+            (1, dict(with_text=False)),
+            (2, dict(with_numeric=False)),
+            (3, dict(links=False)),
+        ],
+    )
+    def test_em_update_bit_identical_across_workers(self, seed, kwargs):
+        results = []
+        for workers in WORKER_COUNTS:
+            problem = _fresh_problem(
+                40 + seed, block_rows=self.BLOCK, **kwargs
+            )
+            rng = np.random.default_rng(seed)
+            theta = random_theta(
+                rng, problem.num_nodes, problem.n_clusters
+            )
+            gamma = rng.random(problem.num_relations) * 2
+            operator = PropagationOperator.wrap(problem.matrices)
+            plan = operator.block_plan(
+                problem.n_clusters, self.BLOCK
+            )
+            workspace = EMWorkspace(
+                problem.num_nodes, problem.n_clusters
+            )
+            out = np.empty_like(theta)
+            for _ in range(3):  # compound so parameter updates count
+                out = em_update(
+                    theta, gamma, operator,
+                    problem.attribute_models,
+                    out=out, workspace=workspace,
+                    num_workers=workers, plan=plan,
+                )
+                theta, out = out.copy(), out
+            params = []
+            for model in problem.attribute_models:
+                if hasattr(model, "beta"):
+                    params.append(model.beta.copy())
+                else:
+                    params.append(model.means.copy())
+                    params.append(model.variances.copy())
+            results.append((theta, params))
+        for theta_other, params_other in results[1:]:
+            np.testing.assert_array_equal(results[0][0], theta_other)
+            for a, b in zip(results[0][1], params_other):
+                np.testing.assert_array_equal(a, b)
+
+    def test_learn_strengths_bit_identical_across_workers(self):
+        outcomes = []
+        for workers in WORKER_COUNTS:
+            problem = _fresh_problem(60, block_rows=self.BLOCK)
+            rng = np.random.default_rng(5)
+            theta = random_theta(
+                rng, problem.num_nodes, problem.n_clusters
+            )
+            plan = BlockPlan(problem.num_nodes, self.BLOCK)
+            outcomes.append(
+                learn_strengths(
+                    theta,
+                    problem.matrices,
+                    np.ones(problem.num_relations),
+                    sigma=0.5,
+                    max_iterations=25,
+                    num_workers=workers,
+                    plan=plan,
+                )
+            )
+        for other in outcomes[1:]:
+            np.testing.assert_array_equal(
+                outcomes[0].gamma, other.gamma
+            )
+            assert outcomes[0].objective == other.objective
+            assert outcomes[0].iterations == other.iterations
+
+    def test_foldin_sweep_bit_identical_across_workers(self):
+        """A serving fold-in sweep (links + attributes) at worker
+        counts {1, 2, 7} with a forced multi-block batch."""
+        from repro.datagen.toy import political_forum_network
+        from repro.serving import ModelArtifact, NewNode, fold_in
+        from repro.serving.foldin import FrozenModel
+
+        net = political_forum_network()
+        result = GenClus(
+            GenClusConfig(
+                n_clusters=2, outer_iterations=2, seed=1, n_init=2
+            )
+        ).fit(net, attributes=["text"])
+        model = FrozenModel.from_artifact(
+            ModelArtifact.from_result(result)
+        )
+        rng = np.random.default_rng(0)
+        users = [
+            node for node in net.node_ids
+            if net.type_of(node) == "user"
+        ]
+        vocabulary = model.attribute_params["text"]["vocabulary"]
+        batch = []
+        for i in range(12):
+            targets = rng.choice(len(users), size=2, replace=False)
+            batch.append(
+                NewNode(
+                    f"q{i}",
+                    "user",
+                    links=tuple(
+                        ("friend", users[int(t)], 1.0)
+                        for t in targets
+                    ),
+                    text={"text": list(vocabulary[:2])},
+                )
+            )
+        outcomes = [
+            fold_in(
+                model, batch, num_workers=workers, block_size=5
+            )
+            for workers in WORKER_COUNTS
+        ]
+        for other in outcomes[1:]:
+            np.testing.assert_array_equal(
+                outcomes[0].theta, other.theta
+            )
+            assert outcomes[0].iterations == other.iterations
+
+    def test_full_fit_parallel_matches_serial(self):
+        """Algorithm 1 end to end at num_workers=4: theta, gamma, and
+        hard assignments must equal the serial fit exactly."""
+        net = political_forum_network()
+        serial = GenClus(
+            GenClusConfig(
+                n_clusters=2, outer_iterations=5, seed=1, n_init=3,
+                num_workers=1, block_size=9,
+            )
+        ).fit(net, attributes=["text"])
+        parallel = GenClus(
+            GenClusConfig(
+                n_clusters=2, outer_iterations=5, seed=1, n_init=3,
+                num_workers=4, block_size=9,
+            )
+        ).fit(net, attributes=["text"])
+        np.testing.assert_array_equal(serial.theta, parallel.theta)
+        np.testing.assert_array_equal(serial.gamma, parallel.gamma)
+        np.testing.assert_array_equal(
+            serial.hard_labels(), parallel.hard_labels()
+        )
+        # and the parallel fit still recovers the reference camps
+        truth = political_forum_truth(net)
+        truth_array = np.array(
+            [truth[node] for node in net.node_ids]
+        )
+        labels = parallel.hard_labels()
+        agreement = max(
+            float(np.mean(labels == truth_array)),
+            float(np.mean(labels == 1 - truth_array)),
+        )
+        assert agreement == 1.0
 
 
 class TestFullFitEquivalence:

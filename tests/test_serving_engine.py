@@ -261,6 +261,111 @@ class TestStreamingExtends:
         assert engine.num_extension_nodes == 5
 
 
+PURPLE_QUERY = dict(
+    links=[("writes", "blog1_1", 1.0), ("likes", "book1_2", 1.0)],
+    text={"text": ["liberty", "market", "freedom"]},
+)
+
+
+class TestScoreMany:
+    def test_batch_matches_single_queries(self, engine):
+        queries = [
+            dict(object_type="user", **GREEN_QUERY),
+            dict(object_type="user", **PURPLE_QUERY),
+            dict(object_type="user", links=[("friend", "user0_0", 1.0)]),
+        ]
+        batch = engine.score_many(queries)
+        assert len(batch) == 3
+        for membership, query in zip(batch, queries):
+            assert membership.shape == (2,)
+            np.testing.assert_allclose(
+                membership.sum(), 1.0, atol=1e-9
+            )
+            solo = engine.query(
+                query["object_type"],
+                links=query.get("links", ()),
+                text=query.get("text"),
+                numeric=query.get("numeric"),
+            )
+            # same fixed point within the sweep tolerance; identical
+            # here because batched rows converge together
+            np.testing.assert_allclose(
+                membership, solo, atol=1e-5
+            )
+
+    def test_batch_fills_and_reads_cache(self, engine):
+        queries = [
+            dict(object_type="user", **GREEN_QUERY),
+            dict(object_type="user", **PURPLE_QUERY),
+        ]
+        engine.score_many(queries)
+        stats = engine.info()["cache"]
+        assert stats["misses"] == 2
+        assert stats["size"] == 2
+        # identical batch is now pure cache hits
+        again = engine.score_many(queries)
+        stats = engine.info()["cache"]
+        assert stats["hits"] == 2
+        assert stats["misses"] == 2
+        first = engine.score_many(queries[:1])[0]
+        np.testing.assert_array_equal(first, again[0])
+
+    def test_duplicates_fold_once(self, engine):
+        queries = [dict(object_type="user", **GREEN_QUERY)] * 4
+        batch = engine.score_many(queries)
+        assert len(batch) == 4
+        for membership in batch[1:]:
+            np.testing.assert_array_equal(batch[0], membership)
+        assert engine.info()["cache"]["misses"] == 1
+
+    def test_empty_batch(self, engine):
+        assert engine.score_many([]) == []
+
+    def test_assign_many(self, engine):
+        labels = engine.assign_many(
+            [
+                dict(object_type="user", **GREEN_QUERY),
+                dict(object_type="user", **PURPLE_QUERY),
+            ]
+        )
+        assert len(labels) == 2
+        assert labels[0] != labels[1]  # opposite camps
+
+    def test_validation_errors_name_query_position(self, engine):
+        with pytest.raises(ServingError, match="query #0"):
+            engine.score_many([dict(object_type="ghost")])
+        with pytest.raises(ServingError, match="query #1"):
+            engine.score_many(
+                [
+                    dict(object_type="user"),
+                    dict(
+                        object_type="user",
+                        links=[("ghost", "user0_0", 1.0)],
+                    ),
+                ]
+            )
+        with pytest.raises(ServingError, match="object_type"):
+            engine.score_many([dict(links=[])])
+        with pytest.raises(ServingError, match="unknown arguments"):
+            engine.score_many([dict(object_type="user", nope=1)])
+
+    def test_batch_identical_across_worker_counts(self, artifact_path):
+        queries = [
+            dict(object_type="user", **GREEN_QUERY),
+            dict(object_type="user", **PURPLE_QUERY),
+        ]
+        outputs = []
+        for workers in (1, 2, 7):
+            engine = InferenceEngine.load(
+                artifact_path, cache_size=0, num_workers=workers,
+                block_size=1,
+            )
+            outputs.append(engine.score_many(queries))
+        for other in outputs[1:]:
+            for a, b in zip(outputs[0], other):
+                np.testing.assert_array_equal(a, b)
+
+
 class TestInfo:
     def test_info_shape(self, engine):
         info = engine.info()
@@ -281,6 +386,27 @@ class TestInfo:
             InferenceEngine.load(artifact_path, cache_size=-1)
         with pytest.raises(ServingError, match="max_iterations"):
             InferenceEngine.load(artifact_path, max_iterations=0)
+        with pytest.raises(ServingError, match="num_workers"):
+            InferenceEngine.load(artifact_path, num_workers=-1)
+        with pytest.raises(ServingError, match="block_size"):
+            InferenceEngine.load(artifact_path, block_size=0)
+
+    def test_execution_telemetry(self, artifact_path):
+        engine = InferenceEngine.load(
+            artifact_path, num_workers=3, block_size=10
+        )
+        execution = engine.info()["execution"]
+        assert execution["num_workers"] == 3
+        assert execution["pool_width"] == 3
+        assert execution["block_size"] == 10
+        assert execution["block_rows"] == 10
+        assert execution["num_rows"] == 32
+        assert execution["block_count"] == 4  # ceil(32 / 10)
+        # auto width resolves to >= 1 and blocks cover the index space
+        auto = InferenceEngine.load(artifact_path, num_workers=0)
+        execution = auto.info()["execution"]
+        assert execution["pool_width"] >= 1
+        assert execution["block_count"] >= 1
 
 
 class TestCli:
