@@ -249,6 +249,48 @@ class BlockPlan:
             total, self.block_rows, _bounds=self._bounds + extra
         )
 
+    def partition(self, n_shards: int) -> tuple[tuple[int, int], ...]:
+        """Assign this plan's blocks to ``n_shards`` contiguous shards.
+
+        Returns ``((first_block, stop_block), ...)`` per shard --
+        half-open block ranges in block order, balanced to within one
+        block (shard ``i`` gets blocks ``i*B//S .. (i+1)*B//S``).  Like
+        the plan itself the split is a pure function of the shape, so a
+        shard is a *pinned* subset of blocks: re-deriving the partition
+        from the same plan always yields the same ranges, which is what
+        lets a serving cluster treat "shard" as a stable unit of
+        ownership over the row space.
+
+        Every shard must own at least one block; asking for more shards
+        than blocks is an error (pick a smaller ``block_rows`` to split
+        a small index space finer).
+        """
+        if n_shards < 1:
+            raise ValueError(
+                f"n_shards must be >= 1, got {n_shards}"
+            )
+        blocks = self.num_blocks
+        if n_shards > blocks:
+            raise ValueError(
+                f"cannot split {blocks} row block(s) across "
+                f"{n_shards} shards; use a smaller block size to "
+                f"decompose {self.num_rows} rows finer"
+            )
+        return tuple(
+            (shard * blocks // n_shards, (shard + 1) * blocks // n_shards)
+            for shard in range(n_shards)
+        )
+
+    def block_rows_of(self, first_block: int, stop_block: int) -> tuple[int, int]:
+        """The half-open row range ``[start, stop)`` covered by a
+        contiguous block range of this plan."""
+        if not 0 <= first_block < stop_block <= self.num_blocks:
+            raise ValueError(
+                f"block range [{first_block}, {stop_block}) is not a "
+                f"non-empty sub-range of {self.num_blocks} blocks"
+            )
+        return self._bounds[first_block][0], self._bounds[stop_block - 1][1]
+
 
 def plan_for_observations(
     num_rows: int,

@@ -215,6 +215,92 @@ class ModelState:
             refit_capable=refit_capable,
         )
 
+    def clone_base(self) -> "ModelState":
+        """A fresh state over this state's base model, extensions
+        dropped.
+
+        The clone *shares* the immutable base containers -- network,
+        link views (with their cached operator), attribute parameters,
+        and the deferred hydrator -- and owns a private copy of the
+        base theta rows, so growing the clone (``append_extensions``,
+        ``to_problem``) never disturbs this state.  This is how a
+        serving cluster assembles the single-engine reference state for
+        a cluster-wide refit without mutating the base it keeps
+        serving from.
+        """
+        clone = ModelState(
+            network=self.network,
+            matrices=self.matrices,
+            theta=self._theta_buf[: self._num_base],
+            gamma=self.gamma,
+            relation_names=self.relation_names,
+            attribute_names=self.attribute_names,
+            attribute_params=self.attribute_params,
+            refit_capable=self.refit_capable,
+            hydrator=self._hydrator,
+        )
+        clone._vocab_index = self._vocab_index
+        return clone
+
+    def partition(self, plan) -> tuple["ModelState", ...]:
+        """Materialize per-shard serving states for a
+        :class:`~repro.serving.cluster.ShardPlan`.
+
+        Each shard state **owns** its plan rows (responsibility for
+        membership reads, eviction, and promotion accounting lives with
+        the owner) plus a private, independently growable extension
+        space, while **sharing** the frozen base read-only: the network,
+        the link views with their cached operator, gamma, the attribute
+        component parameters, and -- crucially -- the base theta rows,
+        which every shard's fold-in reads as one zero-copy buffer view
+        (a transient query may link to *any* base node, so the frozen
+        membership rows must stay visible cluster-wide).  The first
+        extension appended to a shard migrates it onto its own buffer;
+        until then a shard costs ``O(1)`` extra memory.
+
+        Shard states are serve-only on purpose: promotion is a
+        cluster-scope operation (all shards' extensions refit together,
+        see :meth:`repro.serving.router.ShardedEngine.promote`), so a
+        single shard refitting alone would silently fork the base model
+        out from under its peers.
+
+        The state must carry no extensions yet (partition the base,
+        then route deltas), and ``plan`` must cover exactly this
+        state's rows.
+        """
+        if self.num_extension_nodes:
+            raise StateError(
+                f"partition requires a pristine base state; this one "
+                f"carries {self.num_extension_nodes} extension node(s) "
+                f"(promote or evict them first)"
+            )
+        if plan.num_rows != self.num_nodes:
+            raise StateError(
+                f"shard plan covers {plan.num_rows} rows but the state "
+                f"has {self.num_nodes}"
+            )
+        base_view = self._theta_buf[: self._num_base]
+        shards = []
+        for _ in range(plan.n_shards):
+            shard = ModelState(
+                network=self.network,
+                matrices=self.matrices,
+                theta=base_view,
+                gamma=self.gamma,
+                relation_names=self.relation_names,
+                attribute_names=self.attribute_names,
+                attribute_params=self.attribute_params,
+                refit_capable=False,
+                hydrator=None,
+            )
+            # drop the constructor's defensive copy: the frozen base
+            # rows are shared as one buffer view across all shards (the
+            # first append_extensions call grows onto a private buffer)
+            shard._theta_buf = base_view
+            shard._vocab_index = self._vocab_index
+            shards.append(shard)
+        return tuple(shards)
+
     # ------------------------------------------------------------------
     # shape + views
     # ------------------------------------------------------------------
@@ -532,6 +618,17 @@ class ModelState:
             )
         self.network = network
         self.matrices = matrices
+
+    def hydrate(self) -> None:
+        """Decode any deferred training payload now (idempotent).
+
+        Artifact-backed states defer rebuilding their link views until
+        the refit path needs them; callers that want the views earlier
+        -- e.g. the ``shard-plan`` CLI reporting per-shard link load --
+        can force the decode here.  Serve-only states are untouched.
+        """
+        if self.refit_capable:
+            self._ensure_hydrated()
 
     def materialize_network(self) -> HeterogeneousNetwork:
         """Base + extensions as one standalone network.

@@ -19,8 +19,17 @@ into something that lives through the whole model lifecycle:
   telemetry and eviction (``evict``), and ``promote()``: a warm-started
   full refit that turns folded-in nodes into first-class training data
   and rebases the engine onto the result.
+* :mod:`repro.serving.cluster` / :mod:`repro.serving.router` /
+  :mod:`repro.serving.driver` -- the sharded serving cluster:
+  :class:`ShardPlan` pins contiguous row blocks onto shards,
+  :class:`ShardedEngine` scatter-gathers the engine API across
+  per-shard engines (bit-identical to a single engine at every shard
+  count), and :class:`RetrainDriver` runs the autonomic policy loop
+  (:class:`RetrainPolicy`) that promotes on extension pressure or
+  query staleness and rebalances the plan afterwards.
 
-A small CLI ships as ``python -m repro.serving`` (``info`` / ``score``).
+A small CLI ships as ``python -m repro.serving``
+(``info`` / ``score`` / ``score --batch`` / ``shard-plan``).
 
 Typical lifecycle::
 
@@ -45,6 +54,12 @@ from repro.serving.artifact import (
     load_artifact,
     save_artifact,
 )
+from repro.serving.cluster import ShardPlan
+from repro.serving.driver import (
+    RetrainDriver,
+    RetrainPolicy,
+    RetrainRound,
+)
 from repro.serving.engine import InferenceEngine
 from repro.serving.foldin import (
     FoldInOutcome,
@@ -52,6 +67,7 @@ from repro.serving.foldin import (
     NewNode,
     fold_in,
 )
+from repro.serving.router import ShardedEngine
 
 __all__ = [
     "FORMAT",
@@ -60,7 +76,12 @@ __all__ = [
     "InferenceEngine",
     "ModelArtifact",
     "NewNode",
+    "RetrainDriver",
+    "RetrainPolicy",
+    "RetrainRound",
     "SCHEMA_VERSION",
+    "ShardPlan",
+    "ShardedEngine",
     "fold_in",
     "load_artifact",
     "save_artifact",

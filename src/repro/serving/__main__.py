@@ -1,12 +1,22 @@
 """Command-line serving front end: ``python -m repro.serving``.
 
-Two subcommands against a saved model artifact:
+Three subcommands against a saved model artifact:
 
 * ``info ARTIFACT`` -- print the persisted model's summary (or the full
   engine snapshot with ``--json``).
 * ``score ARTIFACT --type TYPE [--link REL=TARGET[:WEIGHT]] ...``
   -- fold one hypothetical node in and print its posterior membership
-  and hard cluster label.
+  and hard cluster label.  ``score ARTIFACT --batch FILE`` scores many
+  queries through the coalesced ``score_many`` batch path instead:
+  ``FILE`` holds a JSON array (or JSON-lines stream) of query objects
+  ``{"object_type": ..., "links": [[REL, TARGET, WEIGHT?], ...],
+  "text": {...}, "numeric": {...}}``.
+* ``shard-plan ARTIFACT --shards N [--block-size B]`` -- print the
+  :class:`~repro.serving.cluster.ShardPlan` a cluster of ``N`` engines
+  would pin this artifact's index space with (rows and blocks per
+  shard, plus per-shard link load when the artifact embeds training
+  edges) -- review it, then hand it to
+  :class:`~repro.serving.router.ShardedEngine`.
 
 Node ids on the command line are always strings; models whose ids are
 other scalar types need the Python API.  Link weights ride after a
@@ -21,8 +31,11 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ServingError
+from repro.serving.artifact import ModelArtifact
+from repro.serving.cluster import ShardPlan
 from repro.serving.engine import InferenceEngine
 
 
@@ -93,9 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("artifact", help="path to the .npz bundle")
     score.add_argument(
         "--type",
-        required=True,
         dest="object_type",
-        help="object type of the scored node",
+        help="object type of the scored node (single-query mode)",
+    )
+    score.add_argument(
+        "--batch",
+        metavar="FILE",
+        help="score a file of query objects (JSON array or JSON "
+        "lines) through the coalesced score_many batch path",
     )
     score.add_argument(
         "--link",
@@ -124,6 +142,29 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument(
         "--json", action="store_true", help="emit JSON instead of text"
     )
+
+    shard_plan = commands.add_parser(
+        "shard-plan",
+        help="propose a balanced shard plan for a serving cluster",
+    )
+    shard_plan.add_argument("artifact", help="path to the .npz bundle")
+    shard_plan.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        help="number of shard engines in the cluster",
+    )
+    shard_plan.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="rows per block (default: the cache-sized kernel block)",
+    )
+    shard_plan.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the plan as JSON",
+    )
     return parser
 
 
@@ -136,7 +177,78 @@ def _run_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_batch(path: str) -> list[dict]:
+    """Parse a batch file: a JSON array, or one JSON object per line."""
+    raw = Path(path).read_text(encoding="utf-8").strip()
+    if not raw:
+        return []
+    if raw.startswith("["):
+        queries = json.loads(raw)
+        if not isinstance(queries, list):  # pragma: no cover - guard
+            raise ServingError(
+                f"batch file {path!r} must hold a JSON array"
+            )
+    else:
+        queries = [
+            json.loads(line)
+            for line in raw.splitlines()
+            if line.strip()
+        ]
+    # JSON has no tuples: re-shape link entries for the query API
+    for position, query in enumerate(queries):
+        if not isinstance(query, dict):
+            raise ServingError(
+                f"query #{position}: expected a JSON object, got "
+                f"{type(query).__name__}"
+            )
+        links = query.get("links")
+        if links is not None:
+            if not isinstance(links, list):
+                raise ServingError(
+                    f"query #{position}: links must be an array of "
+                    f"[relation, target(, weight)] entries"
+                )
+            query["links"] = [tuple(link) for link in links]
+    return queries
+
+
+def _run_score_batch(args: argparse.Namespace) -> int:
+    engine = InferenceEngine.load(args.artifact)
+    queries = _load_batch(args.batch)
+    memberships = engine.score_many(queries)
+    rows = [
+        {
+            "cluster": int(membership.argmax()),
+            "membership": [float(p) for p in membership],
+        }
+        for membership in memberships
+    ]
+    if args.json:
+        print(json.dumps(rows))
+    else:
+        for position, row in enumerate(rows):
+            rendered = ", ".join(
+                f"{p:.4f}" for p in row["membership"]
+            )
+            print(
+                f"query #{position}: cluster {row['cluster']}  "
+                f"membership [{rendered}]"
+            )
+    return 0
+
+
 def _run_score(args: argparse.Namespace) -> int:
+    if args.batch is not None:
+        if args.object_type or args.link or args.text or args.numeric:
+            raise ServingError(
+                "--batch scores a query file; it cannot be combined "
+                "with --type/--link/--text/--numeric"
+            )
+        return _run_score_batch(args)
+    if not args.object_type:
+        raise ServingError(
+            "score needs either --type (single query) or --batch FILE"
+        )
     engine = InferenceEngine.load(args.artifact)
     text: dict[str, list[str]] = {}
     for attribute, tokens in args.text:
@@ -167,11 +279,42 @@ def _run_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_shard_plan(args: argparse.Namespace) -> int:
+    state = ModelArtifact.load(args.artifact).to_state()
+    # link views make the per-shard load column possible; serve-only
+    # bundles (schema v1) still get the row/block split
+    state.hydrate()
+    plan = ShardPlan.from_state(state, args.shards, args.block_size)
+    summary = plan.describe(state)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"shard plan: {summary['n_shards']} shard(s) over "
+        f"{summary['num_rows']} rows "
+        f"({summary['num_blocks']} blocks x {summary['block_rows']} "
+        f"rows)"
+    )
+    for entry in summary["shards"]:
+        start, stop = entry["rows"]
+        first, last = entry["blocks"]
+        line = (
+            f"  shard {entry['shard']}: rows [{start}, {stop})  "
+            f"blocks [{first}, {last})  {entry['num_rows']} rows"
+        )
+        if "total_links" in entry:
+            line += f"  {entry['total_links']} out-links"
+        print(line)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "info":
             return _run_info(args)
+        if args.command == "shard-plan":
+            return _run_shard_plan(args)
         return _run_score(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

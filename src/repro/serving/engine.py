@@ -58,6 +58,97 @@ from repro.serving.foldin import (
 _QUERY_ID = "__repro.serving.query__"
 
 
+def select_lru_victims(
+    candidates: Iterable[object],
+    excess: int,
+    order_key,
+    dependants_of,
+    row_of,
+) -> set[object]:
+    """Pick up to ``excess`` eviction victims, oldest first, honouring
+    link-dependency pinning.
+
+    The worklist selection shared by :meth:`InferenceEngine.evict`
+    (per-engine ages) and the cluster router (cluster-wide ages over
+    all shards' extensions): each node is examined once per resolved
+    blocker -- ``O(nodes + dependency links)`` total, no quadratic
+    multi-pass -- and nodes pinned by a never-chosen survivor stay
+    parked and survive.  ``order_key`` fixes the fully deterministic
+    scan order (query age, then served row), ``dependants_of`` yields
+    the extension nodes holding an out-link to a candidate, and
+    ``row_of`` breaks blocker ties.
+    """
+    queue = deque(sorted(candidates, key=order_key))
+    blocked_on: dict[object, list[object]] = {}
+    chosen: set[object] = set()
+    while queue and len(chosen) < excess:
+        node = queue.popleft()
+        # a node pins itself only through *other* survivors: a
+        # self-link dies with the node, so it never blocks
+        pins = dependants_of(node) - chosen - {node}
+        if pins:
+            blocker = min(pins, key=row_of)
+            blocked_on.setdefault(blocker, []).append(node)
+            continue
+        chosen.add(node)
+        for waiter in blocked_on.pop(node, ()):
+            queue.append(waiter)
+    return chosen
+
+
+def promote_state(
+    state: ModelState,
+    config: GenClusConfig | None = None,
+    num_workers: int = 1,
+    block_size: int | None = None,
+):
+    """Warm-started refit of a lifecycle state's base + extensions.
+
+    The promotion core shared by :meth:`InferenceEngine.promote` and
+    the cluster-wide promote of
+    :class:`~repro.serving.router.ShardedEngine`: materialize the
+    state into a solver-ready problem (link views patched from the
+    base operator, not rebuilt) and run Algorithm 1 warm-started from
+    the served theta/gamma/attribute parameters.  Returns
+    ``(result, promoted_state)`` where the promoted state is a fresh
+    refit-capable base with an empty extension space, reusing the
+    materialized problem's network and patched link views.
+
+    Raises :class:`~repro.exceptions.ServingError` when the state is
+    serve-only or the config disagrees on ``K``.
+    """
+    if not state.refit_capable:
+        raise ServingError(
+            "cannot promote: the served model is serve-only (no "
+            "embedded training data; re-export it as a schema-v2 "
+            "artifact from the original fit)"
+        )
+    if config is None:
+        config = GenClusConfig(
+            n_clusters=state.n_clusters,
+            num_workers=num_workers,
+            block_size=block_size,
+        )
+    elif config.n_clusters != state.n_clusters:
+        raise ServingError(
+            f"promote config has n_clusters={config.n_clusters}, "
+            f"but the served model has K={state.n_clusters}"
+        )
+    problem = state.to_problem()
+    result = GenClus(config).fit_problem(problem, warm_start=state)
+    promoted = ModelState(
+        network=problem.network,
+        matrices=problem.matrices,
+        theta=result.theta,
+        gamma=result.gamma,
+        relation_names=problem.matrices.relation_names,
+        attribute_names=problem.attribute_names,
+        attribute_params=result.attribute_params,
+        refit_capable=True,
+    )
+    return result, promoted
+
+
 class InferenceEngine:
     """Serves cluster-membership queries from a fitted model.
 
@@ -78,6 +169,11 @@ class InferenceEngine:
         any width.
     block_size:
         Row-block override for the blocked sweeps (``None`` = auto).
+    shard_id, shard_count:
+        The engine's position in a serving cluster (reported through
+        :meth:`info`; a standalone engine is shard ``0`` of ``1``).
+        Set by :class:`~repro.serving.router.ShardedEngine` when it
+        builds its per-shard engines.
     """
 
     def __init__(
@@ -88,6 +184,32 @@ class InferenceEngine:
         tol: float = 1e-6,
         num_workers: int = 1,
         block_size: int | None = None,
+        shard_id: int = 0,
+        shard_count: int = 1,
+    ) -> None:
+        self._setup(
+            state=artifact.to_state(),
+            artifact=artifact,
+            cache_size=cache_size,
+            max_iterations=max_iterations,
+            tol=tol,
+            num_workers=num_workers,
+            block_size=block_size,
+            shard_id=shard_id,
+            shard_count=shard_count,
+        )
+
+    def _setup(
+        self,
+        state: ModelState,
+        artifact: ModelArtifact | None,
+        cache_size: int,
+        max_iterations: int,
+        tol: float,
+        num_workers: int,
+        block_size: int | None,
+        shard_id: int,
+        shard_count: int,
     ) -> None:
         if cache_size < 0:
             raise ServingError(
@@ -105,11 +227,22 @@ class InferenceEngine:
             raise ServingError(
                 f"block_size must be >= 1 when set, got {block_size}"
             )
+        if shard_count < 1:
+            raise ServingError(
+                f"shard_count must be >= 1, got {shard_count}"
+            )
+        if not 0 <= shard_id < shard_count:
+            raise ServingError(
+                f"shard_id must lie in 0..{shard_count - 1}, "
+                f"got {shard_id}"
+            )
         self._num_workers = num_workers
         self._block_size = block_size
+        self._shard_id = shard_id
+        self._shard_count = shard_count
         self._artifact: ModelArtifact | None = artifact
         self._promoted_result = None
-        self._state = artifact.to_state()
+        self._state = state
         self._model = self._state.frozen_view()
         self._max_iterations = max_iterations
         self._tol = tol
@@ -117,6 +250,7 @@ class InferenceEngine:
         self._cache_size = cache_size
         self._hits = 0
         self._misses = 0
+        self._queries_served = 0
         # lifecycle telemetry
         self._clock = 0  # monotonic operation counter ("query age")
         self._last_used: dict[object, int] = {}
@@ -140,6 +274,41 @@ class InferenceEngine:
         """Build an engine from an in-memory fit (no disk roundtrip)."""
         return cls(ModelArtifact.from_result(result), **kwargs)
 
+    @classmethod
+    def from_state(
+        cls,
+        state: ModelState,
+        cache_size: int = 1024,
+        max_iterations: int = 100,
+        tol: float = 1e-6,
+        num_workers: int = 1,
+        block_size: int | None = None,
+        shard_id: int = 0,
+        shard_count: int = 1,
+    ) -> InferenceEngine:
+        """Build an engine serving an existing lifecycle state directly.
+
+        No artifact round trip: the engine reads and mutates ``state``
+        in place.  This is how the cluster router wraps the per-shard
+        states of :meth:`~repro.core.state.ModelState.partition` (each
+        shard engine shares the frozen base and owns its extension
+        space).  :attr:`artifact` is unavailable until a promote
+        produces an in-memory result to freeze.
+        """
+        engine = cls.__new__(cls)
+        engine._setup(
+            state=state,
+            artifact=None,
+            cache_size=cache_size,
+            max_iterations=max_iterations,
+            tol=tol,
+            num_workers=num_workers,
+            block_size=block_size,
+            shard_id=shard_id,
+            shard_count=shard_count,
+        )
+        return engine
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
@@ -148,6 +317,13 @@ class InferenceEngine:
         """The artifact of the currently served base model (refreshed
         by :meth:`promote`, frozen lazily on first access)."""
         if self._artifact is None:
+            if self._promoted_result is None:
+                raise ServingError(
+                    "this engine serves a shared in-memory state "
+                    "(built with from_state) and has no artifact "
+                    "bundle; save the original fit, or promote() to "
+                    "produce a freezable result"
+                )
             self._artifact = ModelArtifact.from_result(
                 self._promoted_result
             )
@@ -235,13 +411,23 @@ class InferenceEngine:
                 "hits": self._hits,
                 "misses": self._misses,
             },
+            "queries": {
+                # transient queries answered (cached or folded); the
+                # staleness signal retrain policies watch
+                "served": self._queries_served,
+            },
             "execution": {
                 # the blocked-kernel shape scores run with: pool width
                 # (after auto-resolution), the block-size override, and
-                # the served index space's block decomposition
+                # the served index space's block decomposition -- plus
+                # the engine's position in a serving cluster (a
+                # standalone engine is shard 0 of 1), so cluster and
+                # singleton telemetry share one schema
                 "num_workers": self._num_workers,
                 "pool_width": resolve_workers(self._num_workers),
                 "block_size": self._block_size,
+                "shard_id": self._shard_id,
+                "shard_count": self._shard_count,
                 **state.execution_shape(self._block_size),
             },
             "extension": {
@@ -406,33 +592,39 @@ class InferenceEngine:
         def order_key(node):
             return (self._last_used.get(node, 0), row[node])
 
-        # worklist selection: each node is examined once per resolved
-        # blocker (O(nodes + dependency links) total, no quadratic
-        # multi-pass); nodes pinned by a never-chosen survivor stay
-        # parked in `blocked_on` and survive
-        queue = deque(sorted(state.extension_nodes(), key=order_key))
-        blocked_on: dict[object, list[object]] = {}
-        chosen_set: set[object] = set()
-        while queue and len(chosen_set) < excess:
-            node = queue.popleft()
-            # a node pins itself only through *other* survivors: a
-            # self-link dies with the node, so it never blocks
-            pins = (
-                state.extension_dependants(node)
-                - chosen_set
-                - {node}
-            )
-            if pins:
-                blocker = min(pins, key=lambda n: row[n])
-                blocked_on.setdefault(blocker, []).append(node)
-                continue
-            chosen_set.add(node)
-            for waiter in blocked_on.pop(node, ()):
-                queue.append(waiter)
+        chosen_set = select_lru_victims(
+            state.extension_nodes(),
+            excess,
+            order_key=order_key,
+            dependants_of=state.extension_dependants,
+            row_of=row.__getitem__,
+        )
         if not chosen_set:
             return ()
         # capture the report order before eviction renumbers the rows
         chosen = tuple(sorted(chosen_set, key=order_key))
+        self.evict_nodes(chosen_set)
+        return chosen
+
+    def evict_nodes(
+        self, nodes: Iterable[object]
+    ) -> tuple[object, ...]:
+        """Evict exactly these extension nodes (in served-row order).
+
+        The mechanism under :meth:`evict`'s LRU policy, exposed so a
+        cluster router can run *its* policy globally (ages tracked
+        across all shards) and then apply the per-shard verdicts here.
+        The state still enforces the safety invariants: only extension
+        nodes can go, and a node that a surviving extension node links
+        to is refused (its membership row backs the survivor's future
+        re-folds).
+        """
+        chosen_set = set(nodes)
+        if not chosen_set:
+            return ()
+        state = self._state
+        row = state.node_index
+        chosen = tuple(sorted(chosen_set, key=row.__getitem__))
         state.evict_extensions(chosen_set)
         for node in chosen:
             self._last_used.pop(node, None)
@@ -477,38 +669,15 @@ class InferenceEngine:
             artifact: no training links/observations) or the config
             disagrees on ``K``.
         """
-        state = self._state
-        if not state.refit_capable:
-            raise ServingError(
-                "cannot promote: the served model is serve-only (no "
-                "embedded training data; re-export it as a schema-v2 "
-                "artifact from the original fit)"
-            )
-        if config is None:
-            config = GenClusConfig(
-                n_clusters=state.n_clusters,
-                num_workers=self._num_workers,
-                block_size=self._block_size,
-            )
-        elif config.n_clusters != state.n_clusters:
-            raise ServingError(
-                f"promote config has n_clusters={config.n_clusters}, "
-                f"but the served model has K={state.n_clusters}"
-            )
-        problem = state.to_problem()
-        result = GenClus(config).fit_problem(problem, warm_start=state)
         # rebase: the promoted fit is the new frozen base; reuse the
         # patched link views (and their operator) for the next cycle
-        self._state = ModelState(
-            network=problem.network,
-            matrices=problem.matrices,
-            theta=result.theta,
-            gamma=result.gamma,
-            relation_names=problem.matrices.relation_names,
-            attribute_names=problem.attribute_names,
-            attribute_params=result.attribute_params,
-            refit_capable=True,
+        result, promoted = promote_state(
+            self._state,
+            config,
+            num_workers=self._num_workers,
+            block_size=self._block_size,
         )
+        self._state = promoted
         # the served artifact is stale now; refreeze lazily on the next
         # `.artifact` access instead of paying the copies every cycle
         self._artifact = None
@@ -545,6 +714,7 @@ class InferenceEngine:
         except ServingError as exc:
             raise _dequalify(exc) from None
         key = _canonical_key(spec)
+        self._queries_served += 1
         self._touch_query_targets(spec)
         cached = self._cache.get(key)
         if cached is not None:
@@ -599,47 +769,39 @@ class InferenceEngine:
 
         Queries already memoized are answered from the LRU cache and
         duplicate queries within the call are folded once; every fresh
-        result is cached for later single or batched queries.  Because
-        the batch shares one convergence test (rows iterate until the
-        whole batch converges), a score can differ from the
-        single-query path within the fixed-point tolerance ``tol``.
+        result is cached for later single or batched queries.
+        Transient rows converge **per row** (each freezes the sweep its
+        own change drops below ``tol``), so a batched score is
+        bit-identical to the single-query path -- and to any other
+        batching of the same queries, including the per-shard
+        scatter-gather of a serving cluster.
 
         Returns one ``(K,)`` posterior membership per query, in input
         order.
         """
-        allowed = {"object_type", "links", "text", "numeric"}
-        specs: list[NewNode] = []
         keys: list[tuple] = []
-        for position, query in enumerate(queries):
-            if not isinstance(query, Mapping):
-                raise ServingError(
-                    f"query #{position}: expected a mapping of query "
-                    f"arguments, got {type(query).__name__}"
-                )
-            unknown = set(query) - allowed
-            if unknown:
-                raise ServingError(
-                    f"query #{position}: unknown arguments "
-                    f"{sorted(map(str, unknown))} (allowed: "
-                    f"{sorted(allowed)})"
-                )
-            if "object_type" not in query:
-                raise ServingError(
-                    f"query #{position}: object_type is required"
-                )
-            try:
-                spec = NewNode(
-                    node=(_QUERY_ID, position),
-                    object_type=query["object_type"],
-                    links=tuple(query.get("links") or ()),
-                    text=dict(query.get("text") or {}),
-                    numeric=dict(query.get("numeric") or {}),
-                )
-            except ServingError as exc:
-                raise _dequalify(exc) from None
-            specs.append(spec)
+
+        def on_spec(spec: NewNode) -> None:
             keys.append(_canonical_key(spec))
             self._touch_query_targets(spec)
+
+        specs = compile_transient_queries(queries, on_spec)
+        self._queries_served += len(specs)
+        return self.score_specs(specs, keys)
+
+    def score_specs(
+        self, specs: Sequence[NewNode], keys: Sequence[tuple]
+    ) -> list[np.ndarray]:
+        """Score pre-compiled transient specs (the cache + batched
+        fold-in half of :meth:`score_many`).
+
+        The cluster router compiles and validates a batch **once** at
+        global scope (so error messages carry the caller's positions)
+        and hands each shard its slice of ready specs and canonical
+        cache keys here, skipping a second validation pass.  ``specs``
+        must come from :func:`compile_transient_queries` (or
+        equivalent) and ``keys`` must align with them.
+        """
         results: dict[int, np.ndarray] = {}
         pending: dict[tuple, list[int]] = {}
         for position, key in enumerate(keys):
@@ -707,6 +869,54 @@ class InferenceEngine:
 
     def _invalidate_cache(self) -> None:
         self._cache.clear()
+
+
+def compile_transient_queries(
+    queries: Sequence[Mapping[str, Any]],
+    on_spec=None,
+) -> list[NewNode]:
+    """Validate a ``score_many`` batch into sentinel-id fold-in specs.
+
+    The argument-checking half of the batch query path, shared by
+    :meth:`InferenceEngine.score_many` and the cluster router (which
+    must validate -- and report positions -- in the same global order
+    before scattering sub-batches to shards).  ``on_spec`` is invoked
+    per compiled spec, in order, *before* later queries validate,
+    mirroring the engine's touch-as-you-validate semantics.
+    """
+    allowed = {"object_type", "links", "text", "numeric"}
+    specs: list[NewNode] = []
+    for position, query in enumerate(queries):
+        if not isinstance(query, Mapping):
+            raise ServingError(
+                f"query #{position}: expected a mapping of query "
+                f"arguments, got {type(query).__name__}"
+            )
+        unknown = set(query) - allowed
+        if unknown:
+            raise ServingError(
+                f"query #{position}: unknown arguments "
+                f"{sorted(map(str, unknown))} (allowed: "
+                f"{sorted(allowed)})"
+            )
+        if "object_type" not in query:
+            raise ServingError(
+                f"query #{position}: object_type is required"
+            )
+        try:
+            spec = NewNode(
+                node=(_QUERY_ID, position),
+                object_type=query["object_type"],
+                links=tuple(query.get("links") or ()),
+                text=dict(query.get("text") or {}),
+                numeric=dict(query.get("numeric") or {}),
+            )
+        except ServingError as exc:
+            raise _dequalify(exc) from None
+        specs.append(spec)
+        if on_spec is not None:
+            on_spec(spec)
+    return specs
 
 
 _BATCH_QUERY_RE = re.compile(

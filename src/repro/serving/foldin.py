@@ -45,8 +45,10 @@ from repro.core.kernels import (
     BlockPlan,
     EMWorkspace,
     PropagationOperator,
+    csr_matmul_rows,
     normalize_update_block,
     resolve_workers,
+    row_max,
     run_blocks,
 )
 from repro.exceptions import ServingError
@@ -327,6 +329,23 @@ def fold_in(
     propagation and normalization stages write disjoint row slices, so
     results are bit-identical at any ``num_workers``.  Small batches
     fit one block and behave exactly like the serial sweep.
+
+    **Convergence is per row.**  After each sweep the rows that moved
+    at least ``tol`` are the *moving* set; every row that can reach a
+    moving row through in-batch links (it reads a moving row, directly
+    or transitively) stays live, and all other rows **freeze**, keeping
+    their current value verbatim while batchmates keep iterating.  (A
+    row whose in-batch link target is still drifting must not stop
+    early: its own update can be transiently stationary while its
+    input is still in motion.)  The batch converges when every row has
+    frozen.  Because a row's trajectory depends only on its own
+    observations, its out-link targets, and its in-batch link
+    component, freezing makes fold-in **row-decomposable**: rows that
+    share no in-batch link path evolve and stop identically no matter
+    how the batch is composed, so folding them together, one at a
+    time, or split across the shards of a serving cluster produces
+    bit-identical memberships.  (Rows connected by in-batch links must
+    stay in one batch -- their trajectories read each other.)
     """
     n = model.num_nodes
     k = model.n_clusters
@@ -378,43 +397,102 @@ def fold_in(
     text_obs, oov_terms = _compile_text(model, nodes)
     numeric_obs = _compile_numeric(model, nodes)
 
+    # reverse in-batch link map for the per-row convergence rule:
+    # dependants[t] = batch rows holding a link to batch row t (the
+    # rows whose updates read t's current value)
+    dependants: list[list[int]] = [[] for _ in range(m)]
+    has_batch_links = False
+    for entries in links_by_relation.values():
+        for source, target, _weight in entries:
+            if target >= n:
+                dependants[target - n].append(source - n)
+                has_batch_links = True
+
     theta = np.full((m, k), 1.0 / k)
     spare = np.empty((m, k))
     workspace = EMWorkspace(m, k)
     update = workspace.update
     row_sums = workspace.row_sums
+    row_delta = np.empty(m)
+    active = np.ones(m, dtype=bool)
+    combined = batch_operator.combined(model.gamma)
     iterations = 0
     converged = False
     for iterations in range(1, max_iterations + 1):
-        batch_operator.propagate(
-            theta, model.gamma, out=update,
-            num_workers=num_workers, plan=plan,
-        )
-        update += constant
+        # frozen rows keep their value verbatim, so blocks (and
+        # observation groups) with no live row skip the sweep entirely:
+        # a straggler component pays for its own rows, not the batch's
+        if active.all():
+            block_live = None
+        else:
+            block_live = [
+                bool(active[start:stop].any())
+                for start, stop in plan.bounds
+            ]
+
+        def propagate_block(index: int, start: int, stop: int) -> None:
+            if block_live is not None and not block_live[index]:
+                return
+            csr_matmul_rows(combined, theta, update, start, stop)
+            update[start:stop] += constant[start:stop]
+
+        run_blocks(plan, propagate_block, num_workers)
         for rows, pattern, beta in text_obs:
-            update[rows] += categorical_theta_term(
-                theta[rows], None, beta, pattern=pattern
-            )
+            if block_live is None or active[rows].any():
+                update[rows] += categorical_theta_term(
+                    theta[rows], None, beta, pattern=pattern
+                )
         for rows, values, owners, means, variances in numeric_obs:
-            update[rows] += gaussian_theta_term(
-                theta[rows], values, owners, means, variances
-            )
+            if block_live is None or active[rows].any():
+                update[rows] += gaussian_theta_term(
+                    theta[rows], values, owners, means, variances
+                )
 
         # the closing normalize/floor step is the SAME shared kernel
         # training's em_update runs (dead rows stay at the prior, rows
         # re-normalize after flooring) -- one implementation, so
         # training and serving cannot drift apart on these semantics
-        def normalize_block(_index: int, start: int, stop: int) -> None:
+        def normalize_block(index: int, start: int, stop: int) -> None:
+            if block_live is not None and not block_live[index]:
+                return
             normalize_update_block(
                 update, theta, spare, row_sums, floor, start, stop
             )
 
         run_blocks(plan, normalize_block, num_workers)
         theta_next = spare
+        if not active.all():
+            # frozen rows keep their converged value verbatim: the
+            # update map at a fixed point is not exactly the identity,
+            # so re-applying it would drift a row that already stopped
+            # (and would couple its final bits to its batchmates) --
+            # this also repairs the rows of skipped blocks, whose
+            # `spare` slots still hold the previous sweep's buffer
+            frozen = ~active
+            theta_next[frozen] = theta[frozen]
         np.subtract(theta_next, theta, out=update)
-        delta = float(np.max(np.abs(update)))
+        np.abs(update, out=update)
+        row_max(update, row_delta)
+        if has_batch_links:
+            # a row stays live while anything it (transitively) reads
+            # through in-batch links is still moving: reverse-reachable
+            # closure of the moving rows (frozen rows have delta 0 and
+            # never re-seed, so freezing is permanent)
+            closure = {int(r) for r in np.flatnonzero(row_delta >= tol)}
+            stack = list(closure)
+            while stack:
+                row = stack.pop()
+                for dependant in dependants[row]:
+                    if active[dependant] and dependant not in closure:
+                        closure.add(dependant)
+                        stack.append(dependant)
+            active[:] = False
+            if closure:
+                active[list(closure)] = True
+        else:
+            active &= row_delta >= tol
         theta, spare = theta_next, theta
-        if delta < tol:
+        if not active.any():
             converged = True
             break
     return FoldInOutcome(

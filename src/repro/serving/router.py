@@ -1,0 +1,801 @@
+"""Scatter-gather routing across a cluster of shard engines.
+
+:class:`ShardedEngine` turns one :class:`~repro.serving.engine.InferenceEngine`
+into many without changing a single answer.  A
+:class:`~repro.serving.cluster.ShardPlan` pins contiguous block ranges
+of the served index space onto shards;
+:meth:`~repro.core.state.ModelState.partition` materializes one serving
+state per shard (frozen base shared read-only, extension space owned
+per shard); and the router fans the engine API out:
+
+* ``query`` / ``assign`` route to one shard -- the owner of any
+  extension node the query links to, else a deterministic
+  cache-affinity shard -- and ``score_many`` / ``assign_many``
+  scatter-gather: the batch is deduplicated cluster-wide, split into
+  per-shard blocked fold-in sub-batches (run concurrently on the
+  router's scatter pool when it has width), and gathered back in
+  input order.
+* ``extend`` routes a whole batch to one owning shard (linked
+  extensions must colocate -- a shard re-folds its own component
+  without reading its peers); ``add_links`` splits a delta by each
+  source's owning shard and re-folds only each shard's touched
+  component; ``evict`` runs the cluster-wide LRU policy (ages tracked
+  by the router across all shards) and applies per-shard verdicts.
+* ``promote`` closes the loop at cluster scope: all shards'
+  extensions are reassembled in global arrival order onto a clone of
+  the base, refit warm-started exactly as a single engine would, and
+  the promoted model is re-partitioned under a **rebalanced** plan.
+
+**The determinism contract mirrors PR 4's worker-count contract**:
+because fold-in converges per row (rows freeze with their component;
+see :func:`~repro.serving.foldin.fold_in`), every shard shares the
+frozen base bit-for-bit, and a cluster promote replays the exact
+single-engine state, sharded memberships, hard labels, and
+post-promote ``g1`` are **bit-identical to the single-engine
+reference at every shard count** (pinned at {1, 2, 3} in
+``tests/test_serving_cluster.py``) -- provided the same ``block_size``
+is used on both sides (block grouping changes reduction order in
+refits, exactly as documented on
+:class:`~repro.core.config.GenClusConfig`).
+
+Scope: the cluster is in-process (shards are engines over shared
+buffers; the scatter runs threads, not sockets).  A multi-process /
+RPC transport is the remaining step on the ROADMAP; the routing,
+ownership, and rebalance logic here is transport-agnostic.
+
+Known limits, enforced loudly rather than silently mis-served: an
+extension link whose target lives on a *different* shard is rejected
+(colocate linked extensions by extending them through one call or one
+anchor), and with several invalid queries in one batch the reported
+position may differ from the single-engine order (each is still a
+real, correctly-numbered error).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import GenClusConfig
+from repro.core.kernels import resolve_workers
+from repro.core.state import ModelState
+from repro.exceptions import ServingError
+from repro.serving.artifact import ModelArtifact
+from repro.serving.cluster import ShardPlan
+from repro.serving.engine import (
+    InferenceEngine,
+    _QUERY_ID,
+    _canonical_key,
+    _dequalify,
+    compile_transient_queries,
+    promote_state,
+    select_lru_victims,
+)
+from repro.serving.foldin import FoldInOutcome, NewNode
+
+
+class _ExtensionRecord:
+    """Cluster-wide bookkeeping for one folded-in node."""
+
+    __slots__ = ("shard", "arrival")
+
+    def __init__(self, shard: int, arrival: int) -> None:
+        self.shard = shard
+        self.arrival = arrival
+
+
+class ShardedEngine:
+    """Serves one fitted model from a cluster of shard engines.
+
+    Parameters
+    ----------
+    state:
+        The base lifecycle state to shard
+        (:meth:`~repro.core.state.ModelState.from_result` or an
+        artifact's ``to_state()``; the :meth:`load` / :meth:`from_result`
+        classmethods wrap this).  Must carry no extensions yet.
+    n_shards:
+        Cluster width; mutually exclusive with ``plan``.
+    plan:
+        An explicit :class:`ShardPlan` (e.g. one printed by the
+        ``shard-plan`` CLI and reviewed by an operator).
+    cache_size, max_iterations, tol:
+        Per-shard engine controls, as on :class:`InferenceEngine`.
+    num_workers:
+        Width of the cross-shard scatter for ``score_many`` (``0`` =
+        auto-size to the machine): per-shard sub-batches run
+        concurrently on the router's dedicated scatter pool (disjoint
+        from the width-keyed kernel pools the shards' own blocked
+        sweeps use), since the fold-in kernels release the GIL.
+        Routing and results are identical at any width.
+    shard_workers:
+        Blocked-kernel pool width *inside* each shard engine (default
+        1: cluster parallelism comes from the scatter, not from
+        nesting pools).
+    block_size:
+        Row-block override shared by the shard plan, every shard's
+        fold-in sweeps, and cluster promotes.  Use the same value on a
+        singleton engine to compare answers bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        state: ModelState,
+        n_shards: int | None = None,
+        plan: ShardPlan | None = None,
+        cache_size: int = 1024,
+        max_iterations: int = 100,
+        tol: float = 1e-6,
+        num_workers: int = 0,
+        shard_workers: int = 1,
+        block_size: int | None = None,
+    ) -> None:
+        if (plan is None) == (n_shards is None):
+            raise ServingError(
+                "pass exactly one of n_shards or plan"
+            )
+        if num_workers < 0:
+            raise ServingError(
+                f"num_workers must be >= 0 (0 = auto), got {num_workers}"
+            )
+        if plan is None:
+            plan = ShardPlan.from_state(state, n_shards, block_size)
+        elif plan.num_rows != state.num_nodes:
+            raise ServingError(
+                f"shard plan covers {plan.num_rows} rows but the "
+                f"state has {state.num_nodes}"
+            )
+        self._plan = plan
+        self._base_state = state
+        self._cache_size = cache_size
+        self._max_iterations = max_iterations
+        self._tol = tol
+        self._num_workers = num_workers
+        self._shard_workers = shard_workers
+        self._block_size = block_size
+        self._build_shards()
+        # cluster-wide extension registry + the global LRU clock; the
+        # router mirrors the singleton engine's age semantics exactly
+        # so cluster eviction picks the same victims the single engine
+        # would (arrival order stands in for the served row: both are
+        # monotone in fold-in order and survive compactions)
+        self._registry: dict[object, _ExtensionRecord] = {}
+        self._arrivals = 0
+        self._clock = 0
+        self._last_used: dict[object, int] = {}
+        self._queries_served = 0
+        self._evicted_total = 0
+        self._promotions = 0
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _scatter_pool(self) -> ThreadPoolExecutor:
+        """The router's own scatter pool, **distinct** from the
+        width-keyed kernel pools: a shard sub-batch running on
+        ``shared_pool(w)`` whose nested blocked fold-in also submits to
+        ``shared_pool(w)`` would wait on workers it is itself
+        occupying -- a permanent deadlock whenever ``shard_workers``
+        resolves to the scatter width.  A dedicated pool keeps the two
+        nesting levels on disjoint worker sets at any configuration.
+        """
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=resolve_workers(self._num_workers),
+                thread_name_prefix="repro-router-scatter",
+            )
+        return self._pool
+
+    def _build_shards(self) -> None:
+        states = self._base_state.partition(self._plan)
+        self._shards = tuple(
+            InferenceEngine.from_state(
+                shard_state,
+                cache_size=self._cache_size,
+                max_iterations=self._max_iterations,
+                tol=self._tol,
+                num_workers=self._shard_workers,
+                block_size=self._block_size,
+                shard_id=shard_id,
+                shard_count=self._plan.n_shards,
+            )
+            for shard_id, shard_state in enumerate(states)
+        )
+        self._owned_counts = [0] * self._plan.n_shards
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(
+        cls, path: str | Path, n_shards: int, **kwargs: Any
+    ) -> "ShardedEngine":
+        """Shard a saved artifact bundle straight from disk."""
+        return cls.from_artifact(
+            ModelArtifact.load(path), n_shards, **kwargs
+        )
+
+    @classmethod
+    def from_artifact(
+        cls, artifact: ModelArtifact, n_shards: int, **kwargs: Any
+    ) -> "ShardedEngine":
+        return cls(artifact.to_state(), n_shards=n_shards, **kwargs)
+
+    @classmethod
+    def from_result(
+        cls, result, n_shards: int, **kwargs: Any
+    ) -> "ShardedEngine":
+        """Shard an in-memory fit (no disk roundtrip)."""
+        return cls(
+            ModelState.from_result(result), n_shards=n_shards, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> ShardPlan:
+        """The live shard plan (rebalanced by :meth:`promote`)."""
+        return self._plan
+
+    @property
+    def shards(self) -> tuple[InferenceEngine, ...]:
+        """The per-shard engines, in shard order (read-only peek --
+        mutate through the router, which owns the cluster registry)."""
+        return self._shards
+
+    @property
+    def n_shards(self) -> int:
+        return self._plan.n_shards
+
+    @property
+    def n_clusters(self) -> int:
+        return self._base_state.n_clusters
+
+    @property
+    def num_base_nodes(self) -> int:
+        return self._base_state.num_base_nodes
+
+    @property
+    def num_extension_nodes(self) -> int:
+        return len(self._registry)
+
+    @property
+    def num_nodes(self) -> int:
+        """Base plus folded-in extension nodes, cluster-wide."""
+        return self.num_base_nodes + self.num_extension_nodes
+
+    @property
+    def refit_capable(self) -> bool:
+        return self._base_state.refit_capable
+
+    def strengths(self) -> dict[str, float]:
+        return {
+            name: float(g)
+            for name, g in zip(
+                self._base_state.relation_names, self._base_state.gamma
+            )
+        }
+
+    def has_node(self, node: object) -> bool:
+        return (
+            node in self._registry
+            or self._base_state.network.has_node(node)
+        )
+
+    def owner_of(self, node: object) -> int:
+        """The shard owning a served node (base row or extension)."""
+        record = self._registry.get(node)
+        if record is not None:
+            return record.shard
+        row = self._base_state.network.node_index_view.get(node)
+        if row is None:
+            raise ServingError(
+                f"node {node!r} is not served by this engine"
+            )
+        return self._plan.shard_of_row(row)
+
+    def membership_of(self, node: object) -> np.ndarray:
+        """Membership row of any served node, from its owner shard."""
+        shard = self.owner_of(node)
+        self._touch_usage(node)
+        return self._shards[shard].membership_of(node)
+
+    def hard_label_of(self, node: object) -> int:
+        return int(np.argmax(self.membership_of(node)))
+
+    # ------------------------------------------------------------------
+    # transient queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        object_type: str,
+        links: Sequence[tuple] = (),
+        text: Mapping[str, Any] | None = None,
+        numeric: Mapping[str, Sequence[float]] | None = None,
+    ) -> np.ndarray:
+        """Score a hypothetical node on its owning shard.
+
+        A query linking to folded-in nodes goes to their owner (it
+        needs their membership rows); any other query goes to a
+        deterministic cache-affinity shard.  Every shard shares the
+        frozen base bit-for-bit, so the answer is identical no matter
+        where it runs.
+        """
+        try:
+            spec = NewNode(
+                node=_QUERY_ID,
+                object_type=object_type,
+                links=tuple(links),
+                text=dict(text or {}),
+                numeric=dict(numeric or {}),
+            )
+        except ServingError as exc:
+            raise _dequalify(exc) from None
+        shard = self._route_spec(spec, _canonical_key(spec))
+        self._queries_served += 1
+        self._touch_query_targets(spec)
+        return self._shards[shard].query(
+            object_type, links=links, text=text, numeric=numeric
+        )
+
+    def assign(
+        self,
+        object_type: str,
+        links: Sequence[tuple] = (),
+        text: Mapping[str, Any] | None = None,
+        numeric: Mapping[str, Sequence[float]] | None = None,
+    ) -> int:
+        return int(
+            np.argmax(self.query(object_type, links, text, numeric))
+        )
+
+    def score_many(
+        self, queries: Sequence[Mapping[str, Any]]
+    ) -> list[np.ndarray]:
+        """Scatter-gather a batch of transient queries.
+
+        The batch is validated in global order (error positions match
+        the single engine's numbering), deduplicated cluster-wide
+        (duplicates fold once, on one shard), routed -- owner shard
+        for extension-linked queries, cache-affinity shard otherwise
+        -- and the per-shard sub-batches run as blocked fold-in
+        batches, concurrently when the router has pool width.  Per-row
+        convergence makes the gathered scores bit-identical to the
+        single-engine batch (and to one-at-a-time queries).
+        """
+        keys: list[tuple] = []
+
+        def on_spec(spec: NewNode) -> None:
+            keys.append(_canonical_key(spec))
+            self._touch_query_targets(spec)
+
+        specs = compile_transient_queries(queries, on_spec)
+        self._queries_served += len(specs)
+        if not specs:
+            return []
+        # cluster-wide dedup: the first occurrence of a key is routed,
+        # later duplicates reuse its gathered row.  Shards receive the
+        # already-compiled specs (whose sentinel ids carry the *global*
+        # positions, so shard-side errors name the caller's numbering)
+        # and skip a second validation pass.
+        routed: dict[tuple, int] = {}
+        shard_specs: list[list[NewNode]] = [[] for _ in self._shards]
+        shard_keys: list[list[tuple]] = [[] for _ in self._shards]
+        for spec, key in zip(specs, keys):
+            if key in routed:
+                continue
+            shard = self._route_spec(spec, key)
+            routed[key] = shard
+            shard_specs[shard].append(spec)
+            shard_keys[shard].append(key)
+        active = [
+            shard
+            for shard in range(self.n_shards)
+            if shard_specs[shard]
+        ]
+        gathered: dict[int, list[np.ndarray]] = {}
+        width = min(resolve_workers(self._num_workers), len(active))
+        if width > 1:
+            pool = self._scatter_pool()
+            futures = {
+                shard: pool.submit(
+                    self._shards[shard].score_specs,
+                    shard_specs[shard],
+                    shard_keys[shard],
+                )
+                for shard in active
+            }
+            # gather (and surface errors) in shard order: determinism
+            # over completion order, like every blocked reduction
+            for shard in active:
+                gathered[shard] = futures[shard].result()
+        else:
+            for shard in active:
+                gathered[shard] = self._shards[shard].score_specs(
+                    shard_specs[shard], shard_keys[shard]
+                )
+        by_key: dict[tuple, np.ndarray] = {}
+        for shard in active:
+            for membership, key in zip(
+                gathered[shard], shard_keys[shard]
+            ):
+                by_key[key] = membership
+        return [by_key[key].copy() for key in keys]
+
+    def assign_many(
+        self, queries: Sequence[Mapping[str, Any]]
+    ) -> list[int]:
+        return [
+            int(np.argmax(membership))
+            for membership in self.score_many(queries)
+        ]
+
+    def _route_spec(self, spec: NewNode, key: tuple) -> int:
+        owners = {
+            self._registry[target].shard
+            for _, target, _ in spec.links
+            if target in self._registry
+        }
+        if len(owners) > 1:
+            raise ServingError(
+                f"query links to extension nodes owned by shards "
+                f"{sorted(owners)}; linked extensions must be "
+                f"colocated on one shard (extend them through one "
+                f"batch or one anchor)"
+            )
+        if owners:
+            return owners.pop()
+        return _affinity_shard(key, self.n_shards)
+
+    # ------------------------------------------------------------------
+    # durable deltas
+    # ------------------------------------------------------------------
+    def extend(self, nodes: Sequence[NewNode]) -> FoldInOutcome:
+        """Fold a batch in on its owning shard.
+
+        The whole batch lands on **one** shard -- in-batch links read
+        each other's rows during the fixed point, so splitting a batch
+        would change its trajectories.  The owner is the shard holding
+        any already-served extension the batch links to (linking to
+        extensions on different shards is rejected); an unanchored
+        batch goes to the least-loaded shard, which keeps the cluster
+        balanced without ever affecting scores (every shard shares the
+        same frozen base).
+        """
+        specs = list(nodes)
+        for spec in specs:
+            if not isinstance(spec, NewNode):
+                raise ServingError(
+                    f"fold-in expects NewNode specs, got "
+                    f"{type(spec).__name__}"
+                )
+            if spec.node in self._registry:
+                raise ServingError(
+                    f"node {spec.node!r} is already part of the fitted "
+                    f"model; fold-in only accepts unseen nodes"
+                )
+        owners = {
+            self._registry[target].shard
+            for spec in specs
+            for _, target, _ in spec.links
+            if target in self._registry
+        }
+        if len(owners) > 1:
+            raise ServingError(
+                f"extend batch links to extension nodes owned by "
+                f"shards {sorted(owners)}; linked extensions must be "
+                f"colocated on one shard"
+            )
+        if owners:
+            shard = owners.pop()
+        else:
+            shard = min(
+                range(self.n_shards),
+                key=lambda s: (self._owned_counts[s], s),
+            )
+        outcome = self._shards[shard].extend(specs)
+        if specs:
+            self._clock += 1
+            for spec in specs:
+                self._registry[spec.node] = _ExtensionRecord(
+                    shard, self._arrivals
+                )
+                self._arrivals += 1
+                self._last_used[spec.node] = self._clock
+            self._owned_counts[shard] += len(specs)
+        return outcome
+
+    def add_links(
+        self,
+        links: Iterable[
+            tuple[object, str, object]
+            | tuple[object, str, object, float]
+        ],
+    ) -> FoldInOutcome:
+        """Append out-links, split by each source's owning shard.
+
+        A delta may carry sources on several shards (a *cross-shard
+        delta*): each shard re-folds only its own touched component,
+        in shard order, and the per-shard outcomes are merged.  A link
+        whose *target* is an extension on a different shard than its
+        source is rejected -- the source's re-folds would need a
+        membership row its shard does not hold.
+        """
+        state = self._base_state
+        per_shard: dict[int, list[tuple]] = {}
+        sources: list[object] = []
+        for link in links:
+            if len(link) not in (3, 4):
+                raise ServingError(
+                    f"link {link!r} must be "
+                    f"(source, relation, target[, weight])"
+                )
+            source, _, target = link[0], link[1], link[2]
+            record = self._registry.get(source)
+            if record is None:
+                if state.network.has_node(source):
+                    raise ServingError(
+                        f"node {source!r} belongs to the frozen base "
+                        f"model; its membership cannot change, so the "
+                        f"engine rejects new out-links on it"
+                    )
+                raise ServingError(
+                    f"link source {source!r} is not served by this "
+                    f"engine"
+                )
+            target_record = self._registry.get(target)
+            if (
+                target_record is not None
+                and target_record.shard != record.shard
+            ):
+                raise ServingError(
+                    f"link {source!r} -> {target!r} crosses shards "
+                    f"{record.shard} -> {target_record.shard}; "
+                    f"extension link targets must live on the "
+                    f"source's shard"
+                )
+            per_shard.setdefault(record.shard, []).append(link)
+            sources.append(source)
+        outcomes = [
+            self._shards[shard].add_links(per_shard[shard])
+            for shard in sorted(per_shard)
+        ]
+        if per_shard:
+            self._clock += 1
+            for source in sources:
+                self._last_used[source] = self._clock
+        return _merge_outcomes(outcomes, self.n_clusters)
+
+    # ------------------------------------------------------------------
+    # extension-space management
+    # ------------------------------------------------------------------
+    def evict(self, max_nodes: int) -> tuple[object, ...]:
+        """Shrink the cluster-wide extension space to ``max_nodes``.
+
+        One LRU policy over all shards: the router's global clock and
+        arrival order reproduce exactly the ages and tie-breaks a
+        single engine tracking the same traffic would use, the shared
+        worklist selection honours per-shard link-dependency pinning,
+        and the verdicts are applied on each owner shard.  Returns the
+        evicted node ids, oldest first.
+        """
+        if max_nodes < 0:
+            raise ServingError(
+                f"max_nodes must be >= 0, got {max_nodes}"
+            )
+        excess = len(self._registry) - max_nodes
+        if excess <= 0:
+            return ()
+        registry = self._registry
+
+        def order_key(node):
+            return (
+                self._last_used.get(node, 0), registry[node].arrival
+            )
+
+        def dependants_of(node):
+            return self._shards[
+                registry[node].shard
+            ].state.extension_dependants(node)
+
+        candidates = sorted(
+            registry, key=lambda node: registry[node].arrival
+        )
+        chosen_set = select_lru_victims(
+            candidates,
+            excess,
+            order_key=order_key,
+            dependants_of=dependants_of,
+            row_of=lambda node: registry[node].arrival,
+        )
+        if not chosen_set:
+            return ()
+        chosen = tuple(sorted(chosen_set, key=order_key))
+        by_shard: dict[int, list[object]] = {}
+        for node in chosen_set:
+            by_shard.setdefault(registry[node].shard, []).append(node)
+        for shard in sorted(by_shard):
+            self._shards[shard].evict_nodes(by_shard[shard])
+            self._owned_counts[shard] -= len(by_shard[shard])
+        for node in chosen:
+            del self._registry[node]
+            self._last_used.pop(node, None)
+        self._evicted_total += len(chosen)
+        return chosen
+
+    # ------------------------------------------------------------------
+    # promotion: the cluster-scope refit
+    # ------------------------------------------------------------------
+    def promote(
+        self, config: GenClusConfig | None = None
+    ) -> "object":
+        """Refit base + *all* shards' extensions and re-partition.
+
+        Promotion is deliberately cluster-scoped: a single shard
+        refitting alone would fork the frozen base out from under its
+        peers.  The router reassembles the exact single-engine state
+        -- every extension spec and its current membership row, in
+        global arrival order, onto a clone of the base -- and runs the
+        same warm-started refit an
+        :meth:`InferenceEngine.promote <repro.serving.engine.InferenceEngine.promote>`
+        would, so the promoted memberships, gamma, and ``g1`` are
+        bit-identical to the single-engine reference.  The grown base
+        is then split under a **rebalanced** :class:`ShardPlan` and
+        fresh shard engines serve it with empty extension spaces.
+
+        Returns the refit :class:`~repro.core.result.GenClusResult`.
+        """
+        reference = self._base_state.clone_base()
+        ordered = sorted(
+            self._registry.items(), key=lambda item: item[1].arrival
+        )
+        if ordered:
+            specs = []
+            rows = np.empty((len(ordered), self.n_clusters))
+            for position, (node, record) in enumerate(ordered):
+                shard_state = self._shards[record.shard].state
+                specs.append(shard_state.extension_spec(node))
+                rows[position] = shard_state.theta[
+                    shard_state.node_index[node]
+                ]
+            reference.append_extensions(tuple(specs), rows)
+        result, promoted = promote_state(
+            reference,
+            config,
+            num_workers=self._shard_workers,
+            block_size=self._block_size,
+        )
+        self._base_state = promoted
+        self._plan = ShardPlan.from_state(
+            promoted, self.n_shards, self._block_size
+        )
+        self._build_shards()
+        self._registry = {}
+        self._arrivals = 0
+        self._last_used = {}
+        self._promotions += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def info(self) -> dict[str, Any]:
+        """Cluster telemetry: the singleton :meth:`InferenceEngine.info`
+        schema aggregated across shards, plus a ``cluster`` section
+        with the live plan and per-shard snapshots."""
+        shard_infos = [engine.info() for engine in self._shards]
+        first = shard_infos[0]
+        total_ext = len(self._registry)
+        return {
+            "schema_version": first["schema_version"],
+            "refit_capable": self.refit_capable,
+            "n_clusters": self.n_clusters,
+            "num_base_nodes": self.num_base_nodes,
+            "num_extension_nodes": total_ext,
+            "object_types": first["object_types"],
+            "relations": self.strengths(),
+            "attributes": first["attributes"],
+            "cache": {
+                key: sum(info["cache"][key] for info in shard_infos)
+                for key in ("size", "max_size", "hits", "misses")
+            },
+            "queries": {"served": self._queries_served},
+            "execution": {
+                "num_workers": self._num_workers,
+                "pool_width": resolve_workers(self._num_workers),
+                "block_size": self._block_size,
+                # the router is the whole cluster, not one shard
+                "shard_id": None,
+                "shard_count": self.n_shards,
+                **self._base_state.execution_shape(self._block_size),
+            },
+            "extension": {
+                "nodes": total_ext,
+                "links": sum(
+                    info["extension"]["links"] for info in shard_infos
+                ),
+                "evicted_total": self._evicted_total,
+            },
+            "foldin": {
+                "sweeps": sum(
+                    info["foldin"]["sweeps"] for info in shard_infos
+                ),
+                "extends": sum(
+                    info["foldin"]["extends"] for info in shard_infos
+                ),
+                "link_deltas": sum(
+                    info["foldin"]["link_deltas"]
+                    for info in shard_infos
+                ),
+                "refolded_rows": sum(
+                    info["foldin"]["refolded_rows"]
+                    for info in shard_infos
+                ),
+                "promotions": self._promotions,
+            },
+            "cluster": {
+                "n_shards": self.n_shards,
+                "plan": self._plan.describe(self._base_state),
+                "shard_extension_nodes": list(self._owned_counts),
+                "shards": shard_infos,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def _touch_usage(self, node: object) -> None:
+        if node in self._registry:
+            self._clock += 1
+            self._last_used[node] = self._clock
+
+    def _touch_query_targets(self, spec: NewNode) -> None:
+        touched = [
+            target
+            for _, target, _ in spec.links
+            if target in self._registry
+        ]
+        if touched:
+            self._clock += 1
+            for target in touched:
+                self._last_used[target] = self._clock
+
+
+# ----------------------------------------------------------------------
+def _affinity_shard(key: tuple, n_shards: int) -> int:
+    """Deterministic cache-affinity routing for base-only queries.
+
+    A stable digest of the canonical query key (``repr`` of nested
+    tuples of scalars -- reproducible across processes, unlike
+    ``hash``) so a repeated query lands on the shard already holding
+    its memoized answer.  Any shard would return the identical score;
+    affinity only buys cache hits.
+    """
+    return zlib.crc32(repr(key).encode("utf-8")) % n_shards
+
+
+def _merge_outcomes(
+    outcomes: list[FoldInOutcome], n_clusters: int
+) -> FoldInOutcome:
+    """Concatenate per-shard re-fold outcomes (shard order)."""
+    if not outcomes:
+        return FoldInOutcome(
+            nodes=(),
+            theta=np.zeros((0, n_clusters)),
+            iterations=0,
+            converged=True,
+            oov_terms=0,
+        )
+    if len(outcomes) == 1:
+        return outcomes[0]
+    return FoldInOutcome(
+        nodes=tuple(
+            node for outcome in outcomes for node in outcome.nodes
+        ),
+        theta=np.concatenate([o.theta for o in outcomes], axis=0),
+        iterations=sum(o.iterations for o in outcomes),
+        converged=all(o.converged for o in outcomes),
+        oov_terms=sum(o.oov_terms for o in outcomes),
+    )

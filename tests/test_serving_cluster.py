@@ -1,0 +1,933 @@
+"""Tests for the sharded serving cluster (repro.serving.cluster /
+router / driver) and its CLI.
+
+The load-bearing contract mirrors PR 4's worker-count contract:
+sharded serving is **bit-identical** to the single-engine reference at
+every shard count -- memberships, hard labels, scatter-gathered
+batches, eviction verdicts, and the ``g1`` / theta / gamma of a
+(driver-triggered) cluster promote -- provided both sides use the same
+``block_size`` (block grouping changes reduction order inside refits).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import GenClus, GenClusConfig
+from repro.core.kernels import BlockPlan
+from repro.core.state import ModelState
+from repro.datagen.toy import political_forum_network
+from repro.exceptions import ServingError, StateError
+from repro.serving import (
+    InferenceEngine,
+    NewNode,
+    RetrainDriver,
+    RetrainPolicy,
+    ShardPlan,
+    ShardedEngine,
+)
+from repro.serving.__main__ import main
+
+BLOCK = 4  # 32 forum nodes -> 8 blocks: splittable into 1..8 shards
+SHARD_COUNTS = (1, 2, 3)
+
+GREEN_QUERY = dict(
+    links=[("writes", "blog0_1", 1.0), ("likes", "book0_2", 1.0)],
+    text={"text": ["environment", "climate", "green"]},
+)
+PURPLE_QUERY = dict(
+    links=[("writes", "blog1_1", 1.0), ("likes", "book1_2", 1.0)],
+    text={"text": ["liberty", "market", "freedom"]},
+)
+
+
+@pytest.fixture(scope="module")
+def forum_result():
+    network = political_forum_network()
+    config = GenClusConfig(
+        n_clusters=2, outer_iterations=5, seed=0, n_init=3
+    )
+    return GenClus(config).fit(network, attributes=["text"])
+
+
+@pytest.fixture(scope="module")
+def artifact_path(forum_result, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cluster") / "forum.npz"
+    forum_result.save(path)
+    return path
+
+
+def singleton(forum_result, **kwargs):
+    kwargs.setdefault("block_size", BLOCK)
+    return InferenceEngine.from_result(forum_result, **kwargs)
+
+
+def cluster(forum_result, n_shards, **kwargs):
+    kwargs.setdefault("block_size", BLOCK)
+    return ShardedEngine.from_result(
+        forum_result, n_shards=n_shards, **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# ShardPlan
+# ----------------------------------------------------------------------
+class TestShardPlan:
+    def test_balanced_contiguous_cover(self, forum_result):
+        state = ModelState.from_result(forum_result)
+        plan = ShardPlan.from_state(state, 3, BLOCK)
+        assert plan.n_shards == 3
+        assert plan.num_rows == 32
+        # contiguous tiling of the whole row space
+        assert plan.row_bounds[0][0] == 0
+        assert plan.row_bounds[-1][1] == 32
+        for (_, stop), (start, _) in zip(
+            plan.row_bounds, plan.row_bounds[1:]
+        ):
+            assert stop == start
+        # balanced to within one block
+        sizes = [plan.num_rows_of(s) for s in range(3)]
+        assert max(sizes) - min(sizes) <= plan.block_rows
+
+    def test_plan_is_deterministic(self, forum_result):
+        state = ModelState.from_result(forum_result)
+        assert ShardPlan.from_state(state, 3, BLOCK) == ShardPlan.from_state(
+            state, 3, BLOCK
+        )
+
+    def test_shard_of_row_matches_bounds(self, forum_result):
+        state = ModelState.from_result(forum_result)
+        plan = ShardPlan.from_state(state, 3, BLOCK)
+        for row in range(plan.num_rows):
+            shard = plan.shard_of_row(row)
+            start, stop = plan.rows_of(shard)
+            assert start <= row < stop
+        with pytest.raises(ServingError, match="outside"):
+            plan.shard_of_row(32)
+
+    def test_too_many_shards_is_actionable(self, forum_result):
+        state = ModelState.from_result(forum_result)
+        with pytest.raises(ServingError, match="smaller block size"):
+            ShardPlan.from_state(state, 40, BLOCK)
+        with pytest.raises(ServingError, match="n_shards"):
+            ShardPlan.from_state(state, 0, BLOCK)
+
+    def test_from_block_plan_partition(self):
+        plan = BlockPlan(100, 10)
+        bounds = plan.partition(4)
+        assert bounds == ((0, 2), (2, 5), (5, 7), (7, 10))
+        assert plan.block_rows_of(2, 5) == (20, 50)
+        sharded = ShardPlan.from_block_plan(plan, 4)
+        assert sharded.row_bounds == (
+            (0, 20), (20, 50), (50, 70), (70, 100)
+        )
+
+    def test_describe_reports_link_load(self, forum_result):
+        state = ModelState.from_result(forum_result)
+        plan = ShardPlan.from_state(state, 2, BLOCK)
+        summary = plan.describe(state)
+        assert summary["n_shards"] == 2
+        totals = [entry["total_links"] for entry in summary["shards"]]
+        assert sum(totals) == state.network.num_edges()
+        assert all(
+            set(entry["links"]) == set(state.relation_names)
+            for entry in summary["shards"]
+        )
+
+
+# ----------------------------------------------------------------------
+# ModelState.partition
+# ----------------------------------------------------------------------
+class TestPartition:
+    def test_shards_share_frozen_base_theta(self, forum_result):
+        state = ModelState.from_result(forum_result)
+        plan = ShardPlan.from_state(state, 3, BLOCK)
+        shards = state.partition(plan)
+        assert len(shards) == 3
+        for shard in shards:
+            assert shard.num_base_nodes == state.num_base_nodes
+            assert np.shares_memory(shard.theta, shards[0].theta)
+            assert not shard.refit_capable
+
+    def test_extension_growth_stays_private(self, forum_result):
+        state = ModelState.from_result(forum_result)
+        plan = ShardPlan.from_state(state, 2, BLOCK)
+        first, second = state.partition(plan)
+        spec = NewNode(
+            "n", "user", links=[("writes", "blog0_0", 1.0)]
+        )
+        first.append_extensions((spec,), np.array([[0.9, 0.1]]))
+        assert first.num_extension_nodes == 1
+        assert second.num_extension_nodes == 0
+        assert state.num_extension_nodes == 0
+        # the grown shard copied onto a private buffer; the shared
+        # frozen base is untouched
+        np.testing.assert_array_equal(
+            second.theta, state.theta
+        )
+
+    def test_partition_requires_pristine_state(self, forum_result):
+        state = ModelState.from_result(forum_result)
+        plan = ShardPlan.from_state(state, 2, BLOCK)
+        spec = NewNode("n", "user")
+        state.append_extensions((spec,), np.array([[0.5, 0.5]]))
+        with pytest.raises(StateError, match="pristine"):
+            state.partition(plan)
+
+    def test_partition_rejects_mismatched_plan(self, forum_result):
+        state = ModelState.from_result(forum_result)
+        stale = ShardPlan.from_block_plan(BlockPlan(16, BLOCK), 2)
+        with pytest.raises(StateError, match="rows"):
+            state.partition(stale)
+
+
+# ----------------------------------------------------------------------
+# cluster equivalence: the tentpole contract
+# ----------------------------------------------------------------------
+def drive_traffic(engine):
+    """One serving life: queries, durable deltas (with in-batch and
+    cross-shard-source links), batched scoring with duplicates, reads,
+    and eviction -- returning every observable along the way."""
+    observed = {}
+    observed["cold"] = engine.query("user", **GREEN_QUERY)
+    # two anchored extends: x2 links to x1 in-batch, x3 anchors to x1
+    # later, so all x-nodes colocate on whichever shard took the batch
+    engine.extend(
+        [
+            NewNode("x1", "user", links=[("writes", "blog0_0", 1.0)]),
+            NewNode("x2", "user", links=[("friend", "x1", 1.0)]),
+        ]
+    )
+    engine.extend(
+        [NewNode("x3", "user", links=[("friend", "x1", 1.0)])]
+    )
+    engine.extend(
+        [NewNode("y1", "user", links=[("writes", "blog1_0", 1.0)])]
+    )
+    # a cross-shard delta: sources x1 and y1 usually live on different
+    # shards; each side re-folds only its own touched component
+    outcome = engine.add_links(
+        [
+            ("x1", "likes", "book0_0", 2.0),
+            ("y1", "likes", "book1_0", 1.0),
+        ]
+    )
+    observed["delta_nodes"] = set(outcome.nodes)
+    observed["batch"] = engine.score_many(
+        [
+            dict(object_type="user", **GREEN_QUERY),
+            dict(object_type="user", **PURPLE_QUERY),
+            dict(object_type="user", links=[("friend", "x2", 1.0)]),
+            dict(object_type="user", **GREEN_QUERY),  # duplicate
+            dict(object_type="user"),  # empty query: uniform
+        ]
+    )
+    observed["labels"] = engine.assign_many(
+        [
+            dict(object_type="user", **GREEN_QUERY),
+            dict(object_type="user", **PURPLE_QUERY),
+        ]
+    )
+    observed["memberships"] = {
+        node: engine.membership_of(node)
+        for node in ("x1", "x2", "x3", "y1", "user0_0", "blog1_1")
+    }
+    observed["hard"] = {
+        node: engine.hard_label_of(node) for node in ("x1", "y1")
+    }
+    return observed
+
+
+def assert_observed_equal(reference, observed, context):
+    for key, expected in reference.items():
+        got = observed[key]
+        if isinstance(expected, np.ndarray):
+            np.testing.assert_array_equal(
+                expected, got, err_msg=f"{context}: {key}"
+            )
+        elif isinstance(expected, list):
+            assert len(expected) == len(got), (context, key)
+            for position, (a, b) in enumerate(zip(expected, got)):
+                if isinstance(a, np.ndarray):
+                    np.testing.assert_array_equal(
+                        a, b, err_msg=f"{context}: {key}[{position}]"
+                    )
+                else:
+                    assert a == b, (context, key, position)
+        elif isinstance(expected, dict):
+            assert set(expected) == set(got), (context, key)
+            for name, value in expected.items():
+                if isinstance(value, np.ndarray):
+                    np.testing.assert_array_equal(
+                        value, got[name],
+                        err_msg=f"{context}: {key}[{name}]",
+                    )
+                else:
+                    assert value == got[name], (context, key, name)
+        else:
+            assert expected == got, (context, key)
+
+
+class TestClusterEquivalence:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_traffic_bit_identical_to_singleton(
+        self, forum_result, n_shards
+    ):
+        reference = drive_traffic(singleton(forum_result))
+        observed = drive_traffic(cluster(forum_result, n_shards))
+        assert_observed_equal(
+            reference, observed, f"shards={n_shards}"
+        )
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_promote_bit_identical_including_g1(
+        self, forum_result, n_shards
+    ):
+        config = GenClusConfig(
+            n_clusters=2, outer_iterations=4, seed=0, block_size=BLOCK
+        )
+        reference_engine = singleton(forum_result)
+        drive_traffic(reference_engine)
+        reference = reference_engine.promote(config)
+
+        engine = cluster(forum_result, n_shards)
+        drive_traffic(engine)
+        promoted = engine.promote(config)
+
+        np.testing.assert_array_equal(reference.theta, promoted.theta)
+        np.testing.assert_array_equal(reference.gamma, promoted.gamma)
+        np.testing.assert_array_equal(
+            reference.history.g1_series(),
+            promoted.history.g1_series(),
+        )
+        # the cluster rebased: bigger base, empty extension space, and
+        # post-promote queries still match the singleton bit-for-bit
+        assert engine.num_base_nodes == reference_engine.num_base_nodes
+        assert engine.num_extension_nodes == 0
+        np.testing.assert_array_equal(
+            reference_engine.query("user", **PURPLE_QUERY),
+            engine.query("user", **PURPLE_QUERY),
+        )
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_eviction_verdicts_match_singleton(
+        self, forum_result, n_shards
+    ):
+        def churn(engine):
+            for i in range(6):
+                target = "blog0_0" if i % 2 == 0 else "blog1_0"
+                engine.extend(
+                    [
+                        NewNode(
+                            f"n{i}",
+                            "user",
+                            links=[("writes", target, 1.0)],
+                        )
+                    ]
+                )
+            engine.membership_of("n1")  # refresh n1's LRU age
+            engine.query(
+                "user", links=[("friend", "n2", 1.0)]
+            )  # and n2's
+            evicted = engine.evict(3)
+            survivors = {
+                node: engine.membership_of(node)
+                for node in ("n1", "n2", "n5")
+            }
+            return evicted, survivors
+
+        reference_evicted, reference_rows = churn(
+            singleton(forum_result)
+        )
+        evicted, rows = churn(cluster(forum_result, n_shards))
+        assert evicted == reference_evicted
+        for node, expected in reference_rows.items():
+            np.testing.assert_array_equal(expected, rows[node])
+
+    def test_scatter_with_equal_nested_pool_widths(self, forum_result):
+        """Regression: the scatter must run on the router's own pool.
+        When shard_workers equals the scatter width and a sub-batch
+        spans several fold-in blocks, scattering on the width-keyed
+        *kernel* pool would have the shard tasks occupy every worker
+        of the very pool their nested run_blocks submits to -- a
+        permanent deadlock."""
+        queries = [
+            dict(object_type="user", links=[("writes", f"blog{i % 2}_{i % 4}", 1.0)])
+            for i in range(16)
+        ]
+        reference = singleton(forum_result, cache_size=0).score_many(
+            queries
+        )
+        engine = cluster(
+            forum_result,
+            2,
+            cache_size=0,
+            num_workers=2,
+            shard_workers=2,
+            block_size=2,  # 8-query sub-batches span 4 fold-in blocks
+        )
+        single_block = singleton(
+            forum_result, cache_size=0, block_size=2
+        ).score_many(queries)
+        for a, b in zip(
+            engine.score_many(queries), single_block
+        ):
+            np.testing.assert_array_equal(a, b)
+        # and block size never changes transient scores anyway
+        for a, b in zip(single_block, reference):
+            np.testing.assert_array_equal(a, b)
+
+    def test_scatter_identical_at_any_router_width(self, forum_result):
+        queries = [
+            dict(object_type="user", **GREEN_QUERY),
+            dict(object_type="user", **PURPLE_QUERY),
+            dict(object_type="user", links=[("friend", "user0_0", 1.0)]),
+            dict(object_type="user", links=[("writes", "blog1_2", 1.0)]),
+        ]
+        outputs = []
+        for workers in (1, 2, 7):
+            engine = cluster(
+                forum_result, 3, num_workers=workers, cache_size=0
+            )
+            outputs.append(engine.score_many(queries))
+        for other in outputs[1:]:
+            for a, b in zip(outputs[0], other):
+                np.testing.assert_array_equal(a, b)
+
+    def test_loading_artifact_matches_in_memory(
+        self, forum_result, artifact_path
+    ):
+        engine = ShardedEngine.load(
+            artifact_path, n_shards=2, block_size=BLOCK
+        )
+        np.testing.assert_array_equal(
+            singleton(forum_result).query("user", **GREEN_QUERY),
+            engine.query("user", **GREEN_QUERY),
+        )
+        # artifact-backed clusters hydrate lazily and stay promotable
+        engine.extend(
+            [NewNode("z", "user", links=[("writes", "blog0_0", 1.0)])]
+        )
+        config = GenClusConfig(
+            n_clusters=2, outer_iterations=2, seed=0, block_size=BLOCK
+        )
+        promoted = engine.promote(config)
+        assert promoted.theta.shape[0] == 33
+
+
+# ----------------------------------------------------------------------
+# per-row convergence: fold-in is row-decomposable
+# ----------------------------------------------------------------------
+class TestRowDecomposability:
+    def test_score_many_bit_identical_to_single_queries(
+        self, forum_result
+    ):
+        engine = singleton(forum_result, cache_size=0)
+        queries = [
+            dict(object_type="user", **GREEN_QUERY),
+            dict(object_type="user", **PURPLE_QUERY),
+            dict(object_type="user", links=[("friend", "user0_0", 1.0)]),
+        ]
+        batch = engine.score_many(queries)
+        for query, membership in zip(queries, batch):
+            solo = engine.query(
+                query["object_type"],
+                links=query.get("links", ()),
+                text=query.get("text"),
+            )
+            np.testing.assert_array_equal(membership, solo)
+
+    def test_linked_rows_track_their_moving_targets(self, forum_result):
+        """A row whose in-batch link target is still drifting must not
+        freeze at its transient value (regression for the per-row
+        convergence rule)."""
+        engine = singleton(forum_result)
+        engine.extend(
+            [
+                NewNode(
+                    "writer", "user",
+                    links=[("writes", "blog0_0", 1.0)],
+                ),
+                NewNode(
+                    "fan", "blog",
+                    links=[("written_by", "writer", 1.0)],
+                ),
+            ]
+        )
+        fan = engine.membership_of("fan")
+        writer = engine.membership_of("writer")
+        assert fan.max() > 0.9
+        assert int(fan.argmax()) == int(writer.argmax())
+
+
+# ----------------------------------------------------------------------
+# routing semantics and loud limits
+# ----------------------------------------------------------------------
+class TestRouting:
+    def test_owner_of_base_rows_follows_plan(self, forum_result):
+        engine = cluster(forum_result, 3)
+        plan = engine.plan
+        index = engine.shards[0].state.network.node_index_view
+        for node, row in index.items():
+            assert engine.owner_of(node) == plan.shard_of_row(row)
+        with pytest.raises(ServingError, match="not served"):
+            engine.owner_of("nobody")
+
+    def test_unanchored_extends_balance_by_load(self, forum_result):
+        engine = cluster(forum_result, 2)
+        for i in range(4):
+            engine.extend([NewNode(f"solo{i}", "user")])
+        assert engine.info()["cluster"]["shard_extension_nodes"] == [
+            2,
+            2,
+        ]
+
+    def test_anchored_extends_colocate(self, forum_result):
+        engine = cluster(forum_result, 3)
+        engine.extend(
+            [NewNode("root", "user", links=[("writes", "blog0_0", 1.0)])]
+        )
+        owner = engine.owner_of("root")
+        for i in range(3):
+            engine.extend(
+                [
+                    NewNode(
+                        f"leaf{i}", "user",
+                        links=[("friend", "root", 1.0)],
+                    )
+                ]
+            )
+            assert engine.owner_of(f"leaf{i}") == owner
+
+    def test_extend_anchored_to_two_shards_rejected(self, forum_result):
+        engine = cluster(forum_result, 2)
+        engine.extend([NewNode("a", "user")])
+        engine.extend([NewNode("b", "user")])
+        assert engine.owner_of("a") != engine.owner_of("b")
+        with pytest.raises(ServingError, match="colocated"):
+            engine.extend(
+                [
+                    NewNode(
+                        "c", "user",
+                        links=[
+                            ("friend", "a", 1.0),
+                            ("friend", "b", 1.0),
+                        ],
+                    )
+                ]
+            )
+
+    def test_cross_shard_link_target_rejected(self, forum_result):
+        engine = cluster(forum_result, 2)
+        engine.extend([NewNode("a", "user")])
+        engine.extend([NewNode("b", "user")])
+        with pytest.raises(ServingError, match="crosses shards"):
+            engine.add_links([("a", "friend", "b", 1.0)])
+
+    def test_query_spanning_shards_rejected(self, forum_result):
+        engine = cluster(forum_result, 2)
+        engine.extend([NewNode("a", "user")])
+        engine.extend([NewNode("b", "user")])
+        with pytest.raises(ServingError, match="colocated"):
+            engine.query(
+                "user",
+                links=[("friend", "a", 1.0), ("friend", "b", 1.0)],
+            )
+
+    def test_duplicate_extension_rejected_cluster_wide(
+        self, forum_result
+    ):
+        engine = cluster(forum_result, 2)
+        engine.extend([NewNode("a", "user")])
+        # the duplicate would otherwise land on the *other* shard,
+        # which has never heard of node "a"
+        with pytest.raises(ServingError, match="already part"):
+            engine.extend([NewNode("a", "user")])
+
+    def test_add_links_base_and_unknown_sources(self, forum_result):
+        engine = cluster(forum_result, 2)
+        with pytest.raises(ServingError, match="frozen base"):
+            engine.add_links([("user0_0", "writes", "blog0_0")])
+        with pytest.raises(ServingError, match="not served"):
+            engine.add_links([("ghost", "writes", "blog0_0")])
+
+    def test_batch_errors_keep_global_positions(self, forum_result):
+        engine = cluster(forum_result, 3, cache_size=0)
+        queries = [
+            dict(object_type="user", **GREEN_QUERY),
+            dict(object_type="user", **PURPLE_QUERY),
+            dict(
+                object_type="user",
+                links=[("writes", "ghost-blog", 1.0)],
+            ),
+        ]
+        with pytest.raises(ServingError, match="query #2"):
+            engine.score_many(queries)
+        with pytest.raises(ServingError, match="query #1"):
+            engine.score_many(
+                [dict(object_type="user"), dict(links=[])]
+            )
+        with pytest.raises(ServingError, match="^query:"):
+            engine.query("user", links=[("writes", "ghost", 1.0)])
+
+    def test_constructor_validation(self, forum_result):
+        state = ModelState.from_result(forum_result)
+        with pytest.raises(ServingError, match="exactly one"):
+            ShardedEngine(state)
+        plan = ShardPlan.from_state(state, 2, BLOCK)
+        with pytest.raises(ServingError, match="exactly one"):
+            ShardedEngine(state, n_shards=2, plan=plan)
+        with pytest.raises(ServingError, match="num_workers"):
+            ShardedEngine(state, n_shards=2, num_workers=-1)
+        # an explicit (reviewed) plan is accepted as-is
+        engine = ShardedEngine(state, plan=plan, block_size=BLOCK)
+        assert engine.n_shards == 2
+
+
+# ----------------------------------------------------------------------
+# cluster telemetry
+# ----------------------------------------------------------------------
+class TestClusterInfo:
+    def test_shared_schema_and_cluster_section(self, forum_result):
+        engine = cluster(forum_result, 2)
+        engine.extend([NewNode("a", "user")])
+        engine.query("user", **GREEN_QUERY)
+        engine.score_many([dict(object_type="user", **PURPLE_QUERY)])
+        info = engine.info()
+        assert info["n_clusters"] == 2
+        assert info["num_base_nodes"] == 32
+        assert info["num_extension_nodes"] == 1
+        assert info["queries"]["served"] == 2
+        assert info["execution"]["shard_id"] is None
+        assert info["execution"]["shard_count"] == 2
+        assert info["cache"]["misses"] == 2
+        cluster_info = info["cluster"]
+        assert cluster_info["n_shards"] == 2
+        assert sum(cluster_info["shard_extension_nodes"]) == 1
+        assert len(cluster_info["shards"]) == 2
+        for shard_id, shard_info in enumerate(cluster_info["shards"]):
+            execution = shard_info["execution"]
+            assert execution["shard_id"] == shard_id
+            assert execution["shard_count"] == 2
+        plan = cluster_info["plan"]
+        assert plan["num_rows"] == 32
+        assert [entry["shard"] for entry in plan["shards"]] == [0, 1]
+
+    def test_singleton_reports_shard_zero_of_one(self, forum_result):
+        info = singleton(forum_result).info()
+        assert info["execution"]["shard_id"] == 0
+        assert info["execution"]["shard_count"] == 1
+        assert info["queries"]["served"] == 0
+
+    def test_state_backed_engine_has_no_artifact(self, forum_result):
+        engine = cluster(forum_result, 2)
+        with pytest.raises(ServingError, match="no artifact"):
+            engine.shards[0].artifact
+
+
+# ----------------------------------------------------------------------
+# the autonomic retrain driver
+# ----------------------------------------------------------------------
+class TestRetrainDriver:
+    def refit_config(self):
+        return GenClusConfig(
+            n_clusters=2, outer_iterations=3, seed=0, block_size=BLOCK
+        )
+
+    def test_policy_validation(self):
+        with pytest.raises(ServingError, match="at least one trigger"):
+            RetrainPolicy()
+        with pytest.raises(ServingError, match="max_extension_nodes"):
+            RetrainPolicy(max_extension_nodes=0)
+        with pytest.raises(ServingError, match="max_staleness"):
+            RetrainPolicy(max_staleness_queries=0)
+        with pytest.raises(ServingError, match="min_g1_gain"):
+            RetrainPolicy(max_extension_nodes=1, min_g1_gain=-1.0)
+        with pytest.raises(ServingError, match="backoff_factor"):
+            RetrainPolicy(max_extension_nodes=1, backoff_factor=0.5)
+
+    def test_pressure_watches_the_hottest_shard(self, forum_result):
+        engine = cluster(forum_result, 2)
+        driver = RetrainDriver(
+            engine,
+            RetrainPolicy(max_extension_nodes=2),
+            config=self.refit_config(),
+        )
+        # 1 + 1 across two shards: cluster total meets the bar but no
+        # single shard does -- pressure is per shard
+        engine.extend([NewNode("a", "user")])
+        engine.extend([NewNode("b", "user")])
+        assert driver.check() is None
+        # anchor a third node to a's shard: that shard now owns 2
+        engine.extend(
+            [NewNode("c", "user", links=[("friend", "a", 1.0)])]
+        )
+        trigger = driver.check()
+        assert trigger is not None
+        reason, shard_id = trigger
+        assert reason == "extension_pressure"
+        assert shard_id == engine.owner_of("a")
+        round_ = driver.tick()
+        assert round_.trigger == "extension_pressure"
+        assert round_.extension_nodes == 3
+        assert round_.rebalanced  # the grown base re-split the plan
+        assert engine.num_extension_nodes == 0
+        assert engine.num_base_nodes == 35
+        assert driver.check() is None  # pressure drained
+
+    def test_staleness_counts_queries_since_promote(self, forum_result):
+        engine = singleton(forum_result)
+        driver = RetrainDriver(
+            engine,
+            RetrainPolicy(max_staleness_queries=3),
+            config=self.refit_config(),
+        )
+        engine.query("user", **GREEN_QUERY)
+        engine.score_many([dict(object_type="user", **PURPLE_QUERY)])
+        assert driver.check() is None
+        engine.query("user", **GREEN_QUERY)  # cached -- still counts
+        assert driver.check() == ("staleness", None)
+        round_ = driver.tick()
+        assert round_.trigger == "staleness"
+        assert not round_.rebalanced  # singletons have no plan
+        assert driver.check() is None  # the counter reset
+
+    def test_unprofitable_refit_backs_off(self, forum_result):
+        engine = cluster(forum_result, 2)
+        driver = RetrainDriver(
+            engine,
+            RetrainPolicy(
+                max_extension_nodes=1,
+                min_g1_gain=1e9,  # nothing can pay this
+                backoff_factor=2.0,
+            ),
+            config=self.refit_config(),
+        )
+        engine.extend([NewNode("a", "user")])
+        round_ = driver.tick()
+        assert round_.backed_off
+        assert driver.pressure_scale == 2.0
+        # one node no longer trips the doubled threshold
+        engine.extend([NewNode("b", "user")])
+        assert driver.check() is None
+        engine.extend(
+            [NewNode("c", "user", links=[("friend", "b", 1.0)])]
+        )
+        assert driver.check() is not None
+
+    def test_driver_triggered_promote_matches_singleton(
+        self, forum_result
+    ):
+        """The acceptance contract: g1 after a *driver-triggered*
+        cluster promote equals the single-engine reference.  The
+        extension chain is anchored so per-shard pressure and the
+        singleton's total pressure trip at the same moment."""
+        policy = RetrainPolicy(max_extension_nodes=3)
+        config = self.refit_config()
+
+        def serve(engine):
+            driver = RetrainDriver(engine, policy, config=config)
+            engine.extend(
+                [
+                    NewNode(
+                        "r0", "user",
+                        links=[("writes", "blog0_0", 1.0)],
+                    )
+                ]
+            )
+            assert driver.tick() is None
+            engine.extend(
+                [
+                    NewNode(
+                        "r1", "user", links=[("friend", "r0", 1.0)]
+                    ),
+                    NewNode(
+                        "r2", "user", links=[("friend", "r1", 1.0)]
+                    ),
+                ]
+            )
+            round_ = driver.tick()
+            assert round_ is not None
+            return round_
+
+        reference = serve(singleton(forum_result))
+        for n_shards in SHARD_COUNTS:
+            round_ = serve(cluster(forum_result, n_shards))
+            assert round_.g1_final == reference.g1_final
+            assert round_.g1_first == reference.g1_first
+            assert round_.outer_iterations == reference.outer_iterations
+
+    def test_background_refit_on_shared_pool(self, forum_result):
+        engine = cluster(forum_result, 2)
+        driver = RetrainDriver(
+            engine,
+            RetrainPolicy(max_extension_nodes=1),
+            config=self.refit_config(),
+            background=True,
+        )
+        engine.extend([NewNode("a", "user")])
+        future = driver.tick()
+        assert future is not None
+        assert driver.tick() is None  # refit already in flight
+        round_ = driver.join()
+        assert round_.trigger == "extension_pressure"
+        assert engine.num_extension_nodes == 0
+        assert len(driver.rounds) == 1
+        assert driver.join() is None
+
+
+# ----------------------------------------------------------------------
+# CLI: score --batch and shard-plan
+# ----------------------------------------------------------------------
+class TestCli:
+    def write_batch(self, tmp_path, payload):
+        path = tmp_path / "batch.json"
+        path.write_text(payload, encoding="utf-8")
+        return path
+
+    def test_score_batch_matches_api(
+        self, artifact_path, forum_result, tmp_path, capsys
+    ):
+        queries = [
+            {
+                "object_type": "user",
+                "links": [
+                    ["writes", "blog0_1"],
+                    ["likes", "book0_2", 1.0],
+                ],
+                "text": {"text": ["green", "climate"]},
+            },
+            {"object_type": "user", "links": [["writes", "blog1_1"]]},
+        ]
+        path = self.write_batch(tmp_path, json.dumps(queries))
+        code = main(
+            ["score", str(artifact_path), "--batch", str(path), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        engine = InferenceEngine.load(artifact_path)
+        expected = engine.score_many(
+            [
+                dict(
+                    object_type="user",
+                    links=[("writes", "blog0_1"), ("likes", "book0_2", 1.0)],
+                    text={"text": ["green", "climate"]},
+                ),
+                dict(
+                    object_type="user",
+                    links=[("writes", "blog1_1")],
+                ),
+            ]
+        )
+        for row, membership in zip(payload, expected):
+            np.testing.assert_allclose(row["membership"], membership)
+            assert row["cluster"] == int(membership.argmax())
+
+    def test_score_batch_text_output_and_jsonl(
+        self, artifact_path, tmp_path, capsys
+    ):
+        jsonl = "\n".join(
+            [
+                json.dumps(
+                    {
+                        "object_type": "user",
+                        "links": [["writes", "blog0_0"]],
+                    }
+                ),
+                json.dumps({"object_type": "user"}),
+            ]
+        )
+        path = self.write_batch(tmp_path, jsonl)
+        assert main(
+            ["score", str(artifact_path), "--batch", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "query #0: cluster" in out
+        assert "query #1: cluster" in out
+
+    def test_score_batch_excludes_single_query_flags(
+        self, artifact_path, tmp_path, capsys
+    ):
+        path = self.write_batch(tmp_path, "[]")
+        code = main(
+            [
+                "score",
+                str(artifact_path),
+                "--batch",
+                str(path),
+                "--type",
+                "user",
+            ]
+        )
+        assert code == 1
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_score_requires_type_or_batch(self, artifact_path, capsys):
+        assert main(["score", str(artifact_path)]) == 1
+        assert "--batch" in capsys.readouterr().err
+
+    def test_score_batch_bad_query_position(
+        self, artifact_path, tmp_path, capsys
+    ):
+        queries = [
+            {"object_type": "user"},
+            {"object_type": "user", "links": [["writes", "ghost"]]},
+        ]
+        path = self.write_batch(tmp_path, json.dumps(queries))
+        assert main(
+            ["score", str(artifact_path), "--batch", str(path)]
+        ) == 1
+        assert "query #1" in capsys.readouterr().err
+
+    def test_shard_plan_text(self, artifact_path, capsys):
+        code = main(
+            [
+                "shard-plan",
+                str(artifact_path),
+                "--shards",
+                "3",
+                "--block-size",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 shard(s) over 32 rows" in out
+        assert out.count("shard ") >= 3
+        assert "out-links" in out  # schema-v2 bundles report load
+
+    def test_shard_plan_json_round_trips(self, artifact_path, capsys):
+        code = main(
+            [
+                "shard-plan",
+                str(artifact_path),
+                "--shards",
+                "2",
+                "--block-size",
+                "4",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_shards"] == 2
+        assert [e["rows"] for e in payload["shards"]] == [
+            [0, 16],
+            [16, 32],
+        ]
+        assert sum(e["total_links"] for e in payload["shards"]) > 0
+
+    def test_shard_plan_too_many_shards(self, artifact_path, capsys):
+        assert main(
+            [
+                "shard-plan",
+                str(artifact_path),
+                "--shards",
+                "40",
+                "--block-size",
+                "4",
+            ]
+        ) == 1
+        assert "smaller block size" in capsys.readouterr().err

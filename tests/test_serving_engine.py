@@ -402,6 +402,10 @@ class TestInfo:
         assert execution["block_rows"] == 10
         assert execution["num_rows"] == 32
         assert execution["block_count"] == 4  # ceil(32 / 10)
+        # a standalone engine is shard 0 of 1 (same schema the
+        # cluster router's per-shard engines report)
+        assert execution["shard_id"] == 0
+        assert execution["shard_count"] == 1
         # auto width resolves to >= 1 and blocks cover the index space
         auto = InferenceEngine.load(artifact_path, num_workers=0)
         execution = auto.info()["execution"]

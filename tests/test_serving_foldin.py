@@ -426,3 +426,82 @@ class TestGaussianFoldIn:
                     )
                 ],
             )
+
+
+class TestPerRowConvergence:
+    """fold_in converges per row: link-independent rows evolve and stop
+    identically no matter how the batch is composed."""
+
+    @staticmethod
+    def independent_batch():
+        """Specs with no in-batch links (targets all in the base):
+        every row is its own convergence component."""
+        return [
+            NewNode(
+                "q-green", "user",
+                links=[("writes", "blog0_0", 1.0)],
+                text={"text": ["green", "climate"]},
+            ),
+            NewNode(
+                "q-purple", "user",
+                links=[("likes", "book1_1", 2.0)],
+                text={"text": ["liberty", "market"]},
+            ),
+            NewNode("q-text", "user", text={"text": ["tax", "market"]}),
+            NewNode("q-bare", "user"),
+            NewNode(
+                "q-links", "user",
+                links=[
+                    ("writes", "blog1_0", 1.0),
+                    ("likes", "book1_0", 1.0),
+                ],
+            ),
+        ]
+
+    def test_batch_rows_bit_identical_to_solo_folds(self, reduced_setup):
+        _, _, model = reduced_setup
+        batch = self.independent_batch()
+        joint = fold_in(model, batch)
+        for position, spec in enumerate(batch):
+            solo = fold_in(model, [spec])
+            np.testing.assert_array_equal(
+                joint.theta[position], solo.theta[0]
+            )
+
+    def test_any_split_of_independent_rows_agrees(self, reduced_setup):
+        _, _, model = reduced_setup
+        batch = self.independent_batch()
+        joint = fold_in(model, batch)
+        front = fold_in(model, batch[:2])
+        back = fold_in(model, batch[2:])
+        np.testing.assert_array_equal(
+            joint.theta,
+            np.concatenate([front.theta, back.theta], axis=0),
+        )
+
+    def test_linked_component_must_quiesce_together(self, reduced_setup):
+        """A row reading a still-moving in-batch target keeps iterating
+        past its own transiently small delta: the follower must end up
+        in its (strongly pulled) target's camp, not frozen at the
+        uniform prior it shows while the target is still uniform.
+        (written_by carries real learned strength in the reduced fit;
+        the user-user friend relation learns gamma = 0 there.)"""
+        _, _, model = reduced_setup
+        outcome = fold_in(
+            model,
+            [
+                NewNode(
+                    "leader", "user",
+                    links=[("writes", "blog0_0", 1.0)],
+                    text={"text": ["green", "climate"]},
+                ),
+                NewNode(
+                    "follower", "blog",
+                    links=[("written_by", "leader", 1.0)],
+                ),
+            ],
+        )
+        assert outcome.converged
+        leader, follower = outcome.theta
+        assert follower.max() > 0.9
+        assert int(follower.argmax()) == int(leader.argmax())
