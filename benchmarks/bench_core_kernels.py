@@ -78,13 +78,17 @@ def build_problem(scale: str):
     return problem, theta, gamma
 
 
-def make_em_call(problem, theta, gamma, workers=1, block_size=None):
+def make_em_call(
+    problem, theta, gamma, workers=1, block_size=None, obs=None
+):
     """The EM kernel exactly as ``run_em`` drives it.
 
     The operator/workspace/blocked-execution fast paths are optional
     API; older checkouts of this harness fall back to the plain
     signature so the same file can time a pre-fused or pre-blocked
-    baseline.
+    baseline.  ``obs`` threads an :class:`repro.obs.Observability`
+    handle through to time the instrumented path; the default ``None``
+    is the disabled telemetry null path the <2% overhead gate guards.
     """
     try:
         from repro.core.kernels import EMWorkspace, PropagationOperator
@@ -100,6 +104,8 @@ def make_em_call(problem, theta, gamma, workers=1, block_size=None):
             kwargs = dict(num_workers=workers, plan=plan)
         except (AttributeError, TypeError):
             pass
+        if obs is not None:
+            kwargs["obs"] = obs
 
         def call():
             return em_update(
@@ -112,7 +118,7 @@ def make_em_call(problem, theta, gamma, workers=1, block_size=None):
                 **kwargs,
             )
 
-        call.blocked = bool(kwargs)
+        call.blocked = "plan" in kwargs
 
     except ImportError:
 
@@ -254,6 +260,39 @@ def merge_with_baseline(baseline: dict, current: dict) -> dict:
     return {"before": baseline, "after": current, "speedup": speedups}
 
 
+def measure_obs_overhead(
+    scale: str = "weather_large", repeats: int = 30
+) -> dict:
+    """Time ``em_update`` with telemetry disabled (the ``obs=None``
+    null path) and enabled (a live :class:`~repro.obs.Observability`
+    registry) on the same compiled problem.
+
+    Returns the pair plus the enabled-over-null overhead percentage.
+    The PR-6 contract is on the *null* path (<2% vs the pre-obs
+    kernel); the enabled path is reported alongside because it bounds
+    the null path from above -- if even recording stays under the
+    gate, the disabled guard certainly does.
+    """
+    from repro.obs import Observability
+
+    problem, theta, gamma = build_problem(scale)
+    null_seconds = _time_best(
+        make_em_call(problem, theta, gamma), repeats
+    )
+    obs = Observability()
+    observed_seconds = _time_best(
+        make_em_call(problem, theta, gamma, obs=obs), repeats
+    )
+    return {
+        "scale": scale,
+        "em_update_null_seconds": null_seconds,
+        "em_update_observed_seconds": observed_seconds,
+        "overhead_pct": round(
+            100.0 * (observed_seconds / null_seconds - 1.0), 2
+        ),
+    }
+
+
 def verify_parallel_fit(workers: tuple[int, ...] = (1, 4)) -> bool:
     """Full-fit determinism gate: hard assignments (and theta/gamma)
     must be **identical** across worker counts.
@@ -349,6 +388,30 @@ if pytest is not None:
                 model.means = saved[0].copy()
                 model.variances = saved[1].copy()
 
+    def test_em_update_kernel_observed(benchmark, compiled_problem):
+        """The overhead pair's second half: same kernel, telemetry on.
+
+        Compare this median against ``test_em_update_kernel`` (the
+        ``obs=None`` null path) in the pytest-benchmark report; the
+        enabled path bounds the disabled guard's cost from above, and
+        the PR-6 gate wants the null path within 2% of the pre-obs
+        kernel.  Results must stay bit-identical with recording on.
+        """
+        from repro.obs import Observability, series_value
+
+        problem, theta, gamma = compiled_problem
+        saved = _snapshot_params(problem)
+        reference = make_em_call(problem, theta, gamma)().copy()
+        _restore_params(problem, saved)
+        obs = Observability()
+        call = make_em_call(problem, theta, gamma, obs=obs)
+        np.testing.assert_array_equal(call(), reference)
+        _restore_params(problem, saved)
+        result = benchmark(call)
+        assert result.shape == theta.shape
+        snapshot = obs.metrics.snapshot()
+        assert series_value(snapshot, "repro_em_sweep_seconds") > 0
+
     def test_em_update_kernel_parallel(benchmark, compiled_problem):
         """The 4-worker blocked path: must match serial bit-for-bit.
 
@@ -412,9 +475,24 @@ def main(argv=None) -> int:
         help="run a small fit at 1 and 4 workers and exit non-zero "
         "if the results (theta/gamma/assignments) diverge",
     )
+    parser.add_argument(
+        "--obs-overhead",
+        metavar="SCALE",
+        help="time em_update with telemetry off vs on at the named "
+        "scale (e.g. weather_large), print the pair, and skip the "
+        "full harness",
+    )
     args = parser.parse_args(argv)
     if args.verify_parallel and not verify_parallel_fit():
         return 1
+    if args.obs_overhead:
+        repeats = 10 if args.quick else 30
+        overhead = measure_obs_overhead(args.obs_overhead, repeats)
+        with open(args.json, "w") as handle:
+            json.dump(overhead, handle, indent=2)
+            handle.write("\n")
+        print(json.dumps(overhead, indent=2))
+        return 0
     sweep = tuple(
         int(part) for part in args.sweep_workers.split(",") if part
     )

@@ -303,6 +303,61 @@ def sharded_serving(result: GenClusResult) -> None:
     )
 
 
+def observability(result: GenClusResult) -> None:
+    """Observability: one registry and one span tree across the stack.
+
+    Every layer -- training (``GenClus.fit``), serving
+    (``InferenceEngine``), the sharded cluster, and the retrain driver
+    -- records into ``repro.obs``: a zero-dependency metrics registry
+    (counters, gauges, fixed-bucket histograms) plus a wall-clock span
+    tracer.  Telemetry is **observational only**: results are
+    bit-identical with tracing on or off, and with ``obs`` left unset
+    the kernels run a near-free null path (<2% on ``em_update``).
+
+    Pass one :class:`~repro.obs.Observability` handle around to
+    correlate everything; export with
+    :func:`~repro.obs.render_prometheus` / :func:`~repro.obs.render_json`
+    or from the CLI::
+
+        python -m repro.serving metrics MODEL --shards 3 --batch q.json
+        python -m repro.serving trace MODEL --batch q.json --jsonl t.jsonl
+    """
+    from repro.obs import Observability, render_prometheus, series_value
+
+    print()
+    print("Observability (spans + metrics + Prometheus export):")
+    obs = Observability(trace=True)
+    engine = ShardedEngine.from_result(
+        result, n_shards=2, block_size=2, obs=obs
+    )
+    engine.score_many(
+        [
+            {"object_type": "paper",
+             "text": {"title": ["mining", "cluster"]}},
+            {"object_type": "paper",
+             "links": [("written_by", "author-4", 1.0)]},
+        ]
+    )
+    # the batch's span tree: score_many > shard[i].foldin children
+    root = obs.tracer.traces()[-1]
+    for line in root.describe().splitlines():
+        print(f"    {line}")
+    # the cluster-wide registry: shard registries + router aggregated
+    snapshot = engine.metrics_snapshot()
+    print(
+        "  queries served:",
+        int(series_value(snapshot, "repro_queries_total")),
+    )
+    prom = render_prometheus(snapshot)
+    shown = [
+        line for line in prom.splitlines()
+        if line.startswith("repro_foldin_seconds_")
+    ][-2:]
+    print("  Prometheus export (2 of %d lines):" % len(prom.splitlines()))
+    for line in shown:
+        print(f"    {line}")
+
+
 # Performance note -------------------------------------------------------
 # Everything above runs through the fused numeric core of
 # ``repro.core.kernels``: while gamma is fixed (all of inner EM, every
@@ -333,3 +388,4 @@ if __name__ == "__main__":
     persist_and_serve(fitted)
     model_lifecycle(fitted)
     sharded_serving(fitted)
+    observability(fitted)

@@ -32,9 +32,14 @@ class IterationRecord:
     newton_iterations:
         Inner Newton iterations used.
     em_seconds:
-        Wall-clock seconds in the EM step.
+        Wall-clock seconds in the EM step.  Since the ``repro.obs``
+        layer landed, this is the measured duration of the fit's
+        ``em_sweep`` tracing span (identical data, one clock source);
+        with tracing enabled the same interval also appears in the
+        retained trace tree.
     newton_seconds:
-        Wall-clock seconds in the Newton step.
+        Wall-clock seconds in the Newton step -- the duration of the
+        fit's ``newton`` span, like ``em_seconds``.
     em_objective_trace:
         ``g1`` after every inner EM iteration of this outer step; empty
         unless the fit ran with

@@ -27,6 +27,7 @@ so no per-iteration ``(n, K)`` arrays are allocated.  The per-relation
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -101,6 +102,7 @@ def em_update(
     workspace: EMWorkspace | None = None,
     num_workers: int = 1,
     plan: BlockPlan | None = None,
+    obs=None,
 ) -> np.ndarray:
     """One Jacobi EM update of Theta (Eqs. 10-12), returning the new Theta.
 
@@ -126,7 +128,17 @@ def em_update(
         shared kernel pool.  Every per-row stage writes disjoint row
         slices and every cross-block reduction is block-ordered, so
         the result is bit-identical at any worker count.
+    obs:
+        Optional :class:`~repro.obs.Observability`.  When recording,
+        the sweep's wall-clock lands in the
+        ``repro_em_sweep_seconds`` histogram; the default ``None``
+        path costs one predicate test (the <2% overhead gate in
+        ``bench_core_kernels.py``).  Timing never feeds back into the
+        update -- results are bit-identical either way.
     """
+    recording = obs is not None and obs.recording
+    if recording:
+        tick = time.perf_counter()
     operator = PropagationOperator.wrap(matrices)
     n, k = theta.shape
     if workspace is None:
@@ -149,6 +161,11 @@ def em_update(
         )
 
     run_blocks(plan, normalize_block, num_workers)
+    if recording:
+        obs.metrics.histogram(
+            "repro_em_sweep_seconds",
+            "Wall-clock seconds per Jacobi EM sweep",
+        ).observe(time.perf_counter() - tick)
     return out
 
 
@@ -163,6 +180,7 @@ def run_em(
     track_objective: bool = True,
     num_workers: int = 1,
     plan: BlockPlan | None = None,
+    obs=None,
 ) -> EMOutcome:
     """Run the inner EM loop to convergence (Algorithm 1, step 1).
 
@@ -184,6 +202,10 @@ def run_em(
         Blocked-execution controls threaded through every
         :func:`em_update`; results are bit-identical at any worker
         count (see :func:`em_update`).
+    obs:
+        Optional :class:`~repro.obs.Observability` threaded into every
+        sweep (per-sweep latency histogram) plus a
+        ``repro_em_sweeps_total`` counter for the loop.
     """
     theta = floor_distribution(np.asarray(theta0, dtype=np.float64), floor)
     gamma = np.asarray(gamma, dtype=np.float64)
@@ -200,7 +222,7 @@ def run_em(
         theta_next = em_update(
             theta, gamma, operator, models, floor,
             out=spare, workspace=workspace,
-            num_workers=num_workers, plan=plan,
+            num_workers=num_workers, plan=plan, obs=obs,
         )
         np.subtract(theta_next, theta, out=workspace.update)
         delta = float(np.max(np.abs(workspace.update)))
@@ -220,6 +242,10 @@ def run_em(
         if trace
         else g1(theta, gamma, operator, models, floor, num_workers=num_workers)
     )
+    if obs is not None and obs.recording:
+        obs.metrics.counter(
+            "repro_em_sweeps_total", "Jacobi EM sweeps run"
+        ).inc(iterations)
     return EMOutcome(
         theta=theta,
         iterations=iterations,

@@ -15,7 +15,6 @@ tentative-run procedure.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable
 
 import numpy as np
@@ -33,6 +32,7 @@ from repro.core.state import ModelState
 from repro.core.strength import learn_strengths
 from repro.exceptions import ConfigError, ConvergenceError, StateError
 from repro.hin.network import HeterogeneousNetwork
+from repro.obs.tracing import Tracer
 
 IterationCallback = Callable[[int, np.ndarray, np.ndarray], None]
 """Called after each outer iteration with (iteration, theta, gamma)."""
@@ -61,6 +61,7 @@ class GenClus:
         callback: IterationCallback | None = None,
         initial_theta: np.ndarray | None = None,
         warm_start: "ModelState | None" = None,
+        obs=None,
     ) -> GenClusResult:
         """Run Algorithm 1 on a network.
 
@@ -82,6 +83,12 @@ class GenClus:
             outer loop starts at its theta/gamma/attribute parameters
             instead of the all-ones gamma and the multi-seed tentative
             runs.  The state must cover this network's node set.
+        obs:
+            Optional :class:`~repro.obs.Observability`.  With tracing
+            enabled the fit records a ``fit > outer_iter[i] >
+            em_sweep / newton`` span tree; metrics-only handles get
+            iteration counters and sweep histograms.  Results are
+            bit-identical with or without it.
 
         Returns
         -------
@@ -93,12 +100,15 @@ class GenClus:
             self.config.n_clusters,
             variance_floor=self.config.variance_floor,
         )
-        return self.fit_problem(problem, callback, initial_theta, warm_start)
+        return self.fit_problem(
+            problem, callback, initial_theta, warm_start, obs=obs
+        )
 
     def fit_state(
         self,
         state: "ModelState",
         callback: IterationCallback | None = None,
+        obs=None,
     ) -> GenClusResult:
         """Refit a lifecycle state: materialize its base + extensions
         into a problem and run Algorithm 1 warm-started from it.
@@ -109,7 +119,7 @@ class GenClus:
         served theta/gamma instead of a cold initialization.
         """
         return self.fit_problem(
-            state.to_problem(), callback, warm_start=state
+            state.to_problem(), callback, warm_start=state, obs=obs
         )
 
     def fit_problem(
@@ -118,8 +128,17 @@ class GenClus:
         callback: IterationCallback | None = None,
         initial_theta: np.ndarray | None = None,
         warm_start: "ModelState | None" = None,
+        obs=None,
     ) -> GenClusResult:
-        """Run Algorithm 1 on an already-compiled problem."""
+        """Run Algorithm 1 on an already-compiled problem.
+
+        Phase timing always runs through tracing spans -- the
+        :class:`~repro.core.diagnostics.RunHistory` ``em_seconds`` /
+        ``newton_seconds`` fields are each span's measured duration.
+        When the caller's ``obs`` handle is not tracing, a throwaway
+        local :class:`~repro.obs.Tracer` provides the spans, so the
+        history is populated either way.
+        """
         config = self.config
         rng = np.random.default_rng(config.seed)
         matrices = problem.matrices
@@ -138,119 +157,164 @@ class GenClus:
         for model in problem.attribute_models:
             model.set_block_rows(config.block_size)
 
-        gamma = np.ones(num_relations)
-        if warm_start is not None:
-            if initial_theta is not None:
-                raise ConfigError(
-                    "initial_theta and warm_start are mutually exclusive"
-                )
-            theta = _install_warm_start(problem, warm_start)
-            gamma = warm_start.gamma.copy()
-        elif initial_theta is not None:
-            theta = np.asarray(initial_theta, dtype=np.float64).copy()
-            expected = (problem.num_nodes, problem.n_clusters)
-            if theta.shape != expected:
-                raise ValueError(
-                    f"initial_theta must have shape {expected}, "
-                    f"got {theta.shape}"
-                )
-            for model in problem.attribute_models:
-                model.init_params(rng)
-        else:
-            theta = select_initial_theta(
-                problem,
-                gamma,
-                rng,
-                n_init=config.n_init,
-                init_steps=config.init_steps,
-                floor=config.theta_floor,
-            )
-
-        history = RunHistory(relation_names=matrices.relation_names)
-        history.append(
-            IterationRecord(
-                outer_iteration=0,
-                gamma=gamma.copy(),
-                g1_value=g1(
-                    theta,
-                    gamma,
-                    operator,
-                    problem.attribute_models,
-                    config.theta_floor,
-                ),
-                g2_value=float("nan"),
-            )
+        # phase timing always runs through spans (a throwaway tracer
+        # when the caller is not tracing); span durations feed the
+        # RunHistory em_seconds / newton_seconds fields
+        tracing = obs is not None and obs.tracing
+        tracer = obs.tracer if tracing else Tracer(max_traces=1)
+        metrics = (
+            obs.metrics if obs is not None and obs.recording else None
         )
-        if callback is not None:
-            callback(0, theta, gamma)
+        last_outer = 0
 
-        for outer in range(1, config.outer_iterations + 1):
-            em_start = time.perf_counter()
-            em_outcome = run_em(
-                theta,
-                gamma,
-                operator,
-                problem.attribute_models,
-                max_iterations=config.em_iterations,
-                tol=config.em_tol,
-                floor=config.theta_floor,
-                track_objective=config.track_em_objective,
-                num_workers=num_workers,
-                plan=plan,
-            )
-            em_seconds = time.perf_counter() - em_start
-            theta = em_outcome.theta
-            if not np.all(np.isfinite(theta)):
-                raise ConvergenceError(
-                    f"EM produced non-finite memberships at outer "
-                    f"iteration {outer}"
-                )
+        with tracer.span(
+            "fit",
+            n_clusters=config.n_clusters,
+            num_nodes=problem.num_nodes,
+            num_workers=num_workers,
+            warm_start=warm_start is not None,
+        ) as fit_span:
+            with tracer.span("init"):
+                gamma = np.ones(num_relations)
+                if warm_start is not None:
+                    if initial_theta is not None:
+                        raise ConfigError(
+                            "initial_theta and warm_start are "
+                            "mutually exclusive"
+                        )
+                    theta = _install_warm_start(problem, warm_start)
+                    gamma = warm_start.gamma.copy()
+                elif initial_theta is not None:
+                    theta = np.asarray(
+                        initial_theta, dtype=np.float64
+                    ).copy()
+                    expected = (problem.num_nodes, problem.n_clusters)
+                    if theta.shape != expected:
+                        raise ValueError(
+                            f"initial_theta must have shape "
+                            f"{expected}, got {theta.shape}"
+                        )
+                    for model in problem.attribute_models:
+                        model.init_params(rng)
+                else:
+                    theta = select_initial_theta(
+                        problem,
+                        gamma,
+                        rng,
+                        n_init=config.n_init,
+                        init_steps=config.init_steps,
+                        floor=config.theta_floor,
+                    )
 
-            newton_start = time.perf_counter()
-            if num_relations > 0 and config.newton_iterations > 0:
-                strength_outcome = learn_strengths(
-                    theta,
-                    operator,
-                    gamma,
-                    sigma=config.sigma,
-                    max_iterations=config.newton_iterations,
-                    tol=config.newton_tol,
-                    floor=config.theta_floor,
-                    num_workers=num_workers,
-                    plan=plan,
+                history = RunHistory(
+                    relation_names=matrices.relation_names
                 )
-                gamma_next = strength_outcome.gamma
-                newton_iterations = strength_outcome.iterations
-                g2_value = strength_outcome.objective
-            else:
-                gamma_next = gamma.copy()
-                newton_iterations = 0
-                g2_value = float("nan")
-            newton_seconds = time.perf_counter() - newton_start
-
-            gamma_change = (
-                float(np.max(np.abs(gamma_next - gamma)))
-                if num_relations
-                else 0.0
-            )
-            gamma = gamma_next
-            history.append(
-                IterationRecord(
-                    outer_iteration=outer,
-                    gamma=gamma.copy(),
-                    g1_value=em_outcome.objective,
-                    g2_value=g2_value,
-                    em_iterations=em_outcome.iterations,
-                    newton_iterations=newton_iterations,
-                    em_seconds=em_seconds,
-                    newton_seconds=newton_seconds,
-                    em_objective_trace=em_outcome.objective_trace,
+                history.append(
+                    IterationRecord(
+                        outer_iteration=0,
+                        gamma=gamma.copy(),
+                        g1_value=g1(
+                            theta,
+                            gamma,
+                            operator,
+                            problem.attribute_models,
+                            config.theta_floor,
+                        ),
+                        g2_value=float("nan"),
+                    )
                 )
-            )
             if callback is not None:
-                callback(outer, theta, gamma)
-            if config.gamma_tol > 0 and gamma_change < config.gamma_tol:
-                break
+                callback(0, theta, gamma)
+
+            for outer in range(1, config.outer_iterations + 1):
+                with tracer.span(f"outer_iter[{outer}]"):
+                    with tracer.span("em_sweep") as em_span:
+                        em_outcome = run_em(
+                            theta,
+                            gamma,
+                            operator,
+                            problem.attribute_models,
+                            max_iterations=config.em_iterations,
+                            tol=config.em_tol,
+                            floor=config.theta_floor,
+                            track_objective=config.track_em_objective,
+                            num_workers=num_workers,
+                            plan=plan,
+                            obs=obs,
+                        )
+                        em_span.annotate(
+                            iterations=em_outcome.iterations,
+                            converged=em_outcome.converged,
+                        )
+                    em_seconds = em_span.duration
+                    theta = em_outcome.theta
+                    if not np.all(np.isfinite(theta)):
+                        raise ConvergenceError(
+                            f"EM produced non-finite memberships at "
+                            f"outer iteration {outer}"
+                        )
+
+                    with tracer.span("newton") as newton_span:
+                        if num_relations > 0 and config.newton_iterations > 0:
+                            strength_outcome = learn_strengths(
+                                theta,
+                                operator,
+                                gamma,
+                                sigma=config.sigma,
+                                max_iterations=config.newton_iterations,
+                                tol=config.newton_tol,
+                                floor=config.theta_floor,
+                                num_workers=num_workers,
+                                plan=plan,
+                                obs=obs,
+                            )
+                            gamma_next = strength_outcome.gamma
+                            newton_iterations = strength_outcome.iterations
+                            g2_value = strength_outcome.objective
+                        else:
+                            gamma_next = gamma.copy()
+                            newton_iterations = 0
+                            g2_value = float("nan")
+                        newton_span.annotate(
+                            iterations=newton_iterations
+                        )
+                    newton_seconds = newton_span.duration
+
+                gamma_change = (
+                    float(np.max(np.abs(gamma_next - gamma)))
+                    if num_relations
+                    else 0.0
+                )
+                gamma = gamma_next
+                history.append(
+                    IterationRecord(
+                        outer_iteration=outer,
+                        gamma=gamma.copy(),
+                        g1_value=em_outcome.objective,
+                        g2_value=g2_value,
+                        em_iterations=em_outcome.iterations,
+                        newton_iterations=newton_iterations,
+                        em_seconds=em_seconds,
+                        newton_seconds=newton_seconds,
+                        em_objective_trace=em_outcome.objective_trace,
+                    )
+                )
+                last_outer = outer
+                if callback is not None:
+                    callback(outer, theta, gamma)
+                if config.gamma_tol > 0 and gamma_change < config.gamma_tol:
+                    break
+            fit_span.annotate(
+                outer_iterations=last_outer,
+                g1=float(history.records[-1].g1_value),
+            )
+
+        if metrics is not None:
+            metrics.counter("repro_fits_total", "GenClus fits run").inc()
+            metrics.counter(
+                "repro_fit_outer_iterations_total",
+                "Outer iterations across all fits",
+            ).inc(last_outer)
 
         return GenClusResult(
             theta=theta,

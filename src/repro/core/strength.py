@@ -407,6 +407,7 @@ def learn_strengths(
     floor: float = 1e-12,
     num_workers: int = 1,
     plan: BlockPlan | None = None,
+    obs=None,
 ) -> StrengthOutcome:
     """Algorithm 1, step 2: projected Newton-Raphson on g2'.
 
@@ -428,6 +429,11 @@ def learn_strengths(
         objective) run over the same node-space :class:`BlockPlan`
         with block-ordered reductions -- results are bit-identical at
         any worker count.
+    obs:
+        Optional :class:`~repro.obs.Observability`; when recording,
+        the call contributes ``repro_newton_iterations_total`` and
+        ``repro_newton_fallbacks_total`` counters (once per call --
+        nothing inside the Newton loop is instrumented).
     """
     n, k = theta.shape
     if plan is None:
@@ -474,6 +480,16 @@ def learn_strengths(
         if delta < tol:
             converged = True
             break
+    if obs is not None and obs.recording:
+        obs.metrics.counter(
+            "repro_newton_iterations_total", "Newton iterations run"
+        ).inc(iterations)
+        if used_fallback:
+            obs.metrics.counter(
+                "repro_newton_fallbacks_total",
+                "Strength steps that fell back to gradient ascent "
+                "or backtracked",
+            ).inc()
     return StrengthOutcome(
         gamma=gamma,
         iterations=iterations,

@@ -1,0 +1,61 @@
+"""``repro.obs``: the zero-dependency observability core.
+
+Telemetry in this repo used to be scattered -- ad-hoc ``info()``
+dicts, per-fit :class:`~repro.core.diagnostics.RunHistory` timing
+fields, :class:`~repro.serving.driver.RetrainRound` tuples -- with no
+common schema, no latency distributions, and no export path.  This
+package is the substrate that unifies them:
+
+* :class:`MetricsRegistry` -- counters, gauges, fixed-bucket
+  histograms; lock-cheap, labelled, and aggregatable across shards
+  (:func:`aggregate_snapshots` merges per-shard snapshots into one
+  cluster view).
+* :class:`Tracer` / :class:`Span` -- nested wall-clock spans
+  (``fit > outer_iter[3] > em_sweep``,
+  ``score_many > shard[1].foldin``) with a ring buffer of recent
+  traces and JSONL export.
+* :func:`render_prometheus` / :func:`render_json` -- a registry
+  snapshot as Prometheus text exposition or stable JSON; surfaced on
+  the command line as ``python -m repro.serving metrics`` / ``trace``.
+* :class:`Observability` -- the one handle threaded through
+  ``GenClus.fit``, the serving engines, the sharded router, and the
+  retrain driver; ``obs=None`` (the default) is the pinned <2%-overhead
+  null path, and numeric results are bit-identical with observability
+  on or off at every worker and shard count.
+"""
+
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    TELEMETRY_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    aggregate_snapshots,
+    series_value,
+)
+from repro.obs.observability import NULL_OBS, Observability, resolve_obs
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "SIZE_BUCKETS",
+    "TELEMETRY_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+    "aggregate_snapshots",
+    "render_json",
+    "render_prometheus",
+    "resolve_obs",
+    "series_value",
+]

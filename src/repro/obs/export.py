@@ -1,0 +1,97 @@
+"""Exporters: registry snapshots to Prometheus text or stable JSON.
+
+Both renderers consume the plain-data snapshot produced by
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (or the merged
+cluster view from :func:`~repro.obs.metrics.aggregate_snapshots`), so
+a scrape never touches live metric objects.
+
+:func:`render_prometheus` emits the text exposition format: one
+``# HELP`` / ``# TYPE`` pair per family, histogram buckets as
+cumulative ``le``-labelled counts ending in ``le="+Inf"``, label
+values escaped per the spec (backslash, double-quote, newline).
+:func:`render_json` is the same snapshot serialized with stable key
+ordering -- the machine-readable twin the CLI's ``--json`` flag and
+the unified ``info()`` schema build on.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+    pairs = sorted(labels.items())
+    if extra is not None:
+        pairs = pairs + [extra]
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(float(bound))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus text exposition."""
+    lines: list[str] = []
+    for name, family in snapshot.get("metrics", {}).items():
+        kind = family["kind"]
+        help_text = family.get("help", "")
+        if help_text:
+            escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in family["series"]:
+            labels = entry["labels"]
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(entry["buckets"], entry["counts"]):
+                    cumulative += count
+                    rendered = _render_labels(
+                        labels, ("le", _format_bound(bound))
+                    )
+                    lines.append(
+                        f"{name}_bucket{rendered} {cumulative}"
+                    )
+                rendered = _render_labels(labels, ("le", "+Inf"))
+                lines.append(f"{name}_bucket{rendered} {entry['count']}")
+                plain = _render_labels(labels)
+                lines.append(
+                    f"{name}_sum{plain} {_format_value(entry['sum'])}"
+                )
+                lines.append(f"{name}_count{plain} {entry['count']}")
+            else:
+                rendered = _render_labels(labels)
+                lines.append(
+                    f"{name}{rendered} {_format_value(entry['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(snapshot: dict, indent: int | None = 2) -> str:
+    """Render a registry snapshot as stable JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)

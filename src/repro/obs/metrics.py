@@ -1,0 +1,369 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per serving component (engine, router,
+driver share the owning engine's) holds named metric *families*; a
+family fans out into labelled *series* (``shard="2"``), exactly the
+Prometheus data model, so the rendered exposition needs no re-shaping.
+
+Three deliberate constraints keep the registry cheap enough to live on
+hot serving paths:
+
+* **Lock-cheap updates.**  Every series carries one ``threading.Lock``
+  taken only for the few arithmetic ops of an ``inc``/``set``/
+  ``observe``.  Instrumentation sits at *operation* granularity (one
+  observe per fold-in call, not per row), so contention is nil.
+* **Fixed buckets.**  Histograms pre-declare their upper bounds; an
+  observation is one bisect plus one add.  Fixed bounds are also what
+  makes histograms **aggregatable across shards**: same bounds, so
+  per-bucket counts sum.
+* **Plain-data snapshots.**  :meth:`MetricsRegistry.snapshot` returns
+  nested dicts/lists of scalars (stable ordering, schema-versioned via
+  ``telemetry_version``); :func:`aggregate_snapshots` merges any number
+  of them -- counters and histogram buckets sum, gauges sum -- which is
+  how a cluster router folds its shard registries into one cluster
+  view without reaching into live metric objects.
+
+The registry records what happened; it never influences execution --
+the numeric determinism contract (bit-identical results with
+observability on or off) holds by construction because nothing here is
+ever read back by a kernel.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from collections.abc import Iterable, Mapping
+
+TELEMETRY_VERSION = 1
+"""Schema version of registry snapshots and the ``info()`` telemetry
+derived from them.  Bump when the snapshot layout changes shape."""
+
+# Latency buckets (seconds): sub-millisecond fold-in sweeps up to
+# multi-second promote refits.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+# Batch-size buckets (counts): single queries up to bulk-scoring bursts.
+SIZE_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counters only go up; inc({amount}) is negative"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (sizes, scales, occupancy)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``bounds`` are the finite inclusive upper bounds; an implicit
+    ``+Inf`` bucket catches the overflow.  Counts are stored
+    per-bucket (non-cumulative) and cumulated at export time.
+    """
+
+    __slots__ = ("_lock", "bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b != b or b in (float("inf"), float("-inf")) for b in cleaned):
+            raise ValueError(
+                f"bucket bounds must be finite (the +Inf bucket is "
+                f"implicit), got {bounds}"
+            )
+        if list(cleaned) != sorted(set(cleaned)):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {bounds}"
+            )
+        self._lock = threading.Lock()
+        self.bounds = cleaned
+        self._counts = [0] * (len(cleaned) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # first bound >= value: `le` is an inclusive upper bound
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket (non-cumulative) counts; last entry is +Inf."""
+        with self._lock:
+            return tuple(self._counts)
+
+
+class _Family:
+    """One named metric family: kind, help text, labelled series."""
+
+    __slots__ = ("name", "kind", "help", "bounds", "series")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        bounds: tuple[float, ...] | None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.bounds = bounds
+        self.series: dict[tuple[tuple[str, str], ...], object] = {}
+
+
+class MetricsRegistry:
+    """Named metric families with get-or-create access.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the live metric for
+    ``(name, labels)``, creating it on first use; re-registering the
+    same name with a different kind (or a histogram with different
+    bounds) is an error -- a family has one shape everywhere.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", **labels: str
+    ) -> Counter:
+        return self._get(name, "counter", help, None, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get(name, "gauge", help, None, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get(name, "histogram", help, tuple(buckets), labels)
+
+    def _get(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        bounds: tuple[float, ...] | None,
+        labels: Mapping[str, str],
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, bounds)
+                self._families[name] = family
+            else:
+                if family.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} is a {family.kind}, not a {kind}"
+                    )
+                if kind == "histogram" and bounds != family.bounds:
+                    raise ValueError(
+                        f"histogram {name!r} was declared with bounds "
+                        f"{family.bounds}, got {bounds}"
+                    )
+                if help_text and not family.help:
+                    family.help = help_text
+            metric = family.series.get(key)
+            if metric is None:
+                if kind == "counter":
+                    metric = Counter()
+                elif kind == "gauge":
+                    metric = Gauge()
+                else:
+                    metric = Histogram(bounds)
+                family.series[key] = metric
+            return metric
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data view of every family (stable ordering)."""
+        metrics: dict[str, dict] = {}
+        with self._lock:
+            families = list(self._families.values())
+        for family in sorted(families, key=lambda f: f.name):
+            series = []
+            for key in sorted(family.series):
+                metric = family.series[key]
+                entry: dict = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    entry["buckets"] = list(metric.bounds)
+                    entry["counts"] = list(metric.bucket_counts)
+                    entry["sum"] = metric.sum
+                    entry["count"] = metric.count
+                else:
+                    entry["value"] = metric.value
+                series.append(entry)
+            metrics[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "series": series,
+            }
+        return {
+            "telemetry_version": TELEMETRY_VERSION,
+            "metrics": metrics,
+        }
+
+
+def aggregate_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Merge registry snapshots (e.g. one per shard) into one.
+
+    Counters and histogram buckets **sum**; gauges **sum** too (the
+    gauges exported here are sizes and occupancies, where the cluster
+    value is the total -- a shard-level view stays available through
+    the per-shard snapshots).  Series merge by label set; families must
+    agree on kind and histogram bounds everywhere.
+    """
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, family in snapshot.get("metrics", {}).items():
+            target = merged.get(name)
+            if target is None:
+                merged[name] = {
+                    "kind": family["kind"],
+                    "help": family["help"],
+                    "series": [
+                        _copy_series(entry) for entry in family["series"]
+                    ],
+                }
+                continue
+            if target["kind"] != family["kind"]:
+                raise ValueError(
+                    f"cannot aggregate {name!r}: kind "
+                    f"{family['kind']} vs {target['kind']}"
+                )
+            if not target["help"] and family["help"]:
+                target["help"] = family["help"]
+            by_labels = {
+                tuple(sorted(entry["labels"].items())): entry
+                for entry in target["series"]
+            }
+            for entry in family["series"]:
+                key = tuple(sorted(entry["labels"].items()))
+                existing = by_labels.get(key)
+                if existing is None:
+                    copied = _copy_series(entry)
+                    target["series"].append(copied)
+                    by_labels[key] = copied
+                elif family["kind"] == "histogram":
+                    if existing["buckets"] != entry["buckets"]:
+                        raise ValueError(
+                            f"cannot aggregate histogram {name!r}: "
+                            f"bucket bounds differ"
+                        )
+                    existing["counts"] = [
+                        a + b
+                        for a, b in zip(
+                            existing["counts"], entry["counts"]
+                        )
+                    ]
+                    existing["sum"] += entry["sum"]
+                    existing["count"] += entry["count"]
+                else:
+                    existing["value"] += entry["value"]
+    for family in merged.values():
+        family["series"].sort(
+            key=lambda entry: sorted(entry["labels"].items())
+        )
+    return {
+        "telemetry_version": TELEMETRY_VERSION,
+        "metrics": dict(sorted(merged.items())),
+    }
+
+
+def _copy_series(entry: dict) -> dict:
+    copied = dict(entry)
+    copied["labels"] = dict(entry["labels"])
+    if "counts" in copied:
+        copied["counts"] = list(copied["counts"])
+        copied["buckets"] = list(copied["buckets"])
+    return copied
+
+
+def series_value(snapshot: dict, name: str) -> float:
+    """The value of a single-series counter/gauge family (0.0 when the
+    family is absent or empty) -- the accessor ``info()`` schemas are
+    derived through."""
+    family = snapshot.get("metrics", {}).get(name)
+    if not family or not family["series"]:
+        return 0.0
+    total = 0.0
+    for entry in family["series"]:
+        if "value" in entry:
+            total += entry["value"]
+        else:
+            total += entry["count"]
+    return total

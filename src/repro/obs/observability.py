@@ -1,0 +1,106 @@
+"""The observability handle threaded through training and serving.
+
+Every instrumented layer takes one optional ``obs`` argument -- an
+:class:`Observability` bundling a
+:class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.tracing.Tracer` (or their null twins).  Three
+states cover every caller:
+
+* ``obs=None`` (the default everywhere): the hot path pays one ``is
+  None`` test and skips all clock reads -- this is the <2% null path
+  pinned by ``bench_core_kernels.py``.
+* ``Observability()``: metrics on, tracing off.  Serving engines run
+  here by default -- counters and histograms are cheap enough to be
+  always-on, while span trees are opt-in.
+* ``Observability(trace=True)``: metrics and nested wall-clock spans,
+  with the last ``max_traces`` traces retained for JSONL export.
+
+The contract in one line: **observability reads clocks and never
+influences execution** -- numeric results are bit-identical with any
+of the three states, at every worker and shard count.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+
+
+class Observability:
+    """A metrics registry plus a tracer, passed as one handle.
+
+    Parameters
+    ----------
+    metrics:
+        The registry to record into (a fresh one by default).
+    tracer:
+        An explicit tracer; overrides ``trace``/``max_traces``.
+    trace:
+        Enable span recording (default off: spans are no-ops).
+    max_traces:
+        Ring-buffer capacity for retained root spans.
+    """
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        trace: bool = False,
+        max_traces: int = 64,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if tracer is not None:
+            self.tracer = tracer
+        elif trace:
+            self.tracer = Tracer(max_traces=max_traces)
+        else:
+            self.tracer = NULL_TRACER
+
+    @property
+    def recording(self) -> bool:
+        """Is anyone listening?  (Always true for a live handle --
+        metrics are recorded even when tracing is off.)"""
+        return True
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.recording
+
+    def span(self, name: str, parent=None, **attributes):
+        """Open a span on this handle's tracer (no-op unless tracing)."""
+        return self.tracer.span(name, parent=parent, **attributes)
+
+
+class _NullObservability:
+    """Observability disabled: no registry, no tracer, near-zero cost.
+
+    Instrumented code guards clock reads with
+    ``if obs is not None and obs.recording``, so passing
+    :data:`NULL_OBS` (or ``None``) skips all timing work.  A throwaway
+    registry is still exposed so unguarded counter updates stay legal.
+    """
+
+    __slots__ = ("metrics",)
+
+    recording = False
+    tracing = False
+    tracer = NULL_TRACER
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+
+    def span(self, name: str, parent=None, **attributes):
+        return NULL_TRACER.span(name)
+
+
+NULL_OBS = _NullObservability()
+"""The shared disabled handle: every span is a no-op, every metric
+lands in a registry nobody exports."""
+
+
+def resolve_obs(obs: Observability | None) -> Observability | _NullObservability:
+    """``None``-safe accessor: callers that need a concrete handle
+    (e.g. to reach ``.metrics``) map ``None`` to :data:`NULL_OBS`."""
+    return obs if obs is not None else NULL_OBS

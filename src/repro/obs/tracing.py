@@ -1,0 +1,259 @@
+"""Wall-clock tracing spans: where did a fit or a batch spend its time.
+
+A :class:`Span` is a named wall-clock interval with attributes and
+nested children -- ``fit > outer_iter[3] > em_sweep``,
+``score_many > shard[1].foldin``.  Spans are context managers; the
+:class:`Tracer` keeps a per-thread stack so nesting falls out of
+``with`` blocks, plus an explicit ``parent=`` hook for spans that open
+on another thread (a router's per-shard scatter sub-batches).
+
+Completed **root** spans land in a bounded ring buffer
+(:meth:`Tracer.traces`) and export as JSON lines
+(:meth:`Tracer.export_jsonl`) -- one object per trace, children
+inlined -- so the last N traces of a serving process are always one
+dump away.
+
+Tracing is **off by default** everywhere: the shared
+:data:`NULL_TRACER` hands out one immortal no-op span, so an
+uninstrumented hot path pays a single attribute access and branch.
+Spans read clocks and never influence execution -- numeric results are
+bit-identical with tracing on or off (pinned in the equivalence
+suites).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+
+class Span:
+    """One named wall-clock interval with attributes and children.
+
+    Use as a context manager obtained from :meth:`Tracer.span`; the
+    interval runs from ``__enter__`` to ``__exit__``.  ``duration`` is
+    ``perf_counter``-based (monotonic); ``start`` is an epoch timestamp
+    for export alignment.
+    """
+
+    __slots__ = (
+        "name", "attributes", "start", "duration",
+        "children", "error",
+        "_tracer", "_parent", "_perf_start",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, parent, attributes):
+        self.name = name
+        self.attributes = dict(attributes)
+        self.start = 0.0
+        self.duration = 0.0
+        self.children: list[Span] = []
+        self.error: str | None = None
+        self._tracer = tracer
+        self._parent = parent
+        self._perf_start = 0.0
+
+    @property
+    def recording(self) -> bool:
+        return True
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes to the span (counts, sizes, outcomes)."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if self._parent is None:
+            self._parent = tracer._current()
+        tracer._push(self)
+        self.start = time.time()
+        self._perf_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._perf_start
+        if exc is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        tracer = self._tracer
+        tracer._pop(self)
+        parent = self._parent
+        if parent is None:
+            tracer._record_root(self)
+        else:
+            with tracer._lock:
+                parent.children.append(self)
+        return False
+
+    def to_dict(self) -> dict:
+        """Plain-data form (children inlined), ready for JSON."""
+        entry = {
+            "name": self.name,
+            "start": self.start,
+            "duration_s": self.duration,
+        }
+        if self.attributes:
+            entry["attributes"] = {
+                key: _plain(value)
+                for key, value in self.attributes.items()
+            }
+        if self.error is not None:
+            entry["error"] = self.error
+        if self.children:
+            entry["children"] = [
+                child.to_dict() for child in self.children
+            ]
+        return entry
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable one-trace tree (used by the ``trace`` CLI view)."""
+        pad = "  " * indent
+        attrs = ""
+        if self.attributes:
+            rendered = ", ".join(
+                f"{key}={_plain(value)}"
+                for key, value in sorted(self.attributes.items())
+            )
+            attrs = f"  [{rendered}]"
+        line = f"{pad}{self.name}  {self.duration * 1e3:.3f} ms{attrs}"
+        if self.error is not None:
+            line += f"  ERROR {self.error}"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+def _plain(value):
+    """Attribute values to JSON-safe scalars."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+class Tracer:
+    """Produces nested spans and retains the last ``max_traces`` roots."""
+
+    def __init__(self, max_traces: int = 64) -> None:
+        if max_traces < 1:
+            raise ValueError(
+                f"max_traces must be >= 1, got {max_traces}"
+            )
+        self.max_traces = max_traces
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._traces: deque[Span] = deque(maxlen=max_traces)
+
+    @property
+    def recording(self) -> bool:
+        return True
+
+    def span(self, name: str, parent: Span | None = None, **attributes) -> Span:
+        """Open a new span.  Nesting follows this thread's ``with``
+        stack; pass ``parent=`` explicitly for spans entered on another
+        thread (scatter workers)."""
+        return Span(self, name, parent, attributes)
+
+    # -- thread-local span stack --------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _record_root(self, span: Span) -> None:
+        with self._lock:
+            self._traces.append(span)
+
+    # -- retained traces ----------------------------------------------
+    def traces(self) -> tuple[Span, ...]:
+        """The retained root spans, oldest first."""
+        with self._lock:
+            return tuple(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def export_jsonl(self, target) -> int:
+        """Write one JSON object per retained trace; returns the count.
+
+        ``target`` is a path or a writable text file object.
+        """
+        traces = self.traces()
+        lines = "".join(
+            json.dumps(span.to_dict(), sort_keys=True) + "\n"
+            for span in traces
+        )
+        if hasattr(target, "write"):
+            target.write(lines)
+        else:
+            Path(target).write_text(lines, encoding="utf-8")
+        return len(traces)
+
+
+class _NullSpan:
+    """The shared no-op span: enter/exit/annotate cost one call each."""
+
+    __slots__ = ()
+
+    recording = False
+    name = ""
+    attributes: dict = {}
+    children: tuple = ()
+    duration = 0.0
+    start = 0.0
+    error = None
+
+    def annotate(self, **attributes) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every ``span()`` is the same immortal no-op."""
+
+    __slots__ = ()
+
+    recording = False
+    max_traces = 0
+
+    def span(self, name: str, parent=None, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def traces(self) -> tuple:
+        return ()
+
+    def clear(self) -> None:
+        pass
+
+    def export_jsonl(self, target) -> int:
+        if not hasattr(target, "write"):
+            Path(target).write_text("", encoding="utf-8")
+        return 0
+
+
+NULL_TRACER = NullTracer()

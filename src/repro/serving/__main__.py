@@ -1,6 +1,6 @@
 """Command-line serving front end: ``python -m repro.serving``.
 
-Three subcommands against a saved model artifact:
+Five subcommands against a saved model artifact:
 
 * ``info ARTIFACT`` -- print the persisted model's summary (or the full
   engine snapshot with ``--json``).
@@ -17,6 +17,16 @@ Three subcommands against a saved model artifact:
   shard, plus per-shard link load when the artifact embeds training
   edges) -- review it, then hand it to
   :class:`~repro.serving.router.ShardedEngine`.
+* ``metrics ARTIFACT [--shards N] [--batch FILE]`` -- export the
+  engine's metrics registry in Prometheus text format (``--json`` for
+  the stable JSON snapshot).  With ``--batch`` the queries are scored
+  first, so latency histograms and cache counters carry real traffic;
+  with ``--shards N > 1`` the model is served by a cluster and the
+  export is the aggregated cluster snapshot.
+* ``trace ARTIFACT --batch FILE [--shards N] [--jsonl PATH]`` -- score
+  a batch with tracing enabled and print the recorded span trees
+  (``score_many > shard[i].foldin`` under a cluster); ``--jsonl``
+  additionally exports the traces as JSON lines.
 
 Node ids on the command line are always strings; models whose ids are
 other scalar types need the Python API.  Link weights ride after a
@@ -34,9 +44,12 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.exceptions import ReproError, ServingError
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.observability import Observability
 from repro.serving.artifact import ModelArtifact
 from repro.serving.cluster import ShardPlan
 from repro.serving.engine import InferenceEngine
+from repro.serving.router import ShardedEngine
 
 
 def _parse_link(raw: str) -> tuple[str, str, float]:
@@ -165,7 +178,95 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the plan as JSON",
     )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="export the serving metrics registry "
+        "(Prometheus text format by default)",
+    )
+    metrics.add_argument("artifact", help="path to the .npz bundle")
+    metrics.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve through a cluster of N shard engines and export "
+        "the aggregated cluster snapshot (default: 1, a singleton)",
+    )
+    metrics.add_argument(
+        "--batch",
+        metavar="FILE",
+        help="score this query file first, so counters and latency "
+        "histograms carry real traffic",
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stable JSON snapshot instead of Prometheus "
+        "text",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="score a batch with tracing on and print the span trees",
+    )
+    trace.add_argument("artifact", help="path to the .npz bundle")
+    trace.add_argument(
+        "--batch",
+        metavar="FILE",
+        required=True,
+        help="query file to score under tracing (JSON array or JSON "
+        "lines)",
+    )
+    trace.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve through a cluster of N shard engines (default: "
+        "1, a singleton)",
+    )
+    trace.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="also export the recorded traces as JSON lines",
+    )
     return parser
+
+
+def _build_engine(artifact: str, shards: int, obs: Observability):
+    """A singleton engine, or a sharded cluster when ``shards > 1``."""
+    if shards < 1:
+        raise ServingError(f"--shards must be >= 1, got {shards}")
+    if shards == 1:
+        return InferenceEngine.load(artifact, obs=obs)
+    return ShardedEngine.load(artifact, n_shards=shards, obs=obs)
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    engine = _build_engine(args.artifact, args.shards, Observability())
+    if args.batch is not None:
+        engine.score_many(_load_batch(args.batch))
+    snapshot = engine.metrics_snapshot()
+    if args.json:
+        print(render_json(snapshot))
+    else:
+        sys.stdout.write(render_prometheus(snapshot))
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    obs = Observability(trace=True)
+    engine = _build_engine(args.artifact, args.shards, obs)
+    engine.score_many(_load_batch(args.batch))
+    traces = obs.tracer.traces()
+    for root in traces:
+        print(root.describe())
+    if args.jsonl is not None:
+        count = obs.tracer.export_jsonl(args.jsonl)
+        print(
+            f"wrote {count} trace(s) to {args.jsonl}",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _run_info(args: argparse.Namespace) -> int:
@@ -315,6 +416,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_info(args)
         if args.command == "shard-plan":
             return _run_shard_plan(args)
+        if args.command == "metrics":
+            return _run_metrics(args)
+        if args.command == "trace":
+            return _run_trace(args)
         return _run_score(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

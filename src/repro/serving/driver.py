@@ -44,6 +44,8 @@ from typing import Any
 from repro.core.config import GenClusConfig
 from repro.core.kernels import shared_pool
 from repro.exceptions import ServingError
+from repro.obs.observability import Observability
+from repro.serving.telemetry import ServingMetrics
 
 
 @dataclass(frozen=True)
@@ -111,7 +113,14 @@ class RetrainPolicy:
 
 @dataclass(frozen=True)
 class RetrainRound:
-    """Telemetry for one driver-triggered refit."""
+    """Telemetry for one driver-triggered refit.
+
+    A failed refit is recorded too (``error`` set, the ``g1`` fields
+    NaN): background promotes used to vanish from ``rounds`` when they
+    raised, leaving the history claiming nothing was ever attempted.
+    The exception itself still propagates (from :meth:`~RetrainDriver.tick`
+    inline, from :meth:`~RetrainDriver.join` in background mode).
+    """
 
     trigger: str  # "extension_pressure" | "staleness"
     shard_id: int | None  # the shard that tripped (pressure only)
@@ -122,6 +131,7 @@ class RetrainRound:
     outer_iterations: int
     rebalanced: bool  # did the shard plan change (router only)
     backed_off: bool  # did this round raise the thresholds
+    error: str | None = None  # the refit's exception, when it failed
 
 
 class RetrainDriver:
@@ -155,6 +165,14 @@ class RetrainDriver:
         self._config = config
         self._background = bool(background)
         self._scale = 1.0  # cooldown multiplier on both thresholds
+        # record into the engine's registry so retrain telemetry rides
+        # the same export (cluster-scope on a router: the retrain
+        # families are ROUTER_AUTHORITATIVE); a duck-typed engine
+        # without .obs gets a private registry nobody exports
+        obs = getattr(engine, "obs", None)
+        if obs is None:
+            obs = Observability()
+        self._metrics = ServingMetrics(obs.metrics)
         self._queries_at_promote = self._queries_served(engine.info())
         self._pending = None
         self.rounds: list[RetrainRound] = []
@@ -237,7 +255,29 @@ class RetrainDriver:
         engine = self._engine
         plan_before = getattr(engine, "plan", None)
         promoted_nodes = int(engine.num_extension_nodes)
-        result = engine.promote(self._config)
+        try:
+            result = engine.promote(self._config)
+        except Exception as exc:
+            # the round must not vanish: record the failed attempt
+            # (background futures used to swallow it until join, and
+            # the rounds history never learned a refit was tried),
+            # count it, then let the exception surface to the caller
+            self._metrics.retrain_failures.inc()
+            self.rounds.append(
+                RetrainRound(
+                    trigger=reason,
+                    shard_id=shard_id,
+                    extension_nodes=promoted_nodes,
+                    g1_first=float("nan"),
+                    g1_final=float("nan"),
+                    g1_gain=float("nan"),
+                    outer_iterations=0,
+                    rebalanced=False,
+                    backed_off=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            raise
         plan_after = getattr(engine, "plan", None)
         g1 = result.history.g1_series()
         g1_first = float(g1[0])
@@ -265,4 +305,9 @@ class RetrainDriver:
             backed_off=backed_off,
         )
         self.rounds.append(round_)
+        self._metrics.retrain_rounds.inc()
+        if backed_off:
+            self._metrics.retrain_backoffs.inc()
+        self._metrics.retrain_scale.set(self._scale)
+        self._metrics.retrain_last_gain.set(gain)
         return round_

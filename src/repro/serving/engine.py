@@ -35,6 +35,7 @@ frozen under serving; only :meth:`promote` re-learns them.
 from __future__ import annotations
 
 import re
+import time
 from collections import OrderedDict, deque
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
@@ -48,12 +49,14 @@ from repro.core.kernels import resolve_workers
 from repro.core.result import GenClusResult
 from repro.core.state import ModelState
 from repro.exceptions import ServingError
+from repro.obs.observability import Observability
 from repro.serving.artifact import SCHEMA_VERSION, ModelArtifact
 from repro.serving.foldin import (
     FoldInOutcome,
     NewNode,
     fold_in,
 )
+from repro.serving.telemetry import ServingMetrics, info_sections
 
 _QUERY_ID = "__repro.serving.query__"
 
@@ -101,6 +104,7 @@ def promote_state(
     config: GenClusConfig | None = None,
     num_workers: int = 1,
     block_size: int | None = None,
+    obs=None,
 ):
     """Warm-started refit of a lifecycle state's base + extensions.
 
@@ -135,7 +139,9 @@ def promote_state(
             f"but the served model has K={state.n_clusters}"
         )
     problem = state.to_problem()
-    result = GenClus(config).fit_problem(problem, warm_start=state)
+    result = GenClus(config).fit_problem(
+        problem, warm_start=state, obs=obs
+    )
     promoted = ModelState(
         network=problem.network,
         matrices=problem.matrices,
@@ -174,6 +180,12 @@ class InferenceEngine:
         :meth:`info`; a standalone engine is shard ``0`` of ``1``).
         Set by :class:`~repro.serving.router.ShardedEngine` when it
         builds its per-shard engines.
+    obs:
+        Optional :class:`~repro.obs.Observability` handle.  The engine
+        always keeps a live metrics registry (a fresh one when this is
+        ``None``); pass ``Observability(trace=True)`` to also record
+        span trees for queries and promotes.  Scores are bit-identical
+        either way.
     """
 
     def __init__(
@@ -186,6 +198,7 @@ class InferenceEngine:
         block_size: int | None = None,
         shard_id: int = 0,
         shard_count: int = 1,
+        obs: Observability | None = None,
     ) -> None:
         self._setup(
             state=artifact.to_state(),
@@ -197,6 +210,7 @@ class InferenceEngine:
             block_size=block_size,
             shard_id=shard_id,
             shard_count=shard_count,
+            obs=obs,
         )
 
     def _setup(
@@ -210,6 +224,7 @@ class InferenceEngine:
         block_size: int | None,
         shard_id: int,
         shard_count: int,
+        obs: Observability | None = None,
     ) -> None:
         if cache_size < 0:
             raise ServingError(
@@ -248,18 +263,14 @@ class InferenceEngine:
         self._tol = tol
         self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._cache_size = cache_size
-        self._hits = 0
-        self._misses = 0
-        self._queries_served = 0
-        # lifecycle telemetry
+        # lifecycle telemetry lives in the obs registry; only the LRU
+        # clock stays engine-local (it orders evictions -- policy
+        # state, not telemetry)
+        self.obs = obs if obs is not None else Observability()
+        self._metrics = ServingMetrics(self.obs.metrics)
+        self._metrics.cache_capacity.set(cache_size)
         self._clock = 0  # monotonic operation counter ("query age")
         self._last_used: dict[object, int] = {}
-        self._foldin_sweeps = 0
-        self._extend_count = 0
-        self._link_delta_count = 0
-        self._refolded_rows = 0
-        self._evicted_total = 0
-        self._promotions = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -285,6 +296,7 @@ class InferenceEngine:
         block_size: int | None = None,
         shard_id: int = 0,
         shard_count: int = 1,
+        obs: Observability | None = None,
     ) -> InferenceEngine:
         """Build an engine serving an existing lifecycle state directly.
 
@@ -306,6 +318,7 @@ class InferenceEngine:
             block_size=block_size,
             shard_id=shard_id,
             shard_count=shard_count,
+            obs=obs,
         )
         return engine
 
@@ -382,9 +395,37 @@ class InferenceEngine:
             )
         }
 
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Plain-data snapshot of the engine's metrics registry, with
+        the size/occupancy gauges refreshed first.
+
+        This is the export surface: feed it to
+        :func:`~repro.obs.render_prometheus` /
+        :func:`~repro.obs.render_json`, or let a cluster router
+        aggregate it with its peers'.
+        """
+        state = self._state
+        metrics = self._metrics
+        metrics.cache_entries.set(len(self._cache))
+        metrics.cache_capacity.set(self._cache_size)
+        metrics.extension_nodes.set(state.num_extension_nodes)
+        metrics.extension_links.set(state.extension_link_count())
+        metrics.extension_capacity.set(state.theta_capacity)
+        metrics.extension_bytes.set(state.theta_bytes)
+        return self.obs.metrics.snapshot()
+
     def info(self) -> dict[str, Any]:
         """Operational snapshot: model shape, strengths, cache stats,
-        extension-space telemetry, and fold-in counters."""
+        extension-space telemetry, and fold-in counters.
+
+        The counter-backed sections (``cache`` / ``queries`` /
+        ``extension`` / ``foldin``) are derived from
+        :meth:`metrics_snapshot` through the shared
+        :func:`~repro.serving.telemetry.info_sections` schema -- the
+        same derivation :class:`~repro.serving.router.ShardedEngine`
+        applies to its aggregated cluster snapshot, stamped with the
+        same ``telemetry_version``.
+        """
         state = self._state
         # after a promote the served base is an in-memory fit (current
         # schema); otherwise report the loaded bundle's actual version
@@ -405,17 +446,6 @@ class InferenceEngine:
                 name: params["kind"]
                 for name, params in self._model.attribute_params.items()
             },
-            "cache": {
-                "size": len(self._cache),
-                "max_size": self._cache_size,
-                "hits": self._hits,
-                "misses": self._misses,
-            },
-            "queries": {
-                # transient queries answered (cached or folded); the
-                # staleness signal retrain policies watch
-                "served": self._queries_served,
-            },
             "execution": {
                 # the blocked-kernel shape scores run with: pool width
                 # (after auto-resolution), the block-size override, and
@@ -430,20 +460,7 @@ class InferenceEngine:
                 "shard_count": self._shard_count,
                 **state.execution_shape(self._block_size),
             },
-            "extension": {
-                "nodes": state.num_extension_nodes,
-                "links": state.extension_link_count(),
-                "capacity_rows": state.theta_capacity,
-                "theta_bytes": state.theta_bytes,
-                "evicted_total": self._evicted_total,
-            },
-            "foldin": {
-                "sweeps": self._foldin_sweeps,
-                "extends": self._extend_count,
-                "link_deltas": self._link_delta_count,
-                "refolded_rows": self._refolded_rows,
-                "promotions": self._promotions,
-            },
+            **info_sections(self.metrics_snapshot()),
         }
 
     # ------------------------------------------------------------------
@@ -464,11 +481,12 @@ class InferenceEngine:
             tol=self._tol,
             num_workers=self._num_workers,
             block_size=self._block_size,
+            obs=self.obs,
         )
-        self._foldin_sweeps += outcome.iterations
+        self._metrics.foldin_sweeps.inc(outcome.iterations)
         if nodes:
             self._state.append_extensions(tuple(nodes), outcome.theta)
-            self._extend_count += 1
+            self._metrics.extends.inc()
             self._clock += 1
             for spec in nodes:
                 self._last_used[spec.node] = self._clock
@@ -545,13 +563,14 @@ class InferenceEngine:
             tol=self._tol,
             num_workers=self._num_workers,
             block_size=self._block_size,
+            obs=self.obs,
         )
-        self._foldin_sweeps += outcome.iterations
+        self._metrics.foldin_sweeps.inc(outcome.iterations)
         if merged:
             state.commit_link_delta(updated)
             state.replace_extension_rows(touched, outcome.theta)
-            self._link_delta_count += 1
-            self._refolded_rows += len(touched)
+            self._metrics.link_deltas.inc()
+            self._metrics.refolded_rows.inc(len(touched))
             self._clock += 1
             for source in merged:
                 self._last_used[source] = self._clock
@@ -628,7 +647,7 @@ class InferenceEngine:
         state.evict_extensions(chosen_set)
         for node in chosen:
             self._last_used.pop(node, None)
-        self._evicted_total += len(chosen)
+        self._metrics.evictions.inc(len(chosen))
         self._model = state.frozen_view()
         self._invalidate_cache()
         return chosen
@@ -671,12 +690,20 @@ class InferenceEngine:
         """
         # rebase: the promoted fit is the new frozen base; reuse the
         # patched link views (and their operator) for the next cycle
-        result, promoted = promote_state(
-            self._state,
-            config,
-            num_workers=self._num_workers,
-            block_size=self._block_size,
-        )
+        with self.obs.span(
+            "promote", extension_nodes=self.num_extension_nodes
+        ):
+            tick = time.perf_counter()
+            result, promoted = promote_state(
+                self._state,
+                config,
+                num_workers=self._num_workers,
+                block_size=self._block_size,
+                obs=self.obs,
+            )
+            self._metrics.promote_seconds.observe(
+                time.perf_counter() - tick
+            )
         self._state = promoted
         # the served artifact is stale now; refreeze lazily on the next
         # `.artifact` access instead of paying the copies every cycle
@@ -684,7 +711,7 @@ class InferenceEngine:
         self._promoted_result = result
         self._model = self._state.frozen_view()
         self._last_used = {}
-        self._promotions += 1
+        self._metrics.promotions.inc()
         self._invalidate_cache()
         return result
 
@@ -714,14 +741,14 @@ class InferenceEngine:
         except ServingError as exc:
             raise _dequalify(exc) from None
         key = _canonical_key(spec)
-        self._queries_served += 1
+        self._metrics.queries.inc()
         self._touch_query_targets(spec)
         cached = self._cache.get(key)
         if cached is not None:
-            self._hits += 1
+            self._metrics.cache_hits.inc()
             self._cache.move_to_end(key)
             return cached.copy()
-        self._misses += 1
+        self._metrics.cache_misses.inc()
         try:
             outcome = fold_in(
                 self._model,
@@ -730,10 +757,11 @@ class InferenceEngine:
                 tol=self._tol,
                 num_workers=self._num_workers,
                 block_size=self._block_size,
+                obs=self.obs,
             )
         except ServingError as exc:
             raise _dequalify(exc) from None
-        self._foldin_sweeps += outcome.iterations
+        self._metrics.foldin_sweeps.inc(outcome.iterations)
         membership = outcome.theta[0]
         if self._cache_size > 0:
             self._cache[key] = membership.copy()
@@ -786,8 +814,9 @@ class InferenceEngine:
             self._touch_query_targets(spec)
 
         specs = compile_transient_queries(queries, on_spec)
-        self._queries_served += len(specs)
-        return self.score_specs(specs, keys)
+        self._metrics.queries.inc(len(specs))
+        with self.obs.span("score_many", queries=len(specs)):
+            return self.score_specs(specs, keys)
 
     def score_specs(
         self, specs: Sequence[NewNode], keys: Sequence[tuple]
@@ -807,13 +836,13 @@ class InferenceEngine:
         for position, key in enumerate(keys):
             cached = self._cache.get(key)
             if cached is not None:
-                self._hits += 1
+                self._metrics.cache_hits.inc()
                 self._cache.move_to_end(key)
                 results[position] = cached.copy()
             else:
                 pending.setdefault(key, []).append(position)
         if pending:
-            self._misses += len(pending)
+            self._metrics.cache_misses.inc(len(pending))
             batch = [
                 specs[positions[0]] for positions in pending.values()
             ]
@@ -825,10 +854,11 @@ class InferenceEngine:
                     tol=self._tol,
                     num_workers=self._num_workers,
                     block_size=self._block_size,
+                    obs=self.obs,
                 )
             except ServingError as exc:
                 raise _dequalify(exc) from None
-            self._foldin_sweeps += outcome.iterations
+            self._metrics.foldin_sweeps.inc(outcome.iterations)
             for row, (key, positions) in enumerate(pending.items()):
                 membership = outcome.theta[row]
                 if self._cache_size > 0:

@@ -27,6 +27,7 @@ network's size.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
@@ -315,6 +316,7 @@ def fold_in(
     floor: float = 1e-12,
     num_workers: int = 1,
     block_size: int | None = None,
+    obs=None,
 ) -> FoldInOutcome:
     """Assign posterior memberships to a batch of unseen nodes.
 
@@ -323,6 +325,13 @@ def fold_in(
     :class:`~repro.exceptions.ServingError` on structurally invalid
     input (duplicate/known ids, unknown relations or targets, type
     mismatches, observations for unfitted attributes).
+
+    ``obs`` (an optional :class:`~repro.obs.Observability`) records the
+    per-sweep and whole-call latency histograms
+    (``repro_foldin_sweep_seconds`` / ``repro_foldin_seconds``); all
+    *counting* stays with the owning engine so shard aggregation never
+    double-counts.  Timing reads clocks only -- memberships are
+    bit-identical with or without it.
 
     The fixed-point sweeps run block-by-block over the batch rows
     (``block_size`` rows per block, cache-sized by default): the
@@ -357,6 +366,17 @@ def fold_in(
             converged=True,
             oov_terms=0,
         )
+    recording = obs is not None and obs.recording
+    if recording:
+        sweep_hist = obs.metrics.histogram(
+            "repro_foldin_sweep_seconds",
+            "Wall-clock seconds per fold-in fixed-point sweep",
+        )
+        call_hist = obs.metrics.histogram(
+            "repro_foldin_seconds",
+            "Wall-clock seconds per fold-in call (all sweeps)",
+        )
+        call_start = time.perf_counter()
     batch_index = _index_batch(model, nodes)
     m = len(nodes)
 
@@ -419,6 +439,8 @@ def fold_in(
     iterations = 0
     converged = False
     for iterations in range(1, max_iterations + 1):
+        if recording:
+            sweep_start = time.perf_counter()
         # frozen rows keep their value verbatim, so blocks (and
         # observation groups) with no live row skip the sweep entirely:
         # a straggler component pays for its own rows, not the batch's
@@ -492,9 +514,13 @@ def fold_in(
         else:
             active &= row_delta >= tol
         theta, spare = theta_next, theta
+        if recording:
+            sweep_hist.observe(time.perf_counter() - sweep_start)
         if not active.any():
             converged = True
             break
+    if recording:
+        call_hist.observe(time.perf_counter() - call_start)
     return FoldInOutcome(
         nodes=tuple(spec.node for spec in nodes),
         theta=theta,

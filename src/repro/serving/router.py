@@ -53,6 +53,7 @@ real, correctly-numbered error).
 
 from __future__ import annotations
 
+import time
 import zlib
 from collections.abc import Iterable, Mapping, Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -65,6 +66,7 @@ from repro.core.config import GenClusConfig
 from repro.core.kernels import resolve_workers
 from repro.core.state import ModelState
 from repro.exceptions import ServingError
+from repro.obs.observability import Observability
 from repro.serving.artifact import ModelArtifact
 from repro.serving.cluster import ShardPlan
 from repro.serving.engine import (
@@ -77,6 +79,11 @@ from repro.serving.engine import (
     select_lru_victims,
 )
 from repro.serving.foldin import FoldInOutcome, NewNode
+from repro.serving.telemetry import (
+    RouterMetrics,
+    cluster_aggregate,
+    info_sections,
+)
 
 
 class _ExtensionRecord:
@@ -121,6 +128,13 @@ class ShardedEngine:
         Row-block override shared by the shard plan, every shard's
         fold-in sweeps, and cluster promotes.  Use the same value on a
         singleton engine to compare answers bit-for-bit.
+    obs:
+        Optional :class:`~repro.obs.Observability` for the **router's**
+        registry and tracer (cluster-scope counters, scatter-gather
+        latency, ``score_many > shard[i].foldin`` span trees).  Each
+        shard engine keeps its own registry;
+        :meth:`metrics_snapshot` aggregates them all.  Scores are
+        bit-identical with or without it.
     """
 
     def __init__(
@@ -134,6 +148,7 @@ class ShardedEngine:
         num_workers: int = 0,
         shard_workers: int = 1,
         block_size: int | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if (plan is None) == (n_shards is None):
             raise ServingError(
@@ -168,9 +183,11 @@ class ShardedEngine:
         self._arrivals = 0
         self._clock = 0
         self._last_used: dict[object, int] = {}
-        self._queries_served = 0
-        self._evicted_total = 0
-        self._promotions = 0
+        # cluster-scope counters live in the router's registry (the
+        # ROUTER_AUTHORITATIVE families); per-shard counters live in
+        # each shard engine's own registry and are merged on export
+        self.obs = obs if obs is not None else Observability()
+        self._metrics = RouterMetrics(self.obs.metrics)
         self._pool: ThreadPoolExecutor | None = None
 
     def _scatter_pool(self) -> ThreadPoolExecutor:
@@ -336,7 +353,7 @@ class ShardedEngine:
         except ServingError as exc:
             raise _dequalify(exc) from None
         shard = self._route_spec(spec, _canonical_key(spec))
-        self._queries_served += 1
+        self._metrics.queries.inc()
         self._touch_query_targets(spec)
         return self._shards[shard].query(
             object_type, links=links, text=text, numeric=numeric
@@ -374,7 +391,7 @@ class ShardedEngine:
             self._touch_query_targets(spec)
 
         specs = compile_transient_queries(queries, on_spec)
-        self._queries_served += len(specs)
+        self._metrics.queries.inc(len(specs))
         if not specs:
             return []
         # cluster-wide dedup: the first occurrence of a key is routed,
@@ -399,25 +416,43 @@ class ShardedEngine:
         ]
         gathered: dict[int, list[np.ndarray]] = {}
         width = min(resolve_workers(self._num_workers), len(active))
-        if width > 1:
-            pool = self._scatter_pool()
-            futures = {
-                shard: pool.submit(
-                    self._shards[shard].score_specs,
-                    shard_specs[shard],
-                    shard_keys[shard],
-                )
-                for shard in active
-            }
-            # gather (and surface errors) in shard order: determinism
-            # over completion order, like every blocked reduction
-            for shard in active:
-                gathered[shard] = futures[shard].result()
-        else:
-            for shard in active:
-                gathered[shard] = self._shards[shard].score_specs(
-                    shard_specs[shard], shard_keys[shard]
-                )
+        batch_start = time.perf_counter()
+        with self.obs.span(
+            "score_many",
+            queries=len(specs),
+            unique=len(routed),
+            active_shards=len(active),
+        ) as batch_span:
+            if width > 1:
+                pool = self._scatter_pool()
+                futures = {
+                    shard: pool.submit(
+                        self._score_shard,
+                        shard,
+                        shard_specs[shard],
+                        shard_keys[shard],
+                        batch_span,
+                    )
+                    for shard in active
+                }
+                # gather (and surface errors) in shard order:
+                # determinism over completion order, like every
+                # blocked reduction
+                for shard in active:
+                    gathered[shard] = futures[shard].result()
+            else:
+                for shard in active:
+                    gathered[shard] = self._score_shard(
+                        shard,
+                        shard_specs[shard],
+                        shard_keys[shard],
+                        batch_span,
+                    )
+        self._metrics.batches.inc()
+        self._metrics.batch_size.observe(len(specs))
+        self._metrics.batch_seconds.observe(
+            time.perf_counter() - batch_start
+        )
         by_key: dict[tuple, np.ndarray] = {}
         for shard in active:
             for membership, key in zip(
@@ -433,6 +468,35 @@ class ShardedEngine:
             int(np.argmax(membership))
             for membership in self.score_many(queries)
         ]
+
+    def _score_shard(
+        self,
+        shard: int,
+        specs: list[NewNode],
+        keys: list[tuple],
+        parent,
+    ) -> list[np.ndarray]:
+        """One shard's sub-batch, timed and traced.
+
+        Runs on a scatter-pool thread when the router has width, so
+        the ``shard[i].foldin`` span must name its ``parent``
+        explicitly -- the batch span lives on the caller's thread-local
+        stack, not this one's.
+        """
+        inflight = self._metrics.inflight
+        hist = self._metrics.shard_batch_seconds(shard)
+        inflight.inc()
+        tick = time.perf_counter()
+        try:
+            with self.obs.span(
+                f"shard[{shard}].foldin",
+                parent=parent,
+                queries=len(specs),
+            ):
+                return self._shards[shard].score_specs(specs, keys)
+        finally:
+            hist.observe(time.perf_counter() - tick)
+            inflight.dec()
 
     def _route_spec(self, spec: NewNode, key: tuple) -> int:
         owners = {
@@ -624,7 +688,7 @@ class ShardedEngine:
         for node in chosen:
             del self._registry[node]
             self._last_used.pop(node, None)
-        self._evicted_total += len(chosen)
+        self._metrics.evictions.inc(len(chosen))
         return chosen
 
     # ------------------------------------------------------------------
@@ -663,12 +727,20 @@ class ShardedEngine:
                     shard_state.node_index[node]
                 ]
             reference.append_extensions(tuple(specs), rows)
-        result, promoted = promote_state(
-            reference,
-            config,
-            num_workers=self._shard_workers,
-            block_size=self._block_size,
-        )
+        with self.obs.span(
+            "promote", extension_nodes=len(self._registry)
+        ):
+            tick = time.perf_counter()
+            result, promoted = promote_state(
+                reference,
+                config,
+                num_workers=self._shard_workers,
+                block_size=self._block_size,
+                obs=self.obs,
+            )
+            self._metrics.promote_seconds.observe(
+                time.perf_counter() - tick
+            )
         self._base_state = promoted
         self._plan = ShardPlan.from_state(
             promoted, self.n_shards, self._block_size
@@ -677,33 +749,45 @@ class ShardedEngine:
         self._registry = {}
         self._arrivals = 0
         self._last_used = {}
-        self._promotions += 1
+        self._metrics.promotions.inc()
         return result
 
     # ------------------------------------------------------------------
     # telemetry
     # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The cluster-wide metrics snapshot.
+
+        Every shard registry is snapshotted (gauges refreshed) and
+        summed with the router's own -- fixed bucket bounds make the
+        histograms sum per-bucket -- then the
+        :data:`~repro.serving.telemetry.ROUTER_AUTHORITATIVE` families
+        are overwritten with the router's series, since those are
+        tracked at cluster scope and would double-count if summed with
+        the shards' local copies.
+        """
+        return cluster_aggregate(
+            [shard.metrics_snapshot() for shard in self._shards],
+            self.obs.metrics.snapshot(),
+        )
+
     def info(self) -> dict[str, Any]:
         """Cluster telemetry: the singleton :meth:`InferenceEngine.info`
-        schema aggregated across shards, plus a ``cluster`` section
-        with the live plan and per-shard snapshots."""
+        schema (its counter-backed sections derived from the
+        :meth:`metrics_snapshot` cluster aggregate through the shared
+        ``info_sections`` schema), plus a ``cluster`` section with the
+        live plan and per-shard snapshots."""
         shard_infos = [engine.info() for engine in self._shards]
         first = shard_infos[0]
-        total_ext = len(self._registry)
         return {
             "schema_version": first["schema_version"],
             "refit_capable": self.refit_capable,
             "n_clusters": self.n_clusters,
             "num_base_nodes": self.num_base_nodes,
-            "num_extension_nodes": total_ext,
+            "num_extension_nodes": len(self._registry),
             "object_types": first["object_types"],
             "relations": self.strengths(),
             "attributes": first["attributes"],
-            "cache": {
-                key: sum(info["cache"][key] for info in shard_infos)
-                for key in ("size", "max_size", "hits", "misses")
-            },
-            "queries": {"served": self._queries_served},
             "execution": {
                 "num_workers": self._num_workers,
                 "pool_width": resolve_workers(self._num_workers),
@@ -713,30 +797,7 @@ class ShardedEngine:
                 "shard_count": self.n_shards,
                 **self._base_state.execution_shape(self._block_size),
             },
-            "extension": {
-                "nodes": total_ext,
-                "links": sum(
-                    info["extension"]["links"] for info in shard_infos
-                ),
-                "evicted_total": self._evicted_total,
-            },
-            "foldin": {
-                "sweeps": sum(
-                    info["foldin"]["sweeps"] for info in shard_infos
-                ),
-                "extends": sum(
-                    info["foldin"]["extends"] for info in shard_infos
-                ),
-                "link_deltas": sum(
-                    info["foldin"]["link_deltas"]
-                    for info in shard_infos
-                ),
-                "refolded_rows": sum(
-                    info["foldin"]["refolded_rows"]
-                    for info in shard_infos
-                ),
-                "promotions": self._promotions,
-            },
+            **info_sections(self.metrics_snapshot()),
             "cluster": {
                 "n_shards": self.n_shards,
                 "plan": self._plan.describe(self._base_state),

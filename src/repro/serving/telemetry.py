@@ -1,0 +1,241 @@
+"""Serving metric families and the unified ``info()`` schema.
+
+One place declares every serving-layer metric family -- the engine,
+the cluster router, and the retrain driver all call
+:class:`ServingMetrics` against their registry, so family names, help
+text, and bucket bounds cannot drift between layers (and a cluster
+aggregation of shard registries always finds matching shapes).
+
+:func:`info_sections` is the other half of the unification: both
+:meth:`InferenceEngine.info <repro.serving.engine.InferenceEngine.info>`
+and :meth:`ShardedEngine.info <repro.serving.router.ShardedEngine.info>`
+derive their ``cache`` / ``queries`` / ``extension`` / ``foldin``
+sections from a registry snapshot through this one function (the
+router from the *aggregated* cluster snapshot), so the two schemas are
+the same schema, stamped with the same ``telemetry_version``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    series_value,
+)
+
+# Families the cluster router is the source of truth for: shard
+# registries also track some of these locally (a shard counts the
+# evictions applied to it; a routed single query is counted by the
+# shard that served it), so a plain sum over shard snapshots would
+# double-count them.  Cluster aggregation therefore overwrites these
+# families with the router's own series after summing the rest.
+ROUTER_AUTHORITATIVE = frozenset(
+    {
+        "repro_queries_total",
+        "repro_evicted_nodes_total",
+        "repro_promotions_total",
+        "repro_promote_seconds",
+        "repro_retrain_rounds_total",
+        "repro_retrain_failures_total",
+        "repro_retrain_backoffs_total",
+        "repro_retrain_pressure_scale",
+        "repro_retrain_last_g1_gain",
+    }
+)
+
+
+class ServingMetrics:
+    """Live handles to the serving metric families of one registry.
+
+    Declaring every family up front (at engine construction) means an
+    export always covers the full schema -- a scrape taken before the
+    first query still shows ``repro_cache_hits_total 0`` rather than a
+    missing family.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.queries = registry.counter(
+            "repro_queries_total", "Transient queries answered"
+        )
+        self.cache_hits = registry.counter(
+            "repro_cache_hits_total", "Query-cache hits"
+        )
+        self.cache_misses = registry.counter(
+            "repro_cache_misses_total", "Query-cache misses"
+        )
+        self.cache_entries = registry.gauge(
+            "repro_cache_entries", "Memoized transient queries"
+        )
+        self.cache_capacity = registry.gauge(
+            "repro_cache_capacity", "Query-cache capacity"
+        )
+        self.foldin_sweeps = registry.counter(
+            "repro_foldin_sweeps_total", "Fold-in fixed-point sweeps"
+        )
+        self.foldin_seconds = registry.histogram(
+            "repro_foldin_seconds",
+            "Wall-clock seconds per fold-in call (all sweeps)",
+            buckets=LATENCY_BUCKETS,
+        )
+        self.extends = registry.counter(
+            "repro_extends_total", "Durable extend batches absorbed"
+        )
+        self.link_deltas = registry.counter(
+            "repro_link_deltas_total", "Link deltas absorbed"
+        )
+        self.refolded_rows = registry.counter(
+            "repro_refolded_rows_total",
+            "Extension rows re-folded by link deltas",
+        )
+        self.extension_nodes = registry.gauge(
+            "repro_extension_nodes", "Folded-in extension nodes"
+        )
+        self.extension_links = registry.gauge(
+            "repro_extension_links", "Accumulated extension out-links"
+        )
+        self.extension_capacity = registry.gauge(
+            "repro_extension_capacity_rows",
+            "Allocated extension theta rows",
+        )
+        self.extension_bytes = registry.gauge(
+            "repro_extension_theta_bytes",
+            "Bytes held by the extension theta buffer",
+        )
+        self.evictions = registry.counter(
+            "repro_evicted_nodes_total", "Extension nodes evicted"
+        )
+        self.promotions = registry.counter(
+            "repro_promotions_total", "Promote refits served"
+        )
+        self.promote_seconds = registry.histogram(
+            "repro_promote_seconds",
+            "Wall-clock seconds per promote refit",
+            buckets=LATENCY_BUCKETS,
+        )
+        # the retrain driver records into its engine's registry; the
+        # families are declared here so every export carries them
+        self.retrain_rounds = registry.counter(
+            "repro_retrain_rounds_total",
+            "Driver-triggered retrain rounds completed",
+        )
+        self.retrain_failures = registry.counter(
+            "repro_retrain_failures_total",
+            "Driver-triggered retrains that raised",
+        )
+        self.retrain_backoffs = registry.counter(
+            "repro_retrain_backoffs_total",
+            "Retrain rounds that raised the trigger thresholds",
+        )
+        self.retrain_scale = registry.gauge(
+            "repro_retrain_pressure_scale",
+            "Live retrain cooldown multiplier (1 = thresholds as set)",
+        )
+        self.retrain_scale.set(1.0)
+        self.retrain_last_gain = registry.gauge(
+            "repro_retrain_last_g1_gain",
+            "g1 gain realized by the last retrain round",
+        )
+
+
+class RouterMetrics(ServingMetrics):
+    """The router's families: everything a shard has, plus the
+    scatter-gather instrumentation."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        super().__init__(registry)
+        self.batches = registry.counter(
+            "repro_router_batches_total",
+            "score_many batches scattered",
+        )
+        self.batch_size = registry.histogram(
+            "repro_router_batch_size",
+            "Queries per score_many batch",
+            buckets=SIZE_BUCKETS,
+        )
+        self.batch_seconds = registry.histogram(
+            "repro_router_batch_seconds",
+            "Wall-clock seconds per score_many batch (scatter to "
+            "gather)",
+            buckets=LATENCY_BUCKETS,
+        )
+        self.inflight = registry.gauge(
+            "repro_router_inflight_subbatches",
+            "Per-shard sub-batches currently in flight",
+        )
+
+    def shard_batch_seconds(self, shard: int):
+        """The per-shard sub-batch latency histogram (labelled)."""
+        return self.registry.histogram(
+            "repro_router_shard_batch_seconds",
+            "Wall-clock seconds per shard's score_many sub-batch",
+            buckets=LATENCY_BUCKETS,
+            shard=str(shard),
+        )
+
+
+def info_sections(snapshot: dict) -> dict[str, Any]:
+    """The snapshot-derived sections of the unified ``info()`` schema.
+
+    Works on a single engine's snapshot and on the router's aggregated
+    cluster snapshot alike -- that symmetry *is* the unification.
+    """
+
+    def count(name: str) -> int:
+        return int(series_value(snapshot, name))
+
+    return {
+        "telemetry_version": snapshot["telemetry_version"],
+        "cache": {
+            "size": count("repro_cache_entries"),
+            "max_size": count("repro_cache_capacity"),
+            "hits": count("repro_cache_hits_total"),
+            "misses": count("repro_cache_misses_total"),
+        },
+        "queries": {
+            # transient queries answered (cached or folded); the
+            # staleness signal retrain policies watch
+            "served": count("repro_queries_total"),
+        },
+        "extension": {
+            "nodes": count("repro_extension_nodes"),
+            "links": count("repro_extension_links"),
+            "capacity_rows": count("repro_extension_capacity_rows"),
+            "theta_bytes": count("repro_extension_theta_bytes"),
+            "evicted_total": count("repro_evicted_nodes_total"),
+        },
+        "foldin": {
+            "sweeps": count("repro_foldin_sweeps_total"),
+            "extends": count("repro_extends_total"),
+            "link_deltas": count("repro_link_deltas_total"),
+            "refolded_rows": count("repro_refolded_rows_total"),
+            "promotions": count("repro_promotions_total"),
+        },
+    }
+
+
+def cluster_aggregate(
+    shard_snapshots: list[dict], router_snapshot: dict
+) -> dict:
+    """Merge shard registries into the cluster view.
+
+    Sums every family across shards (fixed-bucket histograms sum
+    per-bucket), then overwrites the :data:`ROUTER_AUTHORITATIVE`
+    families with the router's own series -- those are tracked at
+    cluster scope and would double-count if summed with the shards'
+    local copies.
+    """
+    from repro.obs.metrics import aggregate_snapshots
+
+    merged = aggregate_snapshots(
+        list(shard_snapshots) + [router_snapshot]
+    )
+    router_families = router_snapshot.get("metrics", {})
+    for name in ROUTER_AUTHORITATIVE:
+        family = router_families.get(name)
+        if family is not None:
+            merged["metrics"][name] = family
+    return merged

@@ -1007,6 +1007,86 @@ class TestBlockedParallelEquivalence:
         assert agreement == 1.0
 
 
+class TestObservabilityBitIdentity:
+    """The repro.obs determinism contract: observability reads clocks
+    and never influences execution, so a fit with tracing fully on is
+    **bit-identical** to the uninstrumented fit at every worker
+    count."""
+
+    @staticmethod
+    def _fit(workers, obs=None):
+        from repro.obs import Observability  # noqa: F401 (doc link)
+
+        net = political_forum_network()
+        config = GenClusConfig(
+            n_clusters=2, outer_iterations=4, seed=1, n_init=2,
+            num_workers=workers, block_size=9,
+        )
+        return GenClus(config).fit(net, attributes=["text"], obs=obs)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_fit_bit_identical_tracing_on_off(self, workers):
+        from repro.obs import Observability
+
+        plain = self._fit(workers)
+        traced_obs = Observability(trace=True)
+        traced = self._fit(workers, obs=traced_obs)
+        metrics_only = self._fit(workers, obs=Observability())
+        for other in (traced, metrics_only):
+            np.testing.assert_array_equal(plain.theta, other.theta)
+            np.testing.assert_array_equal(plain.gamma, other.gamma)
+            np.testing.assert_array_equal(
+                plain.hard_labels(), other.hard_labels()
+            )
+        assert traced_obs.tracer.traces()  # and it really traced
+
+    def test_fit_span_tree_shape(self):
+        from repro.obs import Observability, series_value
+
+        obs = Observability(trace=True)
+        result = self._fit(1, obs=obs)
+        (root,) = obs.tracer.traces()
+        assert root.name == "fit"
+        outer_spans = root.children[1:]
+        assert root.children[0].name == "init"
+        assert [span.name for span in outer_spans] == [
+            f"outer_iter[{i}]"
+            for i in range(1, len(outer_spans) + 1)
+        ]
+        for span in outer_spans:
+            assert [c.name for c in span.children] == [
+                "em_sweep", "newton",
+            ]
+        assert root.attributes["outer_iterations"] == len(outer_spans)
+        # counters recorded alongside the spans
+        snapshot = obs.metrics.snapshot()
+        assert series_value(snapshot, "repro_fits_total") == 1.0
+        assert series_value(
+            snapshot, "repro_em_sweeps_total"
+        ) == sum(r.em_iterations for r in result.history.records)
+
+    def test_history_timings_come_from_spans(self):
+        """RunHistory em/newton seconds == the spans' durations (same
+        clock, same interval), with or without a caller tracer."""
+        from repro.obs import Observability
+
+        obs = Observability(trace=True)
+        traced = self._fit(1, obs=obs)
+        (root,) = obs.tracer.traces()
+        for record, outer_span in zip(
+            traced.history.records[1:], root.children[1:]
+        ):
+            em_span, newton_span = outer_span.children
+            assert record.em_seconds == em_span.duration
+            assert record.newton_seconds == newton_span.duration
+        # the untraced fit still fills the timing fields
+        plain = self._fit(1)
+        assert all(
+            record.em_seconds > 0.0
+            for record in plain.history.records[1:]
+        )
+
+
 class TestFullFitEquivalence:
     def test_toy_fit_reference_assignments(self):
         """Full GenClus.fit on the toy network: the fused pipeline must

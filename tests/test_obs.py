@@ -1,0 +1,350 @@
+"""Unit tests for the repro.obs layer: metrics registry semantics
+(histogram bucketing, family shape enforcement, snapshot aggregation),
+span nesting (including cross-thread parents), and the Prometheus /
+JSON exporters (escaping, cumulative buckets, stable output)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS,
+    NULL_OBS,
+    NULL_TRACER,
+    TELEMETRY_VERSION,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    aggregate_snapshots,
+    render_json,
+    render_prometheus,
+    resolve_obs,
+    series_value,
+)
+
+
+# ----------------------------------------------------------------------
+# counters and gauges
+# ----------------------------------------------------------------------
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_things_total", "things")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+        # get-or-create returns the same live metric
+        assert registry.counter("repro_things_total") is counter
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("repro_x")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("9starts_with_digit")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", **{"bad-label": "x"})
+
+    def test_labelled_series_are_distinct(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_hits_total", shard="0")
+        b = registry.counter("repro_hits_total", shard="1")
+        assert a is not b
+        a.inc(3)
+        snapshot = registry.snapshot()
+        series = snapshot["metrics"]["repro_hits_total"]["series"]
+        assert [entry["labels"] for entry in series] == [
+            {"shard": "0"},
+            {"shard": "1"},
+        ]
+        assert [entry["value"] for entry in series] == [3.0, 0.0]
+
+
+# ----------------------------------------------------------------------
+# histogram bucketing
+# ----------------------------------------------------------------------
+class TestHistogramBucketing:
+    def test_le_is_inclusive_upper_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 1.0001, 5.0, 7.0, 10.0, 11.0):
+            hist.observe(value)
+        # per-bucket (non-cumulative): le=1 gets {0.5, 1.0}; le=5 gets
+        # {1.0001, 5.0}; le=10 gets {7.0, 10.0}; +Inf gets {11.0}
+        assert hist.bucket_counts == (2, 2, 2, 1)
+        assert hist.count == 7
+        assert hist.sum == pytest.approx(35.5001)
+
+    def test_bounds_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one"):
+            registry.histogram("h0", buckets=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("h1", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="finite"):
+            registry.histogram("h2", buckets=(1.0, float("inf")))
+
+    def test_bounds_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bounds"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_default_buckets_are_latency_buckets(self):
+        hist = MetricsRegistry().histogram("lat_seconds")
+        assert hist.bounds == LATENCY_BUCKETS
+
+
+# ----------------------------------------------------------------------
+# snapshots and aggregation
+# ----------------------------------------------------------------------
+class TestSnapshotAggregation:
+    @staticmethod
+    def _shard_registry(hits, latency):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", "hits").inc(hits)
+        registry.gauge("repro_entries", "entries").set(hits)
+        registry.histogram(
+            "repro_lat_seconds", "latency", buckets=(0.1, 1.0)
+        ).observe(latency)
+        return registry
+
+    def test_counters_histograms_and_gauges_sum(self):
+        a = self._shard_registry(3, 0.05).snapshot()
+        b = self._shard_registry(5, 0.5).snapshot()
+        merged = aggregate_snapshots([a, b])
+        assert merged["telemetry_version"] == TELEMETRY_VERSION
+        assert series_value(merged, "repro_hits_total") == 8.0
+        assert series_value(merged, "repro_entries") == 8.0
+        (hist,) = merged["metrics"]["repro_lat_seconds"]["series"]
+        assert hist["counts"] == [1, 1, 0]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.55)
+
+    def test_disjoint_label_sets_union(self):
+        a = MetricsRegistry()
+        a.counter("repro_batches_total", shard="0").inc(2)
+        b = MetricsRegistry()
+        b.counter("repro_batches_total", shard="1").inc(7)
+        merged = aggregate_snapshots([a.snapshot(), b.snapshot()])
+        series = merged["metrics"]["repro_batches_total"]["series"]
+        assert [entry["labels"]["shard"] for entry in series] == [
+            "0",
+            "1",
+        ]
+        assert series_value(merged, "repro_batches_total") == 9.0
+
+    def test_kind_conflict_raises(self):
+        a = MetricsRegistry()
+        a.counter("repro_x")
+        b = MetricsRegistry()
+        b.gauge("repro_x")
+        with pytest.raises(ValueError, match="kind"):
+            aggregate_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_bucket_conflict_raises(self):
+        a = MetricsRegistry()
+        a.histogram("repro_h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("repro_h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="bounds differ"):
+            aggregate_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_series_value_absent_family(self):
+        assert series_value(MetricsRegistry().snapshot(), "nope") == 0.0
+
+    def test_aggregation_does_not_mutate_inputs(self):
+        a = self._shard_registry(1, 0.05).snapshot()
+        b = self._shard_registry(1, 0.05).snapshot()
+        before = json.dumps(a, sort_keys=True)
+        aggregate_snapshots([a, b])
+        assert json.dumps(a, sort_keys=True) == before
+
+
+# ----------------------------------------------------------------------
+# span nesting
+# ----------------------------------------------------------------------
+class TestSpanNesting:
+    def test_with_blocks_nest(self):
+        tracer = Tracer()
+        with tracer.span("fit", k=2) as fit:
+            with tracer.span("outer_iter[1]"):
+                with tracer.span("em_sweep") as em:
+                    em.annotate(iterations=3)
+                with tracer.span("newton"):
+                    pass
+        (root,) = tracer.traces()
+        assert root is fit
+        assert root.attributes == {"k": 2}
+        (outer,) = root.children
+        assert outer.name == "outer_iter[1]"
+        assert [child.name for child in outer.children] == [
+            "em_sweep",
+            "newton",
+        ]
+        assert outer.children[0].attributes == {"iterations": 3}
+        assert root.duration >= outer.duration >= 0.0
+
+    def test_explicit_parent_crosses_threads(self):
+        tracer = Tracer()
+        with tracer.span("score_many") as batch:
+            def worker(shard):
+                with tracer.span(
+                    f"shard[{shard}].foldin", parent=batch
+                ):
+                    pass
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        (root,) = tracer.traces()
+        assert sorted(child.name for child in root.children) == [
+            "shard[0].foldin",
+            "shard[1].foldin",
+            "shard[2].foldin",
+        ]
+
+    def test_ring_buffer_keeps_last_n(self):
+        tracer = Tracer(max_traces=2)
+        for i in range(5):
+            with tracer.span(f"t{i}"):
+                pass
+        assert [span.name for span in tracer.traces()] == ["t3", "t4"]
+
+    def test_error_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("fit"):
+                raise ValueError("boom")
+        (root,) = tracer.traces()
+        assert root.error == "ValueError: boom"
+        assert "ERROR" in root.describe()
+
+    def test_export_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("fit", seed=7):
+            with tracer.span("init"):
+                pass
+        path = tmp_path / "traces.jsonl"
+        assert tracer.export_jsonl(path) == 1
+        (line,) = path.read_text().splitlines()
+        entry = json.loads(line)
+        assert entry["name"] == "fit"
+        assert entry["attributes"] == {"seed": 7}
+        assert [c["name"] for c in entry["children"]] == ["init"]
+
+    def test_null_tracer_is_free_and_shared(self):
+        span = NULL_TRACER.span("anything", parent=None, attr=1)
+        with span as inner:
+            assert inner is span
+            inner.annotate(x=1)
+        assert NULL_TRACER.span("other") is span
+        assert NULL_TRACER.traces() == ()
+        assert not span.recording
+
+
+# ----------------------------------------------------------------------
+# the Observability handle
+# ----------------------------------------------------------------------
+class TestObservabilityHandle:
+    def test_default_is_metrics_only(self):
+        obs = Observability()
+        assert obs.recording and not obs.tracing
+        with obs.span("x") as span:
+            assert not span.recording
+
+    def test_trace_flag_enables_spans(self):
+        obs = Observability(trace=True)
+        assert obs.tracing
+        with obs.span("x"):
+            pass
+        assert [s.name for s in obs.tracer.traces()] == ["x"]
+
+    def test_null_obs_and_resolve(self):
+        assert resolve_obs(None) is NULL_OBS
+        obs = Observability()
+        assert resolve_obs(obs) is obs
+        assert not NULL_OBS.recording
+        # unguarded counter updates stay legal on the null handle
+        NULL_OBS.metrics.counter("repro_ok_total").inc()
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class TestPrometheusExport:
+    def test_help_type_and_values(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", "Cache hits").inc(3)
+        registry.gauge("repro_scale", "Scale").set(1.5)
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP repro_hits_total Cache hits\n" in text
+        assert "# TYPE repro_hits_total counter\n" in text
+        assert "\nrepro_hits_total 3\n" in text
+        assert "repro_scale 1.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat", "l", buckets=(0.1, 1.0))
+        for value in (0.05, 0.07, 0.5, 2.0):
+            hist.observe(value)
+        text = render_prometheus(registry.snapshot())
+        assert 'repro_lat_bucket{le="0.1"} 2' in text
+        assert 'repro_lat_bucket{le="1"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_count 4" in text
+        assert "repro_lat_sum 2.62" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_odd_total", "odd", path='a\\b"c\nd'
+        ).inc()
+        text = render_prometheus(registry.snapshot())
+        assert 'path="a\\\\b\\"c\\nd"' in text
+
+    def test_help_escaping_and_special_values(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_nan", "line\nbreak\\slash").set(
+            float("nan")
+        )
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP repro_nan line\\nbreak\\\\slash\n" in text
+        assert "repro_nan NaN" in text
+
+    def test_render_json_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.counter("a_total").inc(2)
+        rendered = render_json(registry.snapshot())
+        parsed = json.loads(rendered)
+        assert parsed["telemetry_version"] == TELEMETRY_VERSION
+        assert list(parsed["metrics"]) == ["a_total", "b_total"]
+        # stable: same registry state renders byte-identically
+        assert rendered == render_json(registry.snapshot())
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""

@@ -10,6 +10,7 @@ batches, eviction verdicts, and the ``g1`` / theta / gamma of a
 """
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -19,6 +20,7 @@ from repro.core.kernels import BlockPlan
 from repro.core.state import ModelState
 from repro.datagen.toy import political_forum_network
 from repro.exceptions import ServingError, StateError
+from repro.obs import TELEMETRY_VERSION, Observability, series_value
 from repro.serving import (
     InferenceEngine,
     NewNode,
@@ -627,6 +629,103 @@ class TestClusterInfo:
 
 
 # ----------------------------------------------------------------------
+# observability: tracing never changes results, one schema everywhere
+# ----------------------------------------------------------------------
+class TestClusterObservability:
+    PROMOTE_CONFIG = GenClusConfig(
+        n_clusters=2, outer_iterations=4, seed=0, block_size=BLOCK
+    )
+
+    @pytest.mark.parametrize("n_shards", (1, 3))
+    def test_traffic_and_promote_bit_identical_tracing_on_off(
+        self, forum_result, n_shards
+    ):
+        plain = cluster(forum_result, n_shards)
+        reference = drive_traffic(plain)
+        plain_promoted = plain.promote(self.PROMOTE_CONFIG)
+
+        obs = Observability(trace=True)
+        traced = cluster(forum_result, n_shards, obs=obs)
+        observed = drive_traffic(traced)
+        traced_promoted = traced.promote(self.PROMOTE_CONFIG)
+
+        assert_observed_equal(
+            reference, observed, f"traced shards={n_shards}"
+        )
+        np.testing.assert_array_equal(
+            plain_promoted.theta, traced_promoted.theta
+        )
+        np.testing.assert_array_equal(
+            plain_promoted.gamma, traced_promoted.gamma
+        )
+        np.testing.assert_array_equal(
+            plain_promoted.history.g1_series(),
+            traced_promoted.history.g1_series(),
+        )
+        # post-promote traffic stays bit-identical too
+        np.testing.assert_array_equal(
+            plain.query("user", **PURPLE_QUERY),
+            traced.query("user", **PURPLE_QUERY),
+        )
+        assert obs.tracer.traces()  # tracing actually happened
+
+    def test_router_batch_trace_has_per_shard_child_spans(
+        self, forum_result
+    ):
+        obs = Observability(trace=True)
+        engine = cluster(forum_result, 3, obs=obs)
+        engine.score_many(
+            [
+                dict(object_type="user", **GREEN_QUERY),
+                dict(object_type="user", **PURPLE_QUERY),
+            ]
+        )
+        batch = [
+            span
+            for span in obs.tracer.traces()
+            if span.name == "score_many"
+        ]
+        assert len(batch) == 1
+        (span,) = batch
+        assert span.attributes["queries"] == 2
+        assert span.children, "scatter produced no per-shard spans"
+        for child in span.children:
+            assert child.name.startswith("shard[")
+            assert child.name.endswith(".foldin")
+            assert child.duration >= 0.0
+
+    def test_cluster_snapshot_aggregates_shard_registries(
+        self, forum_result
+    ):
+        engine = cluster(forum_result, 3)
+        drive_traffic(engine)
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["telemetry_version"] == TELEMETRY_VERSION
+        # the router owns query accounting (each query would otherwise
+        # be double-counted by the shard that served it)
+        assert series_value(snapshot, "repro_queries_total") == float(
+            engine.info()["queries"]["served"]
+        )
+        # fold-in work happened on the shards and survives aggregation
+        assert series_value(snapshot, "repro_foldin_sweeps_total") > 0
+        assert series_value(snapshot, "repro_foldin_seconds") > 0
+        # router-only families ride the same snapshot (score_many and
+        # assign_many each scattered one batch)
+        assert series_value(snapshot, "repro_router_batches_total") == 2
+        assert "repro_router_shard_batch_seconds" in snapshot["metrics"]
+
+    def test_info_schema_unified_across_engine_kinds(self, forum_result):
+        single = singleton(forum_result).info()
+        clustered = cluster(forum_result, 2).info()
+        assert single["telemetry_version"] == TELEMETRY_VERSION
+        assert clustered["telemetry_version"] == TELEMETRY_VERSION
+        for section in ("cache", "queries", "extension", "foldin"):
+            assert set(single[section]) == set(clustered[section]), section
+        assert "cluster" not in single
+        assert clustered["cluster"]["n_shards"] == 2
+
+
+# ----------------------------------------------------------------------
 # the autonomic retrain driver
 # ----------------------------------------------------------------------
 class TestRetrainDriver:
@@ -775,6 +874,49 @@ class TestRetrainDriver:
         assert engine.num_extension_nodes == 0
         assert len(driver.rounds) == 1
         assert driver.join() is None
+
+    def test_background_failure_is_recorded_and_surfaced(
+        self, forum_result, monkeypatch
+    ):
+        engine = cluster(forum_result, 2)
+        driver = RetrainDriver(
+            engine,
+            RetrainPolicy(max_extension_nodes=1),
+            config=self.refit_config(),
+            background=True,
+        )
+        engine.extend([NewNode("a", "user")])
+
+        def exploding_promote(config=None):
+            raise ServingError("refit exploded")
+
+        monkeypatch.setattr(engine, "promote", exploding_promote)
+        assert driver.tick() is not None
+        # the exception surfaces from join() instead of vanishing into
+        # the future, and the attempt is still on the books
+        with pytest.raises(ServingError, match="refit exploded"):
+            driver.join()
+        assert len(driver.rounds) == 1
+        round_ = driver.rounds[0]
+        assert round_.trigger == "extension_pressure"
+        assert round_.error == "ServingError: refit exploded"
+        assert round_.extension_nodes == 1
+        assert math.isnan(round_.g1_gain)
+        assert not round_.backed_off
+        # counted in the engine's (cluster-scope) registry
+        assert (
+            series_value(
+                engine.metrics_snapshot(),
+                "repro_retrain_failures_total",
+            )
+            == 1.0
+        )
+        # the in-flight slot was released: the driver can retry
+        assert driver.join() is None
+        assert driver.tick() is not None
+        with pytest.raises(ServingError, match="refit exploded"):
+            driver.join()
+        assert len(driver.rounds) == 2
 
 
 # ----------------------------------------------------------------------
@@ -931,3 +1073,99 @@ class TestCli:
             ]
         ) == 1
         assert "smaller block size" in capsys.readouterr().err
+
+    def metrics_batch(self, tmp_path):
+        queries = [
+            {
+                "object_type": "user",
+                "links": [["writes", "blog0_1"]],
+                "text": {"text": ["green", "climate"]},
+            },
+            {"object_type": "user", "links": [["writes", "blog1_1"]]},
+            {"object_type": "user", "links": [["writes", "blog0_1"]]},
+        ]
+        return self.write_batch(tmp_path, json.dumps(queries))
+
+    def test_metrics_emits_prometheus_families(
+        self, artifact_path, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "metrics",
+                str(artifact_path),
+                "--batch",
+                str(self.metrics_batch(tmp_path)),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        for family in (
+            "repro_queries_total",
+            "repro_cache_hits_total",
+            "repro_cache_misses_total",
+            "repro_foldin_sweep_seconds",
+            "repro_foldin_seconds_bucket",
+            "repro_evicted_nodes_total",
+            "repro_retrain_rounds_total",
+        ):
+            assert family in text, family
+        assert 'le="+Inf"' in text
+        assert "# TYPE repro_foldin_seconds histogram" in text
+        assert "repro_queries_total 3" in text
+
+    def test_metrics_sharded_json_round_trips(
+        self, artifact_path, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "metrics",
+                str(artifact_path),
+                "--shards",
+                "3",
+                "--batch",
+                str(self.metrics_batch(tmp_path)),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["telemetry_version"] == TELEMETRY_VERSION
+        assert "repro_router_shard_batch_seconds" in payload["metrics"]
+        assert series_value(payload, "repro_queries_total") == 3
+        assert series_value(payload, "repro_router_batches_total") == 1
+
+    def test_trace_prints_tree_and_writes_jsonl(
+        self, artifact_path, tmp_path, capsys
+    ):
+        jsonl = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                str(artifact_path),
+                "--batch",
+                str(self.metrics_batch(tmp_path)),
+                "--shards",
+                "2",
+                "--jsonl",
+                str(jsonl),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "score_many" in captured.out
+        assert "ms" in captured.out
+        records = [
+            json.loads(line)
+            for line in jsonl.read_text(encoding="utf-8").splitlines()
+        ]
+        assert records
+        batch = [r for r in records if r["name"] == "score_many"]
+        assert len(batch) == 1
+        child_names = [c["name"] for c in batch[0]["children"]]
+        assert child_names
+        assert all(name.startswith("shard[") for name in child_names)
+
+    def test_trace_requires_batch(self, artifact_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", str(artifact_path)])
+        assert "--batch" in capsys.readouterr().err
