@@ -268,6 +268,31 @@ class ModelState:
         then route deltas), and ``plan`` must cover exactly this
         state's rows.
         """
+        self._check_partitionable(plan)
+        return tuple(
+            self._shard_state() for _ in range(plan.n_shards)
+        )
+
+    def partition_shard(self, plan, shard_id: int) -> "ModelState":
+        """Materialize a single shard's serving state.
+
+        The same construction :meth:`partition` performs for every
+        shard, for exactly one -- the primitive a supervised serving
+        cluster uses to rebuild one broken shard from the shared frozen
+        base (and then replay its durable deltas) without touching its
+        healthy peers.  The rebuilt state shares the frozen base buffer
+        with every state previously partitioned from this one, so a
+        recovered shard serves bit-identical answers.
+        """
+        self._check_partitionable(plan)
+        if not 0 <= shard_id < plan.n_shards:
+            raise StateError(
+                f"shard_id must lie in 0..{plan.n_shards - 1}, "
+                f"got {shard_id}"
+            )
+        return self._shard_state()
+
+    def _check_partitionable(self, plan) -> None:
         if self.num_extension_nodes:
             raise StateError(
                 f"partition requires a pristine base state; this one "
@@ -279,27 +304,26 @@ class ModelState:
                 f"shard plan covers {plan.num_rows} rows but the state "
                 f"has {self.num_nodes}"
             )
+
+    def _shard_state(self) -> "ModelState":
         base_view = self._theta_buf[: self._num_base]
-        shards = []
-        for _ in range(plan.n_shards):
-            shard = ModelState(
-                network=self.network,
-                matrices=self.matrices,
-                theta=base_view,
-                gamma=self.gamma,
-                relation_names=self.relation_names,
-                attribute_names=self.attribute_names,
-                attribute_params=self.attribute_params,
-                refit_capable=False,
-                hydrator=None,
-            )
-            # drop the constructor's defensive copy: the frozen base
-            # rows are shared as one buffer view across all shards (the
-            # first append_extensions call grows onto a private buffer)
-            shard._theta_buf = base_view
-            shard._vocab_index = self._vocab_index
-            shards.append(shard)
-        return tuple(shards)
+        shard = ModelState(
+            network=self.network,
+            matrices=self.matrices,
+            theta=base_view,
+            gamma=self.gamma,
+            relation_names=self.relation_names,
+            attribute_names=self.attribute_names,
+            attribute_params=self.attribute_params,
+            refit_capable=False,
+            hydrator=None,
+        )
+        # drop the constructor's defensive copy: the frozen base
+        # rows are shared as one buffer view across all shards (the
+        # first append_extensions call grows onto a private buffer)
+        shard._theta_buf = base_view
+        shard._vocab_index = self._vocab_index
+        return shard
 
     # ------------------------------------------------------------------
     # shape + views

@@ -1,0 +1,27 @@
+"""Deterministic fault injection (`repro.faults`).
+
+Zero-dependency chaos-testing substrate for the serving layer: script
+failures with :class:`FaultPlan`, execute them with :class:`FaultInjector`,
+and thread the injector through call sites exactly like the optional
+``Observability`` handle.
+"""
+
+from repro.faults.injection import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    NULL_INJECTOR,
+    resolve_faults,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "NULL_INJECTOR",
+    "resolve_faults",
+]

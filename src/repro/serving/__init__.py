@@ -27,9 +27,18 @@ into something that lives through the whole model lifecycle:
   count), and :class:`RetrainDriver` runs the autonomic policy loop
   (:class:`RetrainPolicy`) that promotes on extension pressure or
   query staleness and rebalances the plan afterwards.
+* :mod:`repro.serving.supervision` -- fault tolerance for the cluster:
+  :class:`SupervisionPolicy` / :class:`ShardSupervisor` wrap every
+  router -> shard call with bounded deterministic retries, per-call
+  timeouts, and per-shard circuit breakers that rebuild a broken
+  shard from the shared frozen base plus its replayed durable deltas;
+  partial-mode ``score_many`` degrades with typed
+  :class:`ShardFailure` markers instead of failing the batch.
+  Failures are scripted deterministically with :mod:`repro.faults`.
 
 A small CLI ships as ``python -m repro.serving``
-(``info`` / ``score`` / ``score --batch`` / ``shard-plan``).
+(``info`` / ``score`` / ``score --batch`` / ``shard-plan`` /
+``chaos``).
 
 Typical lifecycle::
 
@@ -68,8 +77,16 @@ from repro.serving.foldin import (
     fold_in,
 )
 from repro.serving.router import ShardedEngine
+from repro.serving.supervision import (
+    CircuitBreaker,
+    ShardFailedError,
+    ShardFailure,
+    ShardSupervisor,
+    SupervisionPolicy,
+)
 
 __all__ = [
+    "CircuitBreaker",
     "FORMAT",
     "FoldInOutcome",
     "FrozenModel",
@@ -80,8 +97,12 @@ __all__ = [
     "RetrainPolicy",
     "RetrainRound",
     "SCHEMA_VERSION",
+    "ShardFailedError",
+    "ShardFailure",
     "ShardPlan",
+    "ShardSupervisor",
     "ShardedEngine",
+    "SupervisionPolicy",
     "fold_in",
     "load_artifact",
     "save_artifact",

@@ -27,6 +27,15 @@ Five subcommands against a saved model artifact:
   a batch with tracing enabled and print the recorded span trees
   (``score_many > shard[i].foldin`` under a cluster); ``--jsonl``
   additionally exports the traces as JSON lines.
+* ``chaos ARTIFACT --batch FILE [--shards N] [--fail-shard K]
+  [--jsonl PATH]`` -- a scripted kill-and-recover drill: serve the
+  batch through a supervised cluster while a deterministic
+  :mod:`repro.faults` plan kills shard ``K``, assert the degraded
+  partial results mark exactly that shard's queries (healthy rows
+  bit-identical to a singleton engine), ``heal()``, and assert strict
+  scoring is bit-identical again.  ``--jsonl`` writes the drill's
+  event trail (phases, injected faults, supervision metrics) as JSON
+  lines; a violated invariant exits nonzero.
 
 Node ids on the command line are always strings; models whose ids are
 other scalar types need the Python API.  Link weights ride after a
@@ -229,6 +238,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also export the recorded traces as JSON lines",
     )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a scripted kill-and-recover drill against a "
+        "supervised cluster",
+    )
+    chaos.add_argument("artifact", help="path to the .npz bundle")
+    chaos.add_argument(
+        "--batch",
+        metavar="FILE",
+        required=True,
+        help="query file served through the drill (JSON array or "
+        "JSON lines)",
+    )
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="cluster width for the drill (default: 3)",
+    )
+    chaos.add_argument(
+        "--fail-shard",
+        type=int,
+        default=1,
+        help="the shard the fault plan kills (default: 1)",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault plan seed (default: 0)",
+    )
+    chaos.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write the drill's event trail as JSON lines",
+    )
     return parser
 
 
@@ -266,6 +312,148 @@ def _run_trace(args: argparse.Namespace) -> int:
             f"wrote {count} trace(s) to {args.jsonl}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _run_chaos(args: argparse.Namespace) -> int:
+    """Scripted kill-and-recover drill; nonzero exit on any violation."""
+    import numpy as np
+
+    from repro.faults import FaultPlan, resolve_faults
+    from repro.obs.metrics import series_value
+    from repro.serving.supervision import ShardFailure, SupervisionPolicy
+
+    if args.shards < 2:
+        raise ServingError(
+            f"the chaos drill needs a cluster: --shards must be >= 2, "
+            f"got {args.shards}"
+        )
+    if not 0 <= args.fail_shard < args.shards:
+        raise ServingError(
+            f"--fail-shard must be in [0, {args.shards}), got "
+            f"{args.fail_shard}"
+        )
+    queries = _load_batch(args.batch)
+    if not queries:
+        raise ServingError(f"batch file {args.batch!r} holds no queries")
+
+    trail: list[dict] = []
+
+    def record(phase: str, **detail) -> None:
+        trail.append({"phase": phase, **detail})
+
+    violations: list[str] = []
+
+    # the ground truth: the same batch through a singleton engine
+    reference = InferenceEngine.load(args.artifact).score_many(queries)
+
+    # threshold=2 with one retry: the first scatter burns both fault
+    # firings, trips the breaker, and leaves the plan exhausted so the
+    # post-heal strict pass runs clean
+    policy = SupervisionPolicy(
+        max_retries=1, backoff_base=0.0, breaker_threshold=2
+    )
+    plan = FaultPlan(seed=args.seed).fail(
+        "shard.foldin", times=2, shard=args.fail_shard,
+        message="chaos drill",
+    )
+    injector = resolve_faults(plan)
+    cluster = ShardedEngine.load(
+        args.artifact,
+        n_shards=args.shards,
+        supervision=policy,
+        faults=injector,
+    )
+    record(
+        "inject",
+        site="shard.foldin",
+        shard=args.fail_shard,
+        seed=args.seed,
+        policy={
+            "max_retries": policy.max_retries,
+            "breaker_threshold": policy.breaker_threshold,
+        },
+    )
+
+    # phase 1: degraded partial scoring while the shard is down
+    degraded = cluster.score_many(queries, partial=True)
+    markers = [
+        row for row in degraded if isinstance(row, ShardFailure)
+    ]
+    if not markers:
+        violations.append(
+            f"no query routed to shard {args.fail_shard}: the drill "
+            f"killed a shard nobody asked for (try another "
+            f"--fail-shard)"
+        )
+    for marker in markers:
+        if marker.shard != args.fail_shard:
+            violations.append(
+                f"healthy shard {marker.shard} degraded: {marker.error}"
+            )
+    for position, (row, want) in enumerate(zip(degraded, reference)):
+        if isinstance(row, ShardFailure):
+            continue
+        if not np.array_equal(row, want):
+            violations.append(
+                f"degraded query #{position} diverged from the "
+                f"singleton reference"
+            )
+    record(
+        "degrade",
+        queries=len(queries),
+        degraded=len(markers),
+        breakers=cluster.supervisor.states(),
+        injected=injector.events(),
+    )
+
+    # phase 2: heal the broken shard (rebuild + breaker reset)
+    healed = cluster.heal()
+    states = cluster.supervisor.states()
+    if any(state != "closed" for state in states):
+        violations.append(f"breakers not closed after heal: {states}")
+    record("heal", shards=list(healed), breakers=states)
+
+    # phase 3: strict scoring must be bit-identical again
+    recovered = cluster.score_many(queries)
+    restored = all(
+        np.array_equal(row, want)
+        for row, want in zip(recovered, reference)
+    )
+    if not restored:
+        violations.append(
+            "post-heal strict scoring is not bit-identical to the "
+            "singleton reference"
+        )
+    snapshot = cluster.metrics_snapshot()
+    record(
+        "verify",
+        bit_identical=restored,
+        retries=series_value(snapshot, "repro_shard_retries_total"),
+        breaker_opens=series_value(
+            snapshot, "repro_breaker_opens_total"
+        ),
+        rebuilds=series_value(snapshot, "repro_shard_rebuilds_total"),
+        degraded_queries=series_value(
+            snapshot, "repro_degraded_queries_total"
+        ),
+    )
+    record("result", ok=not violations, violations=violations)
+
+    if args.jsonl is not None:
+        with open(args.jsonl, "w", encoding="utf-8") as sink:
+            for event in trail:
+                sink.write(json.dumps(event, sort_keys=True) + "\n")
+        print(
+            f"wrote {len(trail)} drill event(s) to {args.jsonl}",
+            file=sys.stderr,
+        )
+    for event in trail:
+        print(json.dumps(event, sort_keys=True))
+    if violations:
+        for violation in violations:
+            print(f"drill violation: {violation}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -420,6 +608,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_metrics(args)
         if args.command == "trace":
             return _run_trace(args)
+        if args.command == "chaos":
+            return _run_chaos(args)
         return _run_score(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

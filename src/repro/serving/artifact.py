@@ -42,7 +42,9 @@ schema, no links), exactly as before.
 from __future__ import annotations
 
 import json
+import os
 import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -54,6 +56,7 @@ from repro.core.diagnostics import IterationRecord, RunHistory
 from repro.core.result import GenClusResult
 from repro.core.state import training_data_available
 from repro.exceptions import SerializationError
+from repro.faults import resolve_faults
 from repro.hin.attributes import (
     NumericAttribute,
     TextAttribute,
@@ -359,13 +362,23 @@ class ModelArtifact:
     def save(
         self, path: str | Path, schema_version: int = SCHEMA_VERSION
     ) -> Path:
-        """Write the artifact as a single ``.npz`` bundle; returns path."""
+        """Write the artifact as a single ``.npz`` bundle; returns path.
+
+        Crash-safe: the bundle is written to a same-directory temp
+        file and moved into place with ``os.replace``, so a crash
+        mid-save can never leave a truncated bundle at ``path``.
+        """
         return save_artifact(self, path, schema_version=schema_version)
 
     @classmethod
-    def load(cls, path: str | Path) -> ModelArtifact:
-        """Read an artifact written by :meth:`save`."""
-        return load_artifact(path)
+    def load(
+        cls, path: str | Path, verify_checksums: bool = True, **kwargs
+    ) -> ModelArtifact:
+        """Read an artifact written by :meth:`save` (checksums
+        verified by default; see :func:`load_artifact`)."""
+        return load_artifact(
+            path, verify_checksums=verify_checksums, **kwargs
+        )
 
     def summary(self) -> str:
         """Readable overview of the persisted model."""
@@ -500,26 +513,79 @@ def save_artifact(
         ],
         "attributes": attributes,
         "arrays": sorted(arrays),
+        # per-array CRC32s over the raw buffer bytes; verified by
+        # load_artifact (the manifest entry cannot checksum itself)
+        "checksums": {
+            name: zlib.crc32(np.ascontiguousarray(value).tobytes())
+            for name, value in arrays.items()
+        },
     }
     if schema_version >= 2:
         manifest["refit_capable"] = embed_payload
     arrays["manifest"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
-    with path.open("wb") as handle:
-        np.savez_compressed(handle, **arrays)
+    # crash-safe write: same-directory temp file, then an atomic
+    # rename -- a crash mid-save leaves the old bundle (or nothing)
+    # at the target path, never a torn one
+    scratch = path.with_name(path.name + ".tmp")
+    try:
+        with scratch.open("wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(scratch, path)
+    except BaseException:
+        scratch.unlink(missing_ok=True)
+        raise
     return path
 
 
-def load_artifact(path: str | Path) -> ModelArtifact:
-    """Deserialize an artifact bundle, checking format and version."""
+def load_artifact(
+    path: str | Path,
+    verify_checksums: bool = True,
+    faults=None,
+) -> ModelArtifact:
+    """Deserialize an artifact bundle, checking format and version.
+
+    Integrity: each array decodes individually, so a truncated or
+    corrupt bundle fails with a
+    :class:`~repro.exceptions.SerializationError` naming the path and
+    the failing array (never a raw ``zipfile``/``numpy`` traceback);
+    with ``verify_checksums`` (the default) every array is then
+    verified against the per-array CRC32s the manifest records --
+    catching even single-bit corruption that still decodes.  Bundles
+    written before checksums existed load unverified.  ``faults``
+    optionally traverses the ``artifact.load`` site.
+    """
     path = Path(path)
+    injector = resolve_faults(faults)
+    if injector is not None:
+        injector.traverse("artifact.load", path=str(path))
     try:
-        with np.load(path, allow_pickle=False) as bundle:
-            payload = {key: bundle[key] for key in bundle.files}
+        bundle = np.load(path, allow_pickle=False)
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise SerializationError(
             f"{path} is not a readable artifact bundle: {exc}"
+        ) from exc
+    payload: dict[str, np.ndarray] = {}
+    current: str | None = None
+    try:
+        with bundle:
+            for current in bundle.files:
+                payload[current] = bundle[current]
+    except (
+        OSError,
+        EOFError,
+        ValueError,
+        zlib.error,
+        zipfile.BadZipFile,
+    ) as exc:
+        if current is None:  # pragma: no cover - defensive
+            raise SerializationError(
+                f"{path} is not a readable artifact bundle: {exc}"
+            ) from exc
+        raise SerializationError(
+            f"{path} is corrupt: array {current!r} failed to decode "
+            f"({exc})"
         ) from exc
     if "manifest" not in payload:
         raise SerializationError(
@@ -544,11 +610,41 @@ def load_artifact(path: str | Path) -> ModelArtifact:
             f"re-export the model or upgrade the library"
         )
     try:
-        return _decode(manifest, payload)
+        artifact = _decode(manifest, payload)
     except (KeyError, TypeError, IndexError) as exc:
         raise SerializationError(
             f"malformed artifact payload in {path}: {exc}"
         ) from exc
+    if verify_checksums:
+        _verify_checksums(path, manifest, payload)
+    return artifact
+
+
+def _verify_checksums(
+    path: Path, manifest: dict[str, Any], payload: dict[str, np.ndarray]
+) -> None:
+    """Compare each array against the manifest's recorded CRC32.
+
+    Structural validation (:func:`_decode`) has already passed, so a
+    mismatch here means value corruption that still decodes -- flipped
+    bits, a swapped array, tampering.  Bundles without a ``checksums``
+    manifest key (written before checksums existed) pass unverified.
+    """
+    recorded = manifest.get("checksums")
+    if not recorded:
+        return
+    for name, expected in recorded.items():
+        array = payload.get(name)
+        if array is None:
+            continue  # absence is _decode's "missing arrays" error
+        actual = zlib.crc32(np.ascontiguousarray(array).tobytes())
+        if actual != int(expected):
+            raise SerializationError(
+                f"{path}: checksum mismatch for array {name!r} "
+                f"(manifest records crc32={expected}, got {actual}); "
+                f"the bundle is corrupt or was modified after save. "
+                f"Pass verify_checksums=False to load anyway."
+            )
 
 
 def _decode(

@@ -68,12 +68,25 @@ class RetrainPolicy:
     backoff_factor:
         Multiplier applied to the effective thresholds after an
         unprofitable refit (>= 1; 1 disables the cooldown).
+    max_consecutive_failures:
+        How many refits may fail back-to-back before the exception
+        surfaces to the caller.  The default (1) keeps the historical
+        contract: the first failure both records its round and
+        raises.  A larger bound turns failures into deterministic,
+        jitter-free retries: each failed promote is recorded
+        (``RetrainRound.error`` set, ``repro_retrain_failures_total``
+        incremented) and swallowed, the trigger stays tripped, and the
+        next :meth:`~RetrainDriver.tick` simply tries again -- until
+        the bound is hit, which re-raises (and resets the streak so a
+        later tick gets a fresh budget).  A successful refit also
+        resets the streak.
     """
 
     max_extension_nodes: int | None = None
     max_staleness_queries: int | None = None
     min_g1_gain: float = 0.0
     backoff_factor: float = 2.0
+    max_consecutive_failures: int = 1
 
     def __post_init__(self) -> None:
         if (
@@ -108,6 +121,11 @@ class RetrainPolicy:
             raise ServingError(
                 f"backoff_factor must be >= 1, got "
                 f"{self.backoff_factor}"
+            )
+        if self.max_consecutive_failures < 1:
+            raise ServingError(
+                f"max_consecutive_failures must be >= 1, got "
+                f"{self.max_consecutive_failures}"
             )
 
 
@@ -175,6 +193,7 @@ class RetrainDriver:
         self._metrics = ServingMetrics(obs.metrics)
         self._queries_at_promote = self._queries_served(engine.info())
         self._pending = None
+        self._consecutive_failures = 0
         self.rounds: list[RetrainRound] = []
 
     # ------------------------------------------------------------------
@@ -260,24 +279,36 @@ class RetrainDriver:
         except Exception as exc:
             # the round must not vanish: record the failed attempt
             # (background futures used to swallow it until join, and
-            # the rounds history never learned a refit was tried),
-            # count it, then let the exception surface to the caller
+            # the rounds history never learned a refit was tried) and
+            # count it.  Within the policy's consecutive-failure
+            # budget the exception is absorbed -- the trigger stays
+            # tripped, so the next tick() retries deterministically
+            # (no jitter: the engine rolled back, the telemetry that
+            # tripped the trigger is unchanged).  At the bound, the
+            # exception surfaces and the streak resets.
             self._metrics.retrain_failures.inc()
-            self.rounds.append(
-                RetrainRound(
-                    trigger=reason,
-                    shard_id=shard_id,
-                    extension_nodes=promoted_nodes,
-                    g1_first=float("nan"),
-                    g1_final=float("nan"),
-                    g1_gain=float("nan"),
-                    outer_iterations=0,
-                    rebalanced=False,
-                    backed_off=False,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
+            failed = RetrainRound(
+                trigger=reason,
+                shard_id=shard_id,
+                extension_nodes=promoted_nodes,
+                g1_first=float("nan"),
+                g1_final=float("nan"),
+                g1_gain=float("nan"),
+                outer_iterations=0,
+                rebalanced=False,
+                backed_off=False,
+                error=f"{type(exc).__name__}: {exc}",
             )
-            raise
+            self.rounds.append(failed)
+            self._consecutive_failures += 1
+            if (
+                self._consecutive_failures
+                >= self._policy.max_consecutive_failures
+            ):
+                self._consecutive_failures = 0
+                raise
+            return failed
+        self._consecutive_failures = 0
         plan_after = getattr(engine, "plan", None)
         g1 = result.history.g1_series()
         g1_first = float(g1[0])

@@ -49,6 +49,7 @@ from repro.core.kernels import resolve_workers
 from repro.core.result import GenClusResult
 from repro.core.state import ModelState
 from repro.exceptions import ServingError
+from repro.faults import resolve_faults
 from repro.obs.observability import Observability
 from repro.serving.artifact import SCHEMA_VERSION, ModelArtifact
 from repro.serving.foldin import (
@@ -105,6 +106,7 @@ def promote_state(
     num_workers: int = 1,
     block_size: int | None = None,
     obs=None,
+    faults=None,
 ):
     """Warm-started refit of a lifecycle state's base + extensions.
 
@@ -118,8 +120,19 @@ def promote_state(
     refit-capable base with an empty extension space, reusing the
     materialized problem's network and patched link views.
 
+    Promotion is **transactional**: the candidate is built entirely off
+    to the side and validated -- every learned parameter finite, the
+    warm-started ``g1`` no worse than its floor (the paper's Newton
+    step on Eq. 15 can walk gamma non-finite on pathological inputs)
+    -- before anything is returned.  A failed or divergent refit
+    raises and leaves ``state`` untouched, so the caller's old model
+    keeps serving verbatim.  ``faults`` is an optional
+    :class:`~repro.faults.FaultInjector` traversing the
+    ``promote.refit`` site (payload: the candidate theta).
+
     Raises :class:`~repro.exceptions.ServingError` when the state is
-    serve-only or the config disagrees on ``K``.
+    serve-only, the config disagrees on ``K``, or the candidate fails
+    validation.
     """
     if not state.refit_capable:
         raise ServingError(
@@ -142,10 +155,14 @@ def promote_state(
     result = GenClus(config).fit_problem(
         problem, warm_start=state, obs=obs
     )
+    theta = result.theta
+    if faults is not None:
+        theta = faults.traverse("promote.refit", payload=theta)
+    _validate_candidate(theta, result)
     promoted = ModelState(
         network=problem.network,
         matrices=problem.matrices,
-        theta=result.theta,
+        theta=theta,
         gamma=result.gamma,
         relation_names=problem.matrices.relation_names,
         attribute_names=problem.attribute_names,
@@ -153,6 +170,46 @@ def promote_state(
         refit_capable=True,
     )
     return result, promoted
+
+
+def _validate_candidate(theta: np.ndarray, result) -> None:
+    """Reject a divergent promote candidate before it can serve.
+
+    Checks every learned parameter for finiteness and the warm-started
+    ``g1`` trajectory against its floor (the first outer iteration's
+    value, i.e. where the served model already stood).  Raising here is
+    what makes promotion transactional: the caller never swaps in a
+    candidate that failed validation.
+    """
+    if not np.isfinite(theta).all():
+        raise ServingError(
+            "promote candidate rejected: non-finite theta (divergent "
+            "refit); the previous state keeps serving"
+        )
+    if not np.isfinite(result.gamma).all():
+        raise ServingError(
+            "promote candidate rejected: non-finite gamma (the Newton "
+            "strength step diverged); the previous state keeps serving"
+        )
+    for name, params in result.attribute_params.items():
+        for key in ("beta", "means", "variances"):
+            values = params.get(key)
+            if values is not None and not np.isfinite(values).all():
+                raise ServingError(
+                    f"promote candidate rejected: non-finite "
+                    f"{key!r} for attribute {name!r}; the previous "
+                    f"state keeps serving"
+                )
+    g1 = result.history.g1_series()
+    if len(g1):
+        g1_first, g1_final = float(g1[0]), float(g1[-1])
+        floor = g1_first - 1e-9 * max(1.0, abs(g1_first))
+        if not np.isfinite(g1_final) or g1_final < floor:
+            raise ServingError(
+                f"promote candidate rejected: g1 regressed from "
+                f"{g1_first!r} to {g1_final!r} (below the warm-start "
+                f"floor); the previous state keeps serving"
+            )
 
 
 class InferenceEngine:
@@ -186,6 +243,11 @@ class InferenceEngine:
         ``None``); pass ``Observability(trace=True)`` to also record
         span trees for queries and promotes.  Scores are bit-identical
         either way.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` (or a bare
+        :class:`~repro.faults.FaultPlan`) traversed at the engine's
+        named fault sites (``promote.refit``).  ``None`` (the default)
+        is the null path: one pointer check, no behavior change.
     """
 
     def __init__(
@@ -199,6 +261,7 @@ class InferenceEngine:
         shard_id: int = 0,
         shard_count: int = 1,
         obs: Observability | None = None,
+        faults=None,
     ) -> None:
         self._setup(
             state=artifact.to_state(),
@@ -211,6 +274,7 @@ class InferenceEngine:
             shard_id=shard_id,
             shard_count=shard_count,
             obs=obs,
+            faults=faults,
         )
 
     def _setup(
@@ -225,6 +289,7 @@ class InferenceEngine:
         shard_id: int,
         shard_count: int,
         obs: Observability | None = None,
+        faults=None,
     ) -> None:
         if cache_size < 0:
             raise ServingError(
@@ -267,6 +332,7 @@ class InferenceEngine:
         # clock stays engine-local (it orders evictions -- policy
         # state, not telemetry)
         self.obs = obs if obs is not None else Observability()
+        self._faults = resolve_faults(faults)
         self._metrics = ServingMetrics(self.obs.metrics)
         self._metrics.cache_capacity.set(cache_size)
         self._clock = 0  # monotonic operation counter ("query age")
@@ -297,6 +363,7 @@ class InferenceEngine:
         shard_id: int = 0,
         shard_count: int = 1,
         obs: Observability | None = None,
+        faults=None,
     ) -> InferenceEngine:
         """Build an engine serving an existing lifecycle state directly.
 
@@ -319,6 +386,7 @@ class InferenceEngine:
             shard_id=shard_id,
             shard_count=shard_count,
             obs=obs,
+            faults=faults,
         )
         return engine
 
@@ -685,22 +753,34 @@ class InferenceEngine:
         ------
         ServingError
             If the served model is not refit-capable (schema-v1
-            artifact: no training links/observations) or the config
-            disagrees on ``K``.
+            artifact: no training links/observations), the config
+            disagrees on ``K``, or the refit candidate fails
+            validation (non-finite parameters, regressed ``g1``).  On
+            any failure the promote **rolls back**: the engine keeps
+            serving its current state verbatim and
+            ``repro_promote_rollbacks_total`` is incremented.
         """
         # rebase: the promoted fit is the new frozen base; reuse the
-        # patched link views (and their operator) for the next cycle
+        # patched link views (and their operator) for the next cycle.
+        # The candidate is built and validated entirely off to the
+        # side (promote_state); engine fields mutate only after it
+        # returns, so a failed refit cannot disturb serving.
         with self.obs.span(
             "promote", extension_nodes=self.num_extension_nodes
         ):
             tick = time.perf_counter()
-            result, promoted = promote_state(
-                self._state,
-                config,
-                num_workers=self._num_workers,
-                block_size=self._block_size,
-                obs=self.obs,
-            )
+            try:
+                result, promoted = promote_state(
+                    self._state,
+                    config,
+                    num_workers=self._num_workers,
+                    block_size=self._block_size,
+                    obs=self.obs,
+                    faults=self._faults,
+                )
+            except Exception:
+                self._metrics.promote_rollbacks.inc()
+                raise
             self._metrics.promote_seconds.observe(
                 time.perf_counter() - tick
             )

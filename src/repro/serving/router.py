@@ -66,6 +66,7 @@ from repro.core.config import GenClusConfig
 from repro.core.kernels import resolve_workers
 from repro.core.state import ModelState
 from repro.exceptions import ServingError
+from repro.faults import resolve_faults
 from repro.obs.observability import Observability
 from repro.serving.artifact import ModelArtifact
 from repro.serving.cluster import ShardPlan
@@ -79,6 +80,12 @@ from repro.serving.engine import (
     select_lru_victims,
 )
 from repro.serving.foldin import FoldInOutcome, NewNode
+from repro.serving.supervision import (
+    BREAKER_CLOSED,
+    ShardFailure,
+    ShardSupervisor,
+    SupervisionPolicy,
+)
 from repro.serving.telemetry import (
     RouterMetrics,
     cluster_aggregate,
@@ -135,6 +142,24 @@ class ShardedEngine:
         shard engine keeps its own registry;
         :meth:`metrics_snapshot` aggregates them all.  Scores are
         bit-identical with or without it.
+    supervision:
+        Optional :class:`~repro.serving.supervision.SupervisionPolicy`.
+        When set, every router -> shard call runs under a
+        :class:`~repro.serving.supervision.ShardSupervisor`: bounded
+        retries with deterministic backoff, optional per-call
+        timeouts, result-finiteness validation, and a per-shard
+        circuit breaker that on open rebuilds the shard engine from
+        the shared frozen base plus its replayed durable deltas.
+        With no faults injected, supervised answers are bit-identical
+        to unsupervised ones (the determinism contract's robustness
+        clause).  ``None`` (the default) keeps today's unsupervised
+        path verbatim.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` (or bare
+        :class:`~repro.faults.FaultPlan`) traversed at the router's
+        named sites (``shard.score``, ``shard.foldin``,
+        ``promote.refit``) -- the deterministic chaos hook.  ``None``
+        is the null path.
     """
 
     def __init__(
@@ -149,6 +174,8 @@ class ShardedEngine:
         shard_workers: int = 1,
         block_size: int | None = None,
         obs: Observability | None = None,
+        supervision: SupervisionPolicy | None = None,
+        faults=None,
     ) -> None:
         if (plan is None) == (n_shards is None):
             raise ServingError(
@@ -189,6 +216,15 @@ class ShardedEngine:
         self.obs = obs if obs is not None else Observability()
         self._metrics = RouterMetrics(self.obs.metrics)
         self._pool: ThreadPoolExecutor | None = None
+        self._faults = resolve_faults(faults)
+        self._supervisor: ShardSupervisor | None = None
+        if supervision is not None:
+            self._supervisor = ShardSupervisor(
+                self._plan.n_shards,
+                supervision,
+                self._metrics,
+                on_open=self._rebuild_shard,
+            )
 
     def _scatter_pool(self) -> ThreadPoolExecutor:
         """The router's own scatter pool, **distinct** from the
@@ -222,6 +258,14 @@ class ShardedEngine:
             for shard_id, shard_state in enumerate(states)
         )
         self._owned_counts = [0] * self._plan.n_shards
+        # per-shard durable-delta replay log: every committed extend /
+        # add_links / evict is appended so a broken shard can be
+        # rebuilt from the shared frozen base and replayed to a
+        # bit-identical state; a promote clears the logs (the deltas
+        # are absorbed into the new base)
+        self._shard_log: list[list[tuple[str, tuple]]] = [
+            [] for _ in range(self._plan.n_shards)
+        ]
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -267,6 +311,12 @@ class ShardedEngine:
     @property
     def n_shards(self) -> int:
         return self._plan.n_shards
+
+    @property
+    def supervisor(self) -> ShardSupervisor | None:
+        """The live :class:`ShardSupervisor`, or ``None`` when the
+        router runs unsupervised."""
+        return self._supervisor
 
     @property
     def n_clusters(self) -> int:
@@ -355,9 +405,22 @@ class ShardedEngine:
         shard = self._route_spec(spec, _canonical_key(spec))
         self._metrics.queries.inc()
         self._touch_query_targets(spec)
-        return self._shards[shard].query(
-            object_type, links=links, text=text, numeric=numeric
-        )
+
+        def attempt() -> np.ndarray:
+            row = self._shards[shard].query(
+                object_type, links=links, text=text, numeric=numeric
+            )
+            if self._faults is not None:
+                row = self._faults.traverse(
+                    "shard.score", payload=row, shard=shard
+                )
+            return row
+
+        if self._supervisor is not None:
+            return self._supervisor.call(
+                shard, "shard.score", attempt, validate=_require_finite
+            )
+        return attempt()
 
     def assign(
         self,
@@ -371,8 +434,10 @@ class ShardedEngine:
         )
 
     def score_many(
-        self, queries: Sequence[Mapping[str, Any]]
-    ) -> list[np.ndarray]:
+        self,
+        queries: Sequence[Mapping[str, Any]],
+        partial: bool = False,
+    ) -> "list[np.ndarray | ShardFailure]":
         """Scatter-gather a batch of transient queries.
 
         The batch is validated in global order (error positions match
@@ -383,6 +448,18 @@ class ShardedEngine:
         batches, concurrently when the router has pool width.  Per-row
         convergence makes the gathered scores bit-identical to the
         single-engine batch (and to one-at-a-time queries).
+
+        **Strict mode** (the default) keeps today's semantics: any
+        shard failure fails the whole batch -- the remaining in-flight
+        sibling sub-batches are cancelled or drained first (never
+        abandoned on the scatter pool), and their errors ride the
+        raised exception as context.  **Partial mode**
+        (``partial=True``) degrades instead of failing: queries owned
+        by a broken shard come back as typed
+        :class:`~repro.serving.supervision.ShardFailure` markers
+        (counted in ``repro_degraded_queries_total``) while every
+        healthy shard's rows are returned bit-identical -- a degraded
+        batch can be incomplete, but it can never carry wrong numbers.
         """
         keys: list[tuple] = []
 
@@ -415,6 +492,7 @@ class ShardedEngine:
             if shard_specs[shard]
         ]
         gathered: dict[int, list[np.ndarray]] = {}
+        failures: dict[int, ShardFailure] = {}
         width = min(resolve_workers(self._num_workers), len(active))
         batch_start = time.perf_counter()
         with self.obs.span(
@@ -438,28 +516,68 @@ class ShardedEngine:
                 # gather (and surface errors) in shard order:
                 # determinism over completion order, like every
                 # blocked reduction
-                for shard in active:
-                    gathered[shard] = futures[shard].result()
+                for position, shard in enumerate(active):
+                    try:
+                        gathered[shard] = futures[shard].result()
+                    except Exception as exc:
+                        if partial:
+                            failures[shard] = ShardFailure(
+                                shard=shard, error=str(exc)
+                            )
+                            continue
+                        _settle_siblings(
+                            exc, futures, active[position + 1 :]
+                        )
+                        raise
+                    except BaseException as exc:
+                        _settle_siblings(
+                            exc, futures, active[position + 1 :]
+                        )
+                        raise
             else:
                 for shard in active:
-                    gathered[shard] = self._score_shard(
-                        shard,
-                        shard_specs[shard],
-                        shard_keys[shard],
-                        batch_span,
-                    )
+                    try:
+                        gathered[shard] = self._score_shard(
+                            shard,
+                            shard_specs[shard],
+                            shard_keys[shard],
+                            batch_span,
+                        )
+                    except Exception as exc:
+                        if not partial:
+                            raise
+                        failures[shard] = ShardFailure(
+                            shard=shard, error=str(exc)
+                        )
         self._metrics.batches.inc()
         self._metrics.batch_size.observe(len(specs))
         self._metrics.batch_seconds.observe(
             time.perf_counter() - batch_start
         )
         by_key: dict[tuple, np.ndarray] = {}
+        marker_by_key: dict[tuple, ShardFailure] = {}
         for shard in active:
+            if shard in failures:
+                for key in shard_keys[shard]:
+                    marker_by_key[key] = failures[shard]
+                continue
             for membership, key in zip(
                 gathered[shard], shard_keys[shard]
             ):
                 by_key[key] = membership
-        return [by_key[key].copy() for key in keys]
+        if not failures:
+            return [by_key[key].copy() for key in keys]
+        results: list[np.ndarray | ShardFailure] = []
+        degraded = 0
+        for key in keys:
+            row = by_key.get(key)
+            if row is not None:
+                results.append(row.copy())
+            else:
+                results.append(marker_by_key[key])
+                degraded += 1
+        self._metrics.degraded_queries.inc(degraded)
+        return results
 
     def assign_many(
         self, queries: Sequence[Mapping[str, Any]]
@@ -482,9 +600,25 @@ class ShardedEngine:
         the ``shard[i].foldin`` span must name its ``parent``
         explicitly -- the batch span lives on the caller's thread-local
         stack, not this one's.
+
+        Under supervision each attempt (including its ``shard.foldin``
+        fault traverse) runs through
+        :meth:`~repro.serving.supervision.ShardSupervisor.call`, which
+        retries, validates finiteness, and trips the shard's breaker;
+        the fault-free supervised path executes the identical scoring
+        code inline.
         """
         inflight = self._metrics.inflight
         hist = self._metrics.shard_batch_seconds(shard)
+
+        def attempt() -> list[np.ndarray]:
+            rows = self._shards[shard].score_specs(specs, keys)
+            if self._faults is not None:
+                rows = self._faults.traverse(
+                    "shard.foldin", payload=rows, shard=shard
+                )
+            return rows
+
         inflight.inc()
         tick = time.perf_counter()
         try:
@@ -493,7 +627,14 @@ class ShardedEngine:
                 parent=parent,
                 queries=len(specs),
             ):
-                return self._shards[shard].score_specs(specs, keys)
+                if self._supervisor is not None:
+                    return self._supervisor.call(
+                        shard,
+                        "shard.foldin",
+                        attempt,
+                        validate=_require_finite,
+                    )
+                return attempt()
         finally:
             hist.observe(time.perf_counter() - tick)
             inflight.dec()
@@ -571,6 +712,7 @@ class ShardedEngine:
                 self._arrivals += 1
                 self._last_used[spec.node] = self._clock
             self._owned_counts[shard] += len(specs)
+            self._shard_log[shard].append(("extend", tuple(specs)))
         return outcome
 
     def add_links(
@@ -624,10 +766,14 @@ class ShardedEngine:
                 )
             per_shard.setdefault(record.shard, []).append(link)
             sources.append(source)
-        outcomes = [
-            self._shards[shard].add_links(per_shard[shard])
-            for shard in sorted(per_shard)
-        ]
+        outcomes = []
+        for shard in sorted(per_shard):
+            outcomes.append(
+                self._shards[shard].add_links(per_shard[shard])
+            )
+            self._shard_log[shard].append(
+                ("add_links", tuple(per_shard[shard]))
+            )
         if per_shard:
             self._clock += 1
             for source in sources:
@@ -685,6 +831,9 @@ class ShardedEngine:
         for shard in sorted(by_shard):
             self._shards[shard].evict_nodes(by_shard[shard])
             self._owned_counts[shard] -= len(by_shard[shard])
+            self._shard_log[shard].append(
+                ("evict", tuple(by_shard[shard]))
+            )
         for node in chosen:
             del self._registry[node]
             self._last_used.pop(node, None)
@@ -711,6 +860,13 @@ class ShardedEngine:
         is then split under a **rebalanced** :class:`ShardPlan` and
         fresh shard engines serve it with empty extension spaces.
 
+        Promotion is **transactional** at cluster scope: the candidate
+        is reassembled, refit, and validated entirely off to the side
+        (:func:`~repro.serving.engine.promote_state`), and the cluster
+        swaps atomically -- on a failed or divergent refit the old
+        shards keep serving verbatim and
+        ``repro_promote_rollbacks_total`` is incremented.
+
         Returns the refit :class:`~repro.core.result.GenClusResult`.
         """
         reference = self._base_state.clone_base()
@@ -731,13 +887,18 @@ class ShardedEngine:
             "promote", extension_nodes=len(self._registry)
         ):
             tick = time.perf_counter()
-            result, promoted = promote_state(
-                reference,
-                config,
-                num_workers=self._shard_workers,
-                block_size=self._block_size,
-                obs=self.obs,
-            )
+            try:
+                result, promoted = promote_state(
+                    reference,
+                    config,
+                    num_workers=self._shard_workers,
+                    block_size=self._block_size,
+                    obs=self.obs,
+                    faults=self._faults,
+                )
+            except Exception:
+                self._metrics.promote_rollbacks.inc()
+                raise
             self._metrics.promote_seconds.observe(
                 time.perf_counter() - tick
             )
@@ -750,7 +911,88 @@ class ShardedEngine:
         self._arrivals = 0
         self._last_used = {}
         self._metrics.promotions.inc()
+        if self._supervisor is not None:
+            for shard in range(self.n_shards):
+                self._supervisor.reset(shard)
         return result
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def heal(self, shard: int | None = None) -> tuple[int, ...]:
+        """Rebuild broken shards and close their breakers.
+
+        With ``shard`` given, force-rebuilds that one shard (frozen
+        base + replayed durable deltas) regardless of breaker state;
+        with no argument, rebuilds every shard whose breaker is not
+        closed (a no-op on a healthy unsupervised cluster).  Returns
+        the healed shard ids.  Because the replay log is deterministic
+        and the frozen base is shared, a healed shard serves
+        bit-identical answers to one that never failed.
+        """
+        if shard is not None:
+            if not 0 <= shard < self.n_shards:
+                raise ServingError(
+                    f"shard must lie in 0..{self.n_shards - 1}, "
+                    f"got {shard}"
+                )
+            targets = [shard]
+        elif self._supervisor is not None:
+            targets = [
+                s
+                for s in range(self.n_shards)
+                if self._supervisor.breaker(s).state != BREAKER_CLOSED
+            ]
+        else:
+            targets = []
+        for target in targets:
+            self._rebuild_shard(target)
+            if self._supervisor is not None:
+                self._supervisor.reset(target)
+        return tuple(targets)
+
+    def _rebuild_shard(self, shard: int) -> None:
+        """Rebuild one shard engine from the shared frozen base plus
+        its replayed durable-delta log.
+
+        This is the supervisor's ``on_open`` hook (and :meth:`heal`'s
+        mechanism): the broken engine is discarded, a fresh serving
+        state is partitioned off the pristine base
+        (:meth:`~repro.core.state.ModelState.partition_shard` -- it
+        shares the same frozen theta buffer as its healthy peers), and
+        the shard's committed extends / link deltas / evictions replay
+        in commit order.  Every replayed operation is deterministic,
+        so the recovered extension rows are bit-identical to the lost
+        ones.
+        """
+        fresh_state = self._base_state.partition_shard(
+            self._plan, shard
+        )
+        engine = InferenceEngine.from_state(
+            fresh_state,
+            cache_size=self._cache_size,
+            max_iterations=self._max_iterations,
+            tol=self._tol,
+            num_workers=self._shard_workers,
+            block_size=self._block_size,
+            shard_id=shard,
+            shard_count=self._plan.n_shards,
+        )
+        for op, payload in self._shard_log[shard]:
+            if op == "extend":
+                engine.extend(list(payload))
+            elif op == "add_links":
+                engine.add_links(list(payload))
+            elif op == "evict":
+                engine.evict_nodes(payload)
+            else:  # pragma: no cover - defensive
+                raise ServingError(
+                    f"unknown replay-log operation {op!r}"
+                )
+        shards = list(self._shards)
+        shards[shard] = engine
+        self._shards = tuple(shards)
+        self._metrics.shard_rebuilds.inc()
 
     # ------------------------------------------------------------------
     # telemetry
@@ -804,6 +1046,31 @@ class ShardedEngine:
                 "shard_extension_nodes": list(self._owned_counts),
                 "shards": shard_infos,
             },
+            "supervision": (
+                {
+                    "enabled": True,
+                    "breakers": self._supervisor.states(),
+                    "policy": {
+                        "max_retries": (
+                            self._supervisor.policy.max_retries
+                        ),
+                        "backoff_schedule": list(
+                            self._supervisor.policy.backoff_schedule()
+                        ),
+                        "call_timeout": (
+                            self._supervisor.policy.call_timeout
+                        ),
+                        "breaker_threshold": (
+                            self._supervisor.policy.breaker_threshold
+                        ),
+                        "breaker_reset_after": (
+                            self._supervisor.policy.breaker_reset_after
+                        ),
+                    },
+                }
+                if self._supervisor is not None
+                else {"enabled": False}
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -825,6 +1092,50 @@ class ShardedEngine:
 
 
 # ----------------------------------------------------------------------
+def _require_finite(result) -> None:
+    """Supervised-call validator: reject non-finite membership rows.
+
+    Runs inside each supervised attempt, so a corrupted shard result
+    (an injected NaN, a torn buffer) counts as a retryable failure --
+    a degraded batch may be incomplete, never numerically wrong.
+    """
+    rows = result if isinstance(result, (list, tuple)) else [result]
+    for row in rows:
+        if not np.isfinite(row).all():
+            raise ServingError(
+                "shard returned non-finite membership scores"
+            )
+
+
+def _settle_siblings(exc: BaseException, futures, remaining) -> None:
+    """Cancel-or-drain the sibling futures of a failed gather.
+
+    A strict-mode gather that raises must not abandon the other
+    shards' in-flight sub-batches on the scatter pool: each remaining
+    future is cancelled if still queued, else drained -- so its
+    exception (if any) is observed, not orphaned -- and the sibling
+    errors are attached to the raised exception as context
+    (``exc.sibling_failures``; also ``add_note`` on Python >= 3.11).
+    """
+    notes = []
+    for shard in remaining:
+        future = futures[shard]
+        if future.cancel():
+            continue
+        try:
+            future.result()
+        except Exception as sibling:
+            notes.append(
+                f"shard {shard} also failed: "
+                f"{type(sibling).__name__}: {sibling}"
+            )
+    if notes:
+        exc.sibling_failures = tuple(notes)
+        if hasattr(exc, "add_note"):
+            for note in notes:
+                exc.add_note(note)
+
+
 def _affinity_shard(key: tuple, n_shards: int) -> int:
     """Deterministic cache-affinity routing for base-only queries.
 

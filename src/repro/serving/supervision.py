@@ -1,0 +1,373 @@
+"""Supervised shard calls: retries, backoff, and circuit breakers.
+
+:class:`ShardSupervisor` wraps every router -> shard call with the
+fault-tolerance policy of :class:`SupervisionPolicy`:
+
+* **Bounded retries with deterministic backoff** -- a failed call is
+  retried up to ``max_retries`` times, sleeping a jitter-free
+  exponential schedule between attempts (``backoff_base *
+  backoff_factor**k``, capped at ``backoff_max``).  No randomness: two
+  runs of the same fault script retry at the same instants, which is
+  what lets the chaos suite pin exact schedules.
+* **Per-call timeouts** -- with ``call_timeout`` set, each attempt runs
+  on the supervisor's own pool and is abandoned (counted as a failure)
+  when it overruns.  With the default ``None`` the attempt runs inline
+  on the caller's thread: the fault-free supervised path then executes
+  the *identical* code the unsupervised router runs, which is how the
+  determinism contract extends to supervision-on.
+* **Result validation** -- a validator (the router checks score
+  finiteness) runs inside the attempt, so corrupted results count as
+  failures and are retried; a supervised batch can degrade, but it can
+  never return wrong numbers.
+* **A per-shard circuit breaker** (closed -> open -> half-open): after
+  ``breaker_threshold`` consecutive failures the shard is declared
+  broken, calls fail fast without touching it, and the supervisor's
+  ``on_open`` hook fires -- the router uses it to rebuild the shard
+  engine from the shared frozen base plus its replayed durable deltas.
+  After ``breaker_reset_after`` seconds the next call probes the shard
+  (half-open); one success re-closes, one failure re-opens.
+
+Every event records into the router's metrics registry
+(``repro_shard_retries_total``, ``repro_breaker_state``,
+``repro_breaker_opens_total``); :class:`ShardFailure` is the typed
+per-query marker partial-mode ``score_many`` returns for queries owned
+by a broken shard.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+from repro.exceptions import ServingError
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "ShardFailedError",
+    "ShardFailure",
+    "ShardSupervisor",
+    "SupervisionPolicy",
+]
+
+# Breaker states, exported as gauge values (repro_breaker_state).
+BREAKER_CLOSED = 0
+BREAKER_HALF_OPEN = 1
+BREAKER_OPEN = 2
+
+_STATE_NAMES = {
+    BREAKER_CLOSED: "closed",
+    BREAKER_HALF_OPEN: "half-open",
+    BREAKER_OPEN: "open",
+}
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Fault-tolerance knobs for supervised shard calls.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries after the first failed attempt (total attempts =
+        ``1 + max_retries``).
+    backoff_base, backoff_factor, backoff_max:
+        The deterministic backoff schedule: retry ``k`` (1-based)
+        sleeps ``min(backoff_base * backoff_factor**(k-1),
+        backoff_max)`` seconds.  No jitter, by design.
+    call_timeout:
+        Per-attempt wall-clock budget in seconds; ``None`` (default)
+        runs attempts inline with no timeout -- the bit-identical
+        fault-free path.
+    breaker_threshold:
+        Consecutive failures that trip a shard's breaker open.
+    breaker_reset_after:
+        Seconds an open breaker waits before letting one probe
+        through (half-open).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    call_timeout: float | None = None
+    breaker_threshold: int = 3
+    breaker_reset_after: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ServingError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0:
+            raise ServingError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1:
+            raise ServingError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max < self.backoff_base:
+            raise ServingError(
+                f"backoff_max ({self.backoff_max}) must be >= "
+                f"backoff_base ({self.backoff_base})"
+            )
+        if self.call_timeout is not None and self.call_timeout <= 0:
+            raise ServingError(
+                f"call_timeout must be > 0 when set, got "
+                f"{self.call_timeout}"
+            )
+        if self.breaker_threshold < 1:
+            raise ServingError(
+                f"breaker_threshold must be >= 1, got "
+                f"{self.breaker_threshold}"
+            )
+        if self.breaker_reset_after < 0:
+            raise ServingError(
+                f"breaker_reset_after must be >= 0, got "
+                f"{self.breaker_reset_after}"
+            )
+
+    def backoff_schedule(self) -> tuple[float, ...]:
+        """The sleep before each retry, in order -- pure function of
+        the policy, identical on every run."""
+        return tuple(
+            min(
+                self.backoff_base * self.backoff_factor**k,
+                self.backoff_max,
+            )
+            for k in range(self.max_retries)
+        )
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """Typed per-query marker for a query owned by a broken shard.
+
+    Partial-mode ``score_many`` returns these in place of membership
+    rows -- a degraded batch names exactly which shard failed and why,
+    and can never silently substitute wrong numbers.
+    """
+
+    shard: int
+    error: str
+    site: str = "shard.foldin"
+
+
+class ShardFailedError(ServingError):
+    """A supervised shard call failed for good: retries exhausted, or
+    the shard's breaker is open (fail-fast)."""
+
+    def __init__(
+        self, shard: int, site: str, message: str, attempts: int = 0
+    ) -> None:
+        self.shard = shard
+        self.site = site
+        self.attempts = attempts
+        super().__init__(message)
+
+
+class CircuitBreaker:
+    """One shard's closed -> open -> half-open state machine.
+
+    Transitions are driven by :meth:`allow` / :meth:`record_success` /
+    :meth:`record_failure`; the clock is injectable so tests can walk
+    the reset window deterministically.  Not internally locked -- the
+    supervisor serializes access per shard.
+    """
+
+    def __init__(self, policy: SupervisionPolicy, clock=time.monotonic) -> None:
+        self._policy = policy
+        self._clock = clock
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    @property
+    def state_name(self) -> str:
+        return _STATE_NAMES[self._state]
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def allow(self) -> bool:
+        """Whether a call may proceed; an open breaker past its reset
+        window transitions to half-open and lets one probe through."""
+        if self._state == BREAKER_OPEN:
+            elapsed = self._clock() - self._opened_at
+            if elapsed < self._policy.breaker_reset_after:
+                return False
+            self._state = BREAKER_HALF_OPEN
+        return True
+
+    def record_success(self) -> None:
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+
+    def record_failure(self) -> bool:
+        """Count a failure; returns True when this one trips the
+        breaker open (a half-open probe failure re-opens instantly)."""
+        self._failures += 1
+        tripped = (
+            self._state == BREAKER_HALF_OPEN
+            or self._failures >= self._policy.breaker_threshold
+        )
+        if tripped and self._state != BREAKER_OPEN:
+            self._state = BREAKER_OPEN
+            self._opened_at = self._clock()
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Force-close (an operator heal)."""
+        self.record_success()
+
+
+class ShardSupervisor:
+    """Runs shard calls under the policy, one breaker per shard.
+
+    Parameters
+    ----------
+    n_shards:
+        Cluster width (breakers are indexed by shard id).
+    policy:
+        The :class:`SupervisionPolicy`.
+    metrics:
+        The router's :class:`~repro.serving.telemetry.RouterMetrics`
+        (supervision families are cluster-scope).
+    on_open:
+        Optional ``on_open(shard)`` hook fired when a breaker trips
+        open -- the router's shard-rebuild entry point.
+    clock, sleep:
+        Injectable time sources for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        policy: SupervisionPolicy,
+        metrics,
+        on_open=None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if n_shards < 1:
+            raise ServingError(
+                f"n_shards must be >= 1, got {n_shards}"
+            )
+        self.policy = policy
+        self._metrics = metrics
+        self._on_open = on_open
+        self._sleep = sleep
+        self._breakers = tuple(
+            CircuitBreaker(policy, clock) for _ in range(n_shards)
+        )
+        self._schedule = policy.backoff_schedule()
+        self._pool: ThreadPoolExecutor | None = None
+        self._n_shards = n_shards
+        for shard in range(n_shards):
+            self._set_state_gauge(shard)
+
+    # ------------------------------------------------------------------
+    def breaker(self, shard: int) -> CircuitBreaker:
+        return self._breakers[shard]
+
+    def states(self) -> list[str]:
+        """Breaker state names, in shard order (for ``info()``)."""
+        return [b.state_name for b in self._breakers]
+
+    def reset(self, shard: int) -> None:
+        """Close a shard's breaker (after an operator heal)."""
+        self._breakers[shard].reset()
+        self._set_state_gauge(shard)
+
+    # ------------------------------------------------------------------
+    def call(self, shard: int, site: str, fn, validate=None):
+        """Run ``fn`` for ``shard`` under the policy.
+
+        Raises :class:`ShardFailedError` when the breaker is open
+        (fail-fast, ``fn`` untouched) or every attempt failed; any
+        other exception is a policy bug.  ``validate(result)`` runs
+        inside each attempt, so an invalid result is a retryable
+        failure, never a returned value.
+        """
+        breaker = self._breakers[shard]
+        if not breaker.allow():
+            raise ShardFailedError(
+                shard,
+                site,
+                f"shard {shard} circuit breaker is open "
+                f"(fails fast until the reset window elapses or the "
+                f"shard is healed)",
+            )
+        self._set_state_gauge(shard)  # may have moved to half-open
+        attempts = 1 + self.policy.max_retries
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self._metrics.shard_retries.inc()
+                self._sleep(self._schedule[attempt - 1])
+            try:
+                result = self._attempt(fn)
+                if validate is not None:
+                    validate(result)
+            except Exception as exc:
+                last_error = exc
+                tripped = breaker.record_failure()
+                self._set_state_gauge(shard)
+                if tripped:
+                    self._metrics.breaker_opens.inc()
+                    if self._on_open is not None:
+                        self._on_open(shard)
+                    break  # open: no point burning the remaining retries
+            else:
+                breaker.record_success()
+                self._set_state_gauge(shard)
+                return result
+        raise ShardFailedError(
+            shard,
+            site,
+            f"shard {shard} call at {site!r} failed "
+            f"({breaker.state_name} breaker): {last_error}",
+            attempts=attempts,
+        ) from last_error
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    def _attempt(self, fn):
+        timeout = self.policy.call_timeout
+        if timeout is None:
+            # inline: the supervised fault-free path runs the exact
+            # unsupervised code (the determinism-contract clause)
+            return fn()
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._n_shards,
+                thread_name_prefix="repro-shard-supervisor",
+            )
+        future = self._pool.submit(fn)
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise ServingError(
+                f"shard call exceeded call_timeout={timeout}s"
+            ) from None
+
+    def _set_state_gauge(self, shard: int) -> None:
+        self._metrics.breaker_state(shard).set(
+            self._breakers[shard].state
+        )

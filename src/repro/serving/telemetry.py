@@ -37,6 +37,7 @@ ROUTER_AUTHORITATIVE = frozenset(
         "repro_queries_total",
         "repro_evicted_nodes_total",
         "repro_promotions_total",
+        "repro_promote_rollbacks_total",
         "repro_promote_seconds",
         "repro_retrain_rounds_total",
         "repro_retrain_failures_total",
@@ -116,6 +117,11 @@ class ServingMetrics:
             "Wall-clock seconds per promote refit",
             buckets=LATENCY_BUCKETS,
         )
+        self.promote_rollbacks = registry.counter(
+            "repro_promote_rollbacks_total",
+            "Promote refits rolled back (failed or divergent "
+            "candidates; the old state kept serving)",
+        )
         # the retrain driver records into its engine's registry; the
         # families are declared here so every export carries them
         self.retrain_rounds = registry.counter(
@@ -165,6 +171,36 @@ class RouterMetrics(ServingMetrics):
         self.inflight = registry.gauge(
             "repro_router_inflight_subbatches",
             "Per-shard sub-batches currently in flight",
+        )
+        # supervision families (cluster-scope: the supervisor records
+        # into the router's registry only)
+        self.shard_retries = registry.counter(
+            "repro_shard_retries_total",
+            "Supervised shard-call retry attempts",
+        )
+        self.breaker_opens = registry.counter(
+            "repro_breaker_opens_total",
+            "Circuit-breaker trips to open",
+        )
+        self.shard_rebuilds = registry.counter(
+            "repro_shard_rebuilds_total",
+            "Shard engines rebuilt from the frozen base + replayed "
+            "deltas",
+        )
+        self.degraded_queries = registry.counter(
+            "repro_degraded_queries_total",
+            "Queries answered with a ShardFailure marker in "
+            "partial-mode batches",
+        )
+
+    def breaker_state(self, shard: int):
+        """The per-shard breaker state gauge (labelled; 0=closed,
+        1=half-open, 2=open)."""
+        return self.registry.gauge(
+            "repro_breaker_state",
+            "Circuit-breaker state per shard (0=closed, 1=half-open, "
+            "2=open)",
+            shard=str(shard),
         )
 
     def shard_batch_seconds(self, shard: int):
