@@ -19,6 +19,7 @@ scales.  Two entry points share the measurement code:
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -60,10 +61,28 @@ SCALES = {
     ),
 }
 
+# opt-in ~100k-node scale (the KD-tree datagen path): generation alone
+# takes tens of seconds, so it joins the harness only with ``--xxl``
+# (standalone) or ``REPRO_BENCH_XXL=1`` (pytest entry points)
+XXL_SCALES = {
+    "weather_xxl": dict(
+        n_temperature=65536,
+        n_precipitation=32768,
+        k_neighbors=10,
+        n_observations=10,
+        seed=0,
+    ),
+}
+
+
+def _xxl_opted_in() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_XXL"))
+
 
 def build_problem(scale: str):
     """Compile the weather problem at a named scale, theta settled a bit."""
-    generated = generate_weather_network(WeatherConfig(**SCALES[scale]))
+    params = {**SCALES, **XXL_SCALES}[scale]
+    generated = generate_weather_network(WeatherConfig(**params))
     problem = compile_problem(generated.network, WEATHER_ATTRIBUTES, 4)
     rng = np.random.default_rng(0)
     for model in problem.attribute_models:
@@ -170,6 +189,7 @@ def run_harness(
     workers: int = 1,
     block_size: int | None = None,
     worker_sweep: tuple[int, ...] = (),
+    include_xxl: bool = False,
 ) -> dict:
     """Time both kernels at every scale; returns the report dict.
 
@@ -177,9 +197,13 @@ def run_harness(
     headline numbers; ``worker_sweep`` additionally times ``em_update``
     and ``learn_strengths`` at each listed worker count (same problem,
     same plan) and attaches the results under ``"workers"``.
+    ``include_xxl`` adds the opt-in ~100k-node ``weather_xxl`` scale.
     """
     report: dict = {}
-    for scale in SCALES:
+    scales = dict(SCALES)
+    if include_xxl:
+        scales.update(XXL_SCALES)
+    for scale in scales:
         problem, theta, gamma = build_problem(scale)
         em_call = make_em_call(problem, theta, gamma, workers, block_size)
         strength_call = make_strength_call(
@@ -429,6 +453,18 @@ if pytest is not None:
         result = benchmark(make_em_call(problem, theta, gamma, workers=4))
         assert result.shape == theta.shape
 
+    @pytest.mark.skipif(
+        "not __import__('os').environ.get('REPRO_BENCH_XXL')",
+        reason="opt-in ~100k-node scale: set REPRO_BENCH_XXL=1",
+    )
+    def test_em_update_kernel_xxl(benchmark):
+        """One EM sweep at the opt-in ~100k-node weather_xxl scale."""
+        problem, theta, gamma = build_problem("weather_xxl")
+        call = make_em_call(problem, theta, gamma)
+        result = benchmark.pedantic(call, rounds=3, iterations=1)
+        assert result.shape == theta.shape
+        np.testing.assert_allclose(result.sum(axis=1), 1.0, atol=1e-9)
+
 
 # ----------------------------------------------------------------------
 # standalone harness
@@ -476,6 +512,12 @@ def main(argv=None) -> int:
         "if the results (theta/gamma/assignments) diverge",
     )
     parser.add_argument(
+        "--xxl",
+        action="store_true",
+        help="also time the opt-in ~100k-node weather_xxl scale "
+        "(generation alone takes tens of seconds)",
+    )
+    parser.add_argument(
         "--obs-overhead",
         metavar="SCALE",
         help="time em_update with telemetry off vs on at the named "
@@ -503,6 +545,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         block_size=args.block_size,
         worker_sweep=sweep,
+        include_xxl=args.xxl or _xxl_opted_in(),
     )
     if args.baseline:
         with open(args.baseline) as handle:

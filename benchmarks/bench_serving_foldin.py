@@ -242,3 +242,43 @@ def test_promote_roundtrip(benchmark, served_model, sensor_batch):
     benchmark.extra_info["refit_outer_iterations"] = int(
         result.history.records[-1].outer_iteration
     )
+
+
+@pytest.fixture(scope="module")
+def served_model_xxl():
+    """Opt-in ~100k-node weather model (set ``REPRO_BENCH_XXL=1``).
+
+    One cheap fit (single init, single outer round) -- the point is
+    the serving-path scaling, not the training quality."""
+    from repro.datagen.weather import weather_xxl_config
+
+    generated = generate_weather_network(weather_xxl_config())
+    config = GenClusConfig(
+        n_clusters=4, outer_iterations=1, seed=0, n_init=1
+    )
+    result = GenClus(config).fit(
+        generated.network, attributes=WEATHER_ATTRIBUTES
+    )
+    artifact = ModelArtifact.from_result(result)
+    return FrozenModel.from_artifact(artifact), artifact
+
+
+@pytest.mark.skipif(
+    "not __import__('os').environ.get('REPRO_BENCH_XXL')",
+    reason="opt-in ~100k-node scale: set REPRO_BENCH_XXL=1",
+)
+def test_batch_foldin_throughput_xxl(
+    benchmark, served_model_xxl, sensor_batch
+):
+    """Bulk scoring against the ~100k-node model: fold-in cost must be
+    driven by the batch, not the base-model size."""
+    model, _ = served_model_xxl
+    outcome = benchmark.pedantic(
+        fold_in, args=(model, sensor_batch), rounds=3, iterations=1
+    )
+    assert outcome.theta.shape == (BATCH_SIZE, 4)
+    np.testing.assert_allclose(
+        outcome.theta.sum(axis=1), 1.0, atol=1e-9
+    )
+    benchmark.extra_info["batch_size"] = BATCH_SIZE
+    benchmark.extra_info["base_nodes"] = model.theta.shape[0]

@@ -143,14 +143,17 @@ class GenClusResult:
 
         return ModelState.from_result(self)
 
-    def save(self, path: str | Path) -> Path:
-        """Persist the fit as a serving artifact bundle (one ``.npz``).
+    def save(self, path: str | Path, **kwargs) -> Path:
+        """Persist the fit as a serving artifact bundle.
 
-        The bundle carries theta, gamma, attribute parameters, the node
-        id/type map, and the run history -- everything
-        :class:`~repro.serving.engine.InferenceEngine` needs.  When the
-        network still holds its training links and attribute tables
-        (any fresh fit), they are embedded too (schema v2), so
+        By default a schema-v3 **bundle directory** of raw ``.npy``
+        files (memory-mappable; pass ``schema_version=2`` for the
+        legacy single-file ``.npz``, ``compress=False`` to trade its
+        size for speed).  The bundle carries theta, gamma, attribute
+        parameters, the node id/type map, and the run history --
+        everything :class:`~repro.serving.engine.InferenceEngine`
+        needs.  When the network still holds its training links and
+        attribute tables (any fresh fit), they are embedded too, so
         :meth:`load` reconstructs a **refit-capable** model: the
         reloaded network carries edges and observations and can
         warm-start a full new fit (see
@@ -159,14 +162,16 @@ class GenClusResult:
         # local import: repro.serving depends on this module
         from repro.serving.artifact import ModelArtifact
 
-        return ModelArtifact.from_result(self).save(path)
+        return ModelArtifact.from_result(self).save(path, **kwargs)
 
     @classmethod
-    def load(cls, path: str | Path) -> GenClusResult:
-        """Reload a fit persisted by :meth:`save`."""
+    def load(cls, path: str | Path, **kwargs) -> GenClusResult:
+        """Reload a fit persisted by :meth:`save` (``mmap=True`` maps
+        a v3 bundle lazily; the result still materializes -- and
+        thereby fully verifies -- every array it exposes)."""
         from repro.serving.artifact import ModelArtifact
 
-        return ModelArtifact.load(path).to_result()
+        return ModelArtifact.load(path, **kwargs).to_result()
 
     def summary(self) -> str:
         """Readable overview: sizes, strengths, history length."""

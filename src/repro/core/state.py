@@ -114,6 +114,22 @@ class ModelState:
         training payload (per-edge / per-observation loops) until
         :meth:`to_problem` actually needs it -- a serving engine that
         never promotes pays only the ``O(nK)`` array load.
+    copy_theta:
+        With the default ``True`` the state owns a private copy of
+        ``theta``.  ``False`` adopts the passed buffer **as is** --
+        how shard states share one frozen base view, and how a
+        memory-mapped artifact's read-only theta becomes the base
+        buffer without touching a single page.  Every growth path
+        (``append_extensions``, eviction compaction) migrates onto a
+        fresh private buffer before writing, so an adopted read-only
+        map is never written through.
+    on_materialize:
+        Optional zero-argument callable invoked exactly once, right
+        before the first end-to-end read of the base rows (buffer
+        growth, eviction compaction, ``clone_base``, the refit path).
+        Mapped artifacts hang their deferred theta checksum
+        verification here; the hook is cleared only on success, so a
+        failed verification fails every later materialization too.
     """
 
     def __init__(
@@ -127,6 +143,8 @@ class ModelState:
         attribute_params: dict[str, dict],
         refit_capable: bool,
         hydrator=None,
+        copy_theta: bool = True,
+        on_materialize=None,
     ) -> None:
         theta = np.asarray(theta, dtype=np.float64)
         if theta.ndim != 2 or theta.shape[0] != network.num_nodes:
@@ -163,7 +181,16 @@ class ModelState:
         self.refit_capable = bool(refit_capable)
         self.version = 0
         self._num_base = network.num_nodes
-        self._theta_buf = theta.copy()
+        if copy_theta:
+            if on_materialize is not None:
+                # the defensive copy is itself a full read of a
+                # possibly-mapped theta: settle verification first
+                on_materialize()
+                on_materialize = None
+            self._theta_buf = theta.copy()
+        else:
+            self._theta_buf = theta
+        self._on_materialize = on_materialize
         self._size = theta.shape[0]
         # extension containers, materialized lazily on the first delta
         self._live_index: dict[object, int] | None = None
@@ -228,6 +255,7 @@ class ModelState:
         a cluster-wide refit without mutating the base it keeps
         serving from.
         """
+        self._materialize_base()
         clone = ModelState(
             network=self.network,
             matrices=self.matrices,
@@ -306,22 +334,25 @@ class ModelState:
             )
 
     def _shard_state(self) -> "ModelState":
-        base_view = self._theta_buf[: self._num_base]
+        # the frozen base rows are shared as one buffer view across
+        # all shards -- a memory-mapped base stays mapped, and each
+        # shard inherits the deferred-verification hook (idempotent
+        # and thread-safe, so whichever shard materializes first pays
+        # the CRC pass); the first append_extensions call grows onto
+        # a private buffer
         shard = ModelState(
             network=self.network,
             matrices=self.matrices,
-            theta=base_view,
+            theta=self._theta_buf[: self._num_base],
             gamma=self.gamma,
             relation_names=self.relation_names,
             attribute_names=self.attribute_names,
             attribute_params=self.attribute_params,
             refit_capable=False,
             hydrator=None,
+            copy_theta=False,
+            on_materialize=self._on_materialize,
         )
-        # drop the constructor's defensive copy: the frozen base
-        # rows are shared as one buffer view across all shards (the
-        # first append_extensions call grows onto a private buffer)
-        shard._theta_buf = base_view
         shard._vocab_index = self._vocab_index
         return shard
 
@@ -421,6 +452,45 @@ class ModelState:
         """Bytes held by the membership buffer (including slack)."""
         return int(self._theta_buf.nbytes)
 
+    @property
+    def theta_mapped(self) -> bool:
+        """Whether the membership buffer is still a lazily-paged
+        read-only memory map (no growth path has migrated it onto a
+        private allocation yet)."""
+        return _is_mapped(self._theta_buf)
+
+    def memory_info(self) -> dict[str, object]:
+        """Membership-buffer memory accounting for telemetry.
+
+        Splits :attr:`theta_bytes` into **mapped** bytes (backed by
+        the artifact file through the OS page cache; resident only
+        where queries have touched pages) and **resident** bytes
+        (private allocations this process owns outright).  Surfaced
+        through ``engine.info()``'s ``memory`` section.
+        """
+        mapped = self.theta_mapped
+        nbytes = int(self._theta_buf.nbytes)
+        return {
+            "theta_mapped": mapped,
+            "theta_mapped_bytes": nbytes if mapped else 0,
+            "theta_resident_bytes": 0 if mapped else nbytes,
+            "theta_capacity_rows": int(self._theta_buf.shape[0]),
+        }
+
+    def _materialize_base(self) -> None:
+        """Settle any deferred base-theta verification before the
+        first end-to-end read of the base rows.
+
+        The hook (a mapped artifact's lazy CRC32 check) is cleared
+        only on success: a corrupt mapped theta keeps failing every
+        later materialization attempt instead of being read once and
+        trusted forever.
+        """
+        if self._on_materialize is not None:
+            hook = self._on_materialize
+            hook()
+            self._on_materialize = None
+
     def _touch(self) -> None:
         self.version += 1
 
@@ -489,6 +559,10 @@ class ModelState:
                 )
             else:
                 capacity = max(needed, 2 * self._theta_buf.shape[0])
+            # growth copies the base rows end to end: a mapped base
+            # verifies its deferred checksum first, then migrates to
+            # a private buffer (the map itself is never written)
+            self._materialize_base()
             grown = np.empty((capacity, k))
             grown[: self._size] = self._theta_buf[: self._size]
             self._theta_buf = grown
@@ -582,6 +656,7 @@ class ModelState:
         survivors = [
             node for node in self._extensions if node not in evicted
         ]
+        self._materialize_base()
         compact = np.empty(
             (self._num_base + len(survivors), k)
         )
@@ -614,6 +689,9 @@ class ModelState:
                 "attribute observations -- e.g. loaded from a schema-v1 "
                 "artifact); it can serve queries but not refit"
             )
+        # the refit warm-starts from theta end to end: a mapped base
+        # settles its deferred verification before the solver reads it
+        self._materialize_base()
         self._ensure_hydrated()
 
     def _ensure_hydrated(self) -> None:
@@ -785,6 +863,21 @@ class ModelState:
         return append_relation_rows(
             self.matrices, self.num_extension_nodes, links
         )
+
+
+def _is_mapped(array: np.ndarray) -> bool:
+    """Whether ``array`` is (a view into) a ``np.memmap``.
+
+    ``np.asarray``/slicing of a memmap yield plain ``ndarray`` views
+    whose ``.base`` chain bottoms out at the map, so the chain is
+    walked rather than the outermost type checked.
+    """
+    current = array
+    while current is not None:
+        if isinstance(current, np.memmap):
+            return True
+        current = getattr(current, "base", None)
+    return False
 
 
 def _spec_bag(spec: "NewNode", attribute: str) -> dict[str, float]:

@@ -121,6 +121,45 @@ class HeterogeneousNetwork:
         for node in nodes:
             self.add_node(node, object_type)
 
+    def add_node_columns(
+        self,
+        node_ids: Iterable[object],
+        node_types: Iterable[str],
+    ) -> None:
+        """Bulk-insert aligned id/type columns, preserving order.
+
+        Semantically identical to calling :meth:`add_node` per pair,
+        but validated with ``O(n)`` set operations instead of per-node
+        dict probes -- the fast path for artifact loads, where the
+        columns are a known-consistent round trip.  Inputs containing
+        duplicates (or ids already present) fall back to the per-node
+        path so re-insertion keeps its exact semantics.
+        """
+        ids = list(node_ids)
+        types = list(node_types)
+        if len(ids) != len(types):
+            raise NetworkError(
+                f"node id/type columns differ in length: "
+                f"{len(ids)} vs {len(types)}"
+            )
+        for object_type in set(types):
+            if not self.schema.has_object_type(object_type):
+                raise NetworkError(
+                    f"cannot add nodes: unknown object type "
+                    f"{object_type!r}"
+                )
+        start = len(self._node_ids)
+        index = dict(zip(ids, range(start, start + len(ids))))
+        if len(index) != len(ids) or (
+            self._node_index.keys() & index.keys()
+        ):
+            for node, object_type in zip(ids, types):
+                self.add_node(node, object_type)
+            return
+        self._node_ids.extend(ids)
+        self._node_types.extend(types)
+        self._node_index.update(index)
+
     @property
     def num_nodes(self) -> int:
         return len(self._node_ids)

@@ -3,7 +3,9 @@
 Five subcommands against a saved model artifact:
 
 * ``info ARTIFACT`` -- print the persisted model's summary (or the full
-  engine snapshot with ``--json``).
+  engine snapshot with ``--json``; ``--mmap`` serves a schema-v3
+  bundle directory off lazily-paged memory maps and the snapshot's
+  ``memory`` section reports mapped vs resident bytes).
 * ``score ARTIFACT --type TYPE [--link REL=TARGET[:WEIGHT]] ...``
   -- fold one hypothetical node in and print its posterior membership
   and hard cluster label.  ``score ARTIFACT --batch FILE`` scores many
@@ -115,17 +117,29 @@ def build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser(
         "info", help="describe a saved model artifact"
     )
-    info.add_argument("artifact", help="path to the .npz bundle")
+    info.add_argument("artifact", help="path to the artifact bundle")
     info.add_argument(
         "--json",
         action="store_true",
         help="emit the engine info() snapshot as JSON",
     )
+    info.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map a schema-v3 bundle directory instead of "
+        "loading it eagerly",
+    )
 
     score = commands.add_parser(
         "score", help="fold a hypothetical node in and print its scores"
     )
-    score.add_argument("artifact", help="path to the .npz bundle")
+    score.add_argument("artifact", help="path to the artifact bundle")
+    score.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map a schema-v3 bundle directory (cold start "
+        "touches only the pages the queries read)",
+    )
     score.add_argument(
         "--type",
         dest="object_type",
@@ -193,7 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the serving metrics registry "
         "(Prometheus text format by default)",
     )
-    metrics.add_argument("artifact", help="path to the .npz bundle")
+    metrics.add_argument("artifact", help="path to the artifact bundle")
+    metrics.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map a schema-v3 bundle directory",
+    )
     metrics.add_argument(
         "--shards",
         type=int,
@@ -278,17 +297,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_engine(artifact: str, shards: int, obs: Observability):
+def _build_engine(
+    artifact: str,
+    shards: int,
+    obs: Observability,
+    mmap: bool = False,
+):
     """A singleton engine, or a sharded cluster when ``shards > 1``."""
     if shards < 1:
         raise ServingError(f"--shards must be >= 1, got {shards}")
     if shards == 1:
-        return InferenceEngine.load(artifact, obs=obs)
-    return ShardedEngine.load(artifact, n_shards=shards, obs=obs)
+        return InferenceEngine.load(artifact, mmap=mmap, obs=obs)
+    return ShardedEngine.load(
+        artifact, n_shards=shards, mmap=mmap, obs=obs
+    )
 
 
 def _run_metrics(args: argparse.Namespace) -> int:
-    engine = _build_engine(args.artifact, args.shards, Observability())
+    engine = _build_engine(
+        args.artifact, args.shards, Observability(), mmap=args.mmap
+    )
     if args.batch is not None:
         engine.score_many(_load_batch(args.batch))
     snapshot = engine.metrics_snapshot()
@@ -458,7 +486,7 @@ def _run_chaos(args: argparse.Namespace) -> int:
 
 
 def _run_info(args: argparse.Namespace) -> int:
-    engine = InferenceEngine.load(args.artifact)
+    engine = InferenceEngine.load(args.artifact, mmap=args.mmap)
     if args.json:
         print(json.dumps(engine.info(), indent=2, sort_keys=True))
     else:
@@ -502,7 +530,7 @@ def _load_batch(path: str) -> list[dict]:
 
 
 def _run_score_batch(args: argparse.Namespace) -> int:
-    engine = InferenceEngine.load(args.artifact)
+    engine = InferenceEngine.load(args.artifact, mmap=args.mmap)
     queries = _load_batch(args.batch)
     memberships = engine.score_many(queries)
     rows = [
@@ -538,7 +566,7 @@ def _run_score(args: argparse.Namespace) -> int:
         raise ServingError(
             "score needs either --type (single query) or --batch FILE"
         )
-    engine = InferenceEngine.load(args.artifact)
+    engine = InferenceEngine.load(args.artifact, mmap=args.mmap)
     text: dict[str, list[str]] = {}
     for attribute, tokens in args.text:
         text.setdefault(attribute, []).extend(tokens)

@@ -12,17 +12,41 @@ serving layer needs to answer membership queries without refitting:
 * the per-outer-iteration diagnostics history (scalar fields only; the
   variable-length inner-EM objective traces are not persisted).
 
-On disk an artifact is a **single ``.npz`` bundle**: every numeric array
-is stored under a registry key, and one ``manifest`` entry carries a
-UTF-8 JSON document with the schema version, the structural metadata, and
-the array registry.  ``np.load`` never needs ``allow_pickle`` -- the
-format is plain arrays plus JSON, so loading untrusted artifacts cannot
+On disk an artifact is either a legacy **single ``.npz`` bundle**
+(schemas v1/v2: every numeric array under a registry key plus one
+``manifest`` entry carrying a UTF-8 JSON document) or, since **schema
+v3**, a **bundle directory**: one raw ``.npy`` file per array under
+``arrays/`` plus the same JSON manifest as ``manifest.json``.
+``np.load`` never needs ``allow_pickle`` in either layout -- the format
+is plain arrays plus JSON, so loading untrusted artifacts cannot
 execute code.
+
+The v3 layout exists for **memory-mapped loading**: raw ``.npy`` files
+open with ``np.load(..., mmap_mode="r")``, so
+``load_artifact(path, mmap=True)`` returns lazily-paged read-only
+views instead of eager copies -- cold start touches only the pages the
+first queries actually read (``O(pages touched)``, not
+``O(model size)``), and every shard partitioned from the state maps
+the same frozen base instead of copying it.  Integrity is reconciled
+**lazily**: under ``mmap=True`` the large arrays (theta, the edge
+lists, the observation tables) carry their manifest CRC32s in an
+:class:`ArtifactIntegrity` guard and are verified on **first
+materialization** (the first private writable copy: theta growth in
+``extend``, the refit path's hydration) rather than at load; the small
+arrays (gamma, attribute parameters, history) verify eagerly as
+before, and ``mmap=False`` keeps the fully eager verification of
+schemas v1/v2.  Mutating paths never write through the map --
+``np.load``'s ``"r"`` mode hands out genuinely read-only pages, and
+every growth/refit path copies first (copy-on-write by construction).
 
 Versioning: ``SCHEMA_VERSION`` is bumped whenever the layout changes;
 :func:`load_artifact` rejects bundles whose major version it does not
 understand with a :class:`~repro.exceptions.SerializationError` naming
-both versions.
+both versions.  ``save_artifact(..., schema_version=2)`` still writes
+the single-file ``.npz`` layout (``compress=False`` trades size for
+save/load speed), and v1/v2 bundles keep loading eagerly -- ``mmap``
+silently falls back to an eager load there (compressed zip members
+cannot be paged).
 
 **Schema v2** additionally embeds the *training data* -- the link lists
 of every fitted relation and the raw attribute observation tables --
@@ -43,9 +67,13 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import threading
+import time
 import zipfile
 import zlib
-from dataclasses import dataclass
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
@@ -65,10 +93,177 @@ from repro.hin.network import HeterogeneousNetwork
 from repro.hin.schema import NetworkSchema
 
 FORMAT = "repro.serving/artifact"
-SCHEMA_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+SCHEMA_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
+MANIFEST_NAME = "manifest.json"
 
 _SCALARS = (str, int, float, bool)
+
+
+def _lazy_array_names(names) -> set[str]:
+    """The arrays big enough to stay memory-mapped under ``mmap=True``
+    (their CRC32 verification is deferred to first materialization):
+    theta plus the embedded training payload.  Everything else --
+    gamma, attribute parameters, the history -- is ``O(K)``-ish and
+    verifies eagerly at load."""
+    return {
+        name
+        for name in names
+        if name == "theta" or name.startswith(("edges/", "obs/"))
+    }
+
+
+def _deferred_open_names(names) -> set[str]:
+    """Arrays whose *files* are not even opened at load time under
+    ``mmap=True``: the embedded training payload, which nothing reads
+    before refit hydration.  (theta is also checksum-deferred but opens
+    eagerly -- the first query pages it in.)  A serve-only cold start
+    therefore opens a handful of small files, not one per relation and
+    attribute."""
+    return {
+        name for name in names if name.startswith(("edges/", "obs/"))
+    }
+
+
+class _LazyPayload(dict):
+    """Array payload of a mapped v3 bundle.
+
+    Deferred members (:func:`_deferred_open_names`) open on first
+    ``[]`` access instead of at load time; ``in`` reports them as
+    present so the manifest's missing-array accounting still works.
+    A deferred file that is corrupt or has vanished fails on first
+    access with the same path-and-array-naming
+    :class:`~repro.exceptions.SerializationError` the eager load
+    raises."""
+
+    def __init__(self, bundle: Path) -> None:
+        super().__init__()
+        self.deferred: dict[str, Path] = {}
+        self._bundle = bundle
+
+    def __missing__(self, name: str) -> np.ndarray:
+        member = self.deferred[name]  # KeyError: genuinely absent
+        value = _open_member(self._bundle, name, member, mmap=True)
+        self[name] = value
+        return value
+
+    def __contains__(self, name: object) -> bool:
+        return super().__contains__(name) or name in self.deferred
+
+
+class _LazyTable(Mapping):
+    """Read-only mapping whose values build on first access (the
+    per-relation edge triples / per-attribute observation tables of a
+    mapped artifact -- building them eagerly would open every deferred
+    payload file at load time)."""
+
+    def __init__(self, keys, build) -> None:
+        self._keys = tuple(keys)
+        self._build = build
+        self._cache: dict[str, Any] = {}
+
+    def __getitem__(self, key):
+        if key not in self._cache:
+            if key not in self._keys:
+                raise KeyError(key)
+            self._cache[key] = self._build(key)
+        return self._cache[key]
+
+    def __iter__(self):
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class ArtifactIntegrity:
+    """Deferred per-array CRC32 verification for memory-mapped bundles.
+
+    Under ``mmap=True`` the big arrays stay lazily paged, so checking
+    their checksums at load would read every page and defeat the
+    ``O(pages touched)`` cold start.  This guard carries the
+    manifest's recorded CRC32s instead and verifies each array the
+    first time something **materializes** it -- makes a private
+    writable copy or reads it end to end anyway (theta growth on the
+    first ``extend``, the refit path's training-payload hydration,
+    ``to_result``).  Verification is idempotent and thread-safe: the
+    first verifier pays the CRC pass, later calls are a set lookup.
+    A mismatch raises :class:`~repro.exceptions.SerializationError`
+    naming the bundle path and the failing array, exactly like the
+    eager check -- and keeps the array unverified, so every further
+    materialization attempt fails too.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        checksums: dict[str, int],
+        arrays: dict[str, np.ndarray],
+        lazy: set[str],
+    ) -> None:
+        self._path = Path(path)
+        self._checksums = dict(checksums)
+        # hold the payload mapping, not materialized arrays: deferred
+        # members must not open their files until something verifies
+        # (= materializes) them
+        self._payload = arrays
+        self._pending = {name for name in lazy if name in arrays}
+        self._deferred_total = len(self._pending)
+        self._verified: set[str] = set()
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def verify(self, *names: str) -> None:
+        """Verify the named arrays now (no-op for already-verified or
+        unknown names)."""
+        for name in names:
+            with self._lock:
+                if name not in self._pending:
+                    continue
+                array = self._payload[name]
+                actual = zlib.crc32(
+                    np.ascontiguousarray(array).tobytes()
+                )
+                expected = int(self._checksums[name])
+                if actual != expected:
+                    raise SerializationError(
+                        f"{self._path}: checksum mismatch for array "
+                        f"{name!r} on first materialization (manifest "
+                        f"records crc32={expected}, got {actual}); "
+                        f"the bundle is corrupt or was modified after "
+                        f"save. Pass verify_checksums=False to load "
+                        f"anyway."
+                    )
+                self._pending.discard(name)
+                self._verified.add(name)
+
+    def verify_prefix(self, *prefixes: str) -> None:
+        """Verify every pending array under the given key prefixes."""
+        with self._lock:
+            matching = [
+                name
+                for name in self._pending
+                if name.startswith(prefixes)
+            ]
+        self.verify(*matching)
+
+    def verify_pending(self) -> None:
+        """Verify everything still unverified (full materialization)."""
+        with self._lock:
+            matching = list(self._pending)
+        self.verify(*matching)
+
+    def stats(self) -> dict[str, int]:
+        """Telemetry: deferred-array counts for ``engine.info()``."""
+        with self._lock:
+            return {
+                "arrays_deferred": self._deferred_total,
+                "arrays_verified": len(self._verified),
+                "arrays_pending": len(self._pending),
+            }
 
 
 @dataclass(frozen=True)
@@ -118,13 +313,21 @@ class ModelArtifact:
     object_types: tuple[str, ...]
     attribute_params: dict[str, dict]
     history: RunHistory
-    edges: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] | None = (
-        None
-    )
-    observations: dict[str, dict[str, Any]] | None = None
+    edges: (
+        Mapping[str, tuple[np.ndarray, np.ndarray, np.ndarray]] | None
+    ) = None
+    observations: Mapping[str, dict[str, Any]] | None = None
     source_schema_version: int = SCHEMA_VERSION
     """Schema version of the bundle this artifact was read from
     (:data:`SCHEMA_VERSION` for artifacts frozen in memory)."""
+    mapped: bool = False
+    """Whether the arrays are lazily-paged read-only memory maps
+    (``load_artifact(..., mmap=True)`` on a v3 bundle directory)."""
+    integrity: ArtifactIntegrity | None = field(
+        default=None, repr=False, compare=False
+    )
+    """Lazy checksum guard for mapped bundles (``None`` for eager
+    loads, unchecksummed bundles, and in-memory artifacts)."""
 
     # ------------------------------------------------------------------
     @property
@@ -235,6 +438,10 @@ class ModelArtifact:
         (v1) artifacts reconstruct nodes and schema without links, as
         before.
         """
+        # rebuilding a result materializes every array; settle any
+        # deferred checksums first (mapped bundles)
+        if self.integrity is not None:
+            self.integrity.verify_pending()
         return GenClusResult(
             theta=self.theta.copy(),
             gamma=self.gamma.copy(),
@@ -252,13 +459,23 @@ class ModelArtifact:
         the ``O(nK)`` arrays alone, and the per-edge/per-observation
         reconstruction runs only when the state's refit path
         (``to_problem`` / ``promote``) first needs it.
+
+        Mapped artifacts (``load_artifact(..., mmap=True)``) go one
+        step further: the state's base theta **is the read-only map**
+        (no copy at all -- the OS pages rows in as queries touch
+        them), and the first mutating path that must copy the base
+        rows (theta growth on ``extend``, eviction compaction, the
+        promote refit) verifies theta's deferred checksum and
+        materializes a private writable buffer.  The map itself is
+        never written through.
         """
         from repro.core.state import ModelState
 
+        integrity = self.integrity
         return ModelState(
             network=self._build_network(include_training_data=False),
             matrices=None,
-            theta=self.theta.copy(),
+            theta=self.theta if self.mapped else self.theta.copy(),
             gamma=self.gamma.copy(),
             relation_names=self.relation_names,
             attribute_names=tuple(self.attribute_params),
@@ -266,6 +483,12 @@ class ModelArtifact:
             refit_capable=self.refit_capable,
             hydrator=(
                 self._hydrated_views if self.refit_capable else None
+            ),
+            copy_theta=not self.mapped,
+            on_materialize=(
+                (lambda: integrity.verify("theta"))
+                if integrity is not None
+                else None
             ),
         )
 
@@ -278,8 +501,7 @@ class ModelArtifact:
         for name, (source, target) in self.relation_types.items():
             schema.add_relation(name, source, target)
         network = HeterogeneousNetwork(schema)
-        for node, object_type in zip(self.node_ids, self.node_types):
-            network.add_node(node, object_type)
+        network.add_node_columns(self.node_ids, self.node_types)
         if include_training_data and self.refit_capable:
             self._restore_training_data(network)
         return network
@@ -290,6 +512,10 @@ class ModelArtifact:
         CSR construction in the fit's relation order)."""
         from repro.hin.views import RelationMatrices
 
+        # hydration reads the whole training payload: settle the
+        # deferred edge/observation checksums of a mapped bundle first
+        if self.integrity is not None:
+            self.integrity.verify_prefix("edges/", "obs/")
         network = self._build_network(include_training_data=True)
         n = self.num_nodes
         mats = []
@@ -360,15 +586,26 @@ class ModelArtifact:
 
     # ------------------------------------------------------------------
     def save(
-        self, path: str | Path, schema_version: int = SCHEMA_VERSION
+        self,
+        path: str | Path,
+        schema_version: int = SCHEMA_VERSION,
+        compress: bool = True,
     ) -> Path:
-        """Write the artifact as a single ``.npz`` bundle; returns path.
+        """Write the artifact bundle; returns path.
 
-        Crash-safe: the bundle is written to a same-directory temp
-        file and moved into place with ``os.replace``, so a crash
+        Schema v3 (the default) writes a **bundle directory** of raw
+        ``.npy`` files ready for memory-mapped loading; pass
+        ``schema_version=2`` (or 1) for the legacy single-file
+        ``.npz``, where ``compress=False`` trades bundle size for
+        save/load speed.
+
+        Crash-safe: both layouts are written to a same-directory temp
+        target and swapped into place with ``os.replace``, so a crash
         mid-save can never leave a truncated bundle at ``path``.
         """
-        return save_artifact(self, path, schema_version=schema_version)
+        return save_artifact(
+            self, path, schema_version=schema_version, compress=compress
+        )
 
     @classmethod
     def load(
@@ -416,11 +653,19 @@ def save_artifact(
     artifact: ModelArtifact,
     path: str | Path,
     schema_version: int = SCHEMA_VERSION,
+    compress: bool = True,
 ) -> Path:
-    """Serialize to one ``.npz``: arrays + a JSON ``manifest`` entry.
+    """Serialize the artifact bundle.
 
-    ``schema_version=1`` writes the legacy serve-only layout (no
-    training-data payload) for interoperability with older readers.
+    Schema v3 (the default) writes a **bundle directory**: one raw
+    ``.npy`` file per array under ``arrays/`` plus the JSON manifest
+    as ``manifest.json`` -- the layout :func:`load_artifact` can
+    memory-map.  Schemas 1/2 write the legacy single-file ``.npz``
+    (``compress`` selects ``np.savez_compressed`` vs ``np.savez``);
+    ``schema_version=1`` additionally drops the training-data payload
+    for interoperability with the oldest readers.  The manifest's
+    ``save_stats`` entry records the round trip: array bytes written,
+    wall seconds, and whether compression was applied.
     """
     if schema_version not in SUPPORTED_VERSIONS:
         raise SerializationError(
@@ -428,6 +673,12 @@ def save_artifact(
             f"(supported: {SUPPORTED_VERSIONS})"
         )
     path = Path(path)
+    started = time.perf_counter()
+    # re-saving a mapped artifact reads every array end to end anyway:
+    # settle any deferred checksums first so corruption cannot be
+    # laundered into a freshly-checksummed bundle
+    if artifact.integrity is not None:
+        artifact.integrity.verify_pending()
     arrays: dict[str, np.ndarray] = {
         "theta": np.asarray(artifact.theta, dtype=np.float64),
         "gamma": np.asarray(artifact.gamma, dtype=np.float64),
@@ -497,6 +748,23 @@ def save_artifact(
             for key in keys:
                 arrays[f"obs/{name}/{key}"] = np.asarray(payload[key])
 
+    # v3 keeps the node table out of the JSON manifest: at ~100k nodes
+    # a [{"id": ..., "type": ...}] list dominates the manifest parse on
+    # every cold start, while two flat arrays (unicode ids + type codes
+    # into a small table) decode in microseconds.  Non-string ids (JSON
+    # scalars are allowed) fall back to the manifest list.
+    node_columns = schema_version >= 3 and all(
+        isinstance(node, str) for node in artifact.node_ids
+    )
+    if node_columns:
+        type_table = sorted(set(artifact.node_types))
+        code_of = {name: code for code, name in enumerate(type_table)}
+        arrays["nodes/ids"] = np.asarray(artifact.node_ids)
+        arrays["nodes/type_codes"] = np.asarray(
+            [code_of[name] for name in artifact.node_types],
+            dtype=np.uint16,
+        )
+
     manifest = {
         "format": FORMAT,
         "schema_version": schema_version,
@@ -507,10 +775,6 @@ def save_artifact(
             for name, pair in artifact.relation_types.items()
         },
         "object_types": list(artifact.object_types),
-        "nodes": [
-            {"id": node, "type": typ}
-            for node, typ in zip(artifact.node_ids, artifact.node_types)
-        ],
         "attributes": attributes,
         "arrays": sorted(arrays),
         # per-array CRC32s over the raw buffer bytes; verified by
@@ -520,8 +784,26 @@ def save_artifact(
             for name, value in arrays.items()
         },
     }
+    if node_columns:
+        manifest["node_type_table"] = type_table
+    else:
+        manifest["nodes"] = [
+            {"id": node, "type": typ}
+            for node, typ in zip(artifact.node_ids, artifact.node_types)
+        ]
     if schema_version >= 2:
         manifest["refit_capable"] = embed_payload
+    array_bytes = int(
+        sum(value.nbytes for value in arrays.values())
+    )
+    if schema_version >= 3:
+        return _save_v3(path, manifest, arrays, array_bytes, started)
+
+    manifest["save_stats"] = {
+        "array_bytes": array_bytes,
+        "seconds": round(time.perf_counter() - started, 6),
+        "compressed": bool(compress),
+    }
     arrays["manifest"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
@@ -529,22 +811,111 @@ def save_artifact(
     # rename -- a crash mid-save leaves the old bundle (or nothing)
     # at the target path, never a torn one
     scratch = path.with_name(path.name + ".tmp")
+    writer = np.savez_compressed if compress else np.savez
     try:
         with scratch.open("wb") as handle:
-            np.savez_compressed(handle, **arrays)
-        os.replace(scratch, path)
+            writer(handle, **arrays)
+        _replace_bundle(scratch, path)
     except BaseException:
         scratch.unlink(missing_ok=True)
         raise
     return path
 
 
+def _save_v3(
+    path: Path,
+    manifest: dict[str, Any],
+    arrays: dict[str, np.ndarray],
+    array_bytes: int,
+    started: float,
+) -> Path:
+    """Write the v3 bundle directory: ``arrays/NNNN.npy`` + manifest.
+
+    Array files are named by index, not by array key -- keys like
+    ``attr/my text/beta`` carry separators and arbitrary characters,
+    so the manifest's ``array_files`` mapping is the only source of
+    truth for which file holds which array.  The manifest is written
+    **last** (a bundle without it is detectably torn), and the whole
+    directory is assembled under a same-directory temp name and
+    swapped into place, so a crash mid-save leaves the old bundle (or
+    nothing) at ``path``, never a partial one.
+    """
+    array_files = {
+        name: f"arrays/{index:04d}.npy"
+        for index, name in enumerate(sorted(arrays))
+    }
+    manifest["array_files"] = array_files
+    scratch = path.with_name(path.name + f".tmp-{os.getpid()}")
+    if scratch.exists():  # pragma: no cover - stale crash debris
+        shutil.rmtree(scratch)
+    try:
+        # no parents=True: a missing target directory is the caller's
+        # error, exactly as the npz writer treats it
+        scratch.mkdir()
+        (scratch / "arrays").mkdir()
+        for name, relpath in array_files.items():
+            np.save(scratch / relpath, arrays[name], allow_pickle=False)
+        manifest["save_stats"] = {
+            "array_bytes": array_bytes,
+            "seconds": round(time.perf_counter() - started, 6),
+            "compressed": False,
+        }
+        manifest_path = scratch / MANIFEST_NAME
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        _replace_bundle(scratch, path)
+    except BaseException:
+        shutil.rmtree(scratch, ignore_errors=True)
+        raise
+    return path
+
+
+def _replace_bundle(scratch: Path, path: Path) -> None:
+    """Swap ``scratch`` into place at ``path``, whatever either is.
+
+    ``os.replace`` cannot rename over a non-empty directory (and a
+    directory cannot replace a file), so an existing bundle is first
+    renamed aside to ``<name>.old`` and removed only after the swap
+    succeeds; on failure it is restored.
+    """
+    backup: Path | None = None
+    if path.exists() and (path.is_dir() or scratch.is_dir()):
+        backup = path.with_name(path.name + ".old")
+        if backup.is_dir():
+            shutil.rmtree(backup)
+        else:
+            backup.unlink(missing_ok=True)
+        os.replace(path, backup)
+    try:
+        os.replace(scratch, path)
+    except BaseException:
+        if backup is not None:
+            os.replace(backup, path)
+        raise
+    if backup is not None:
+        if backup.is_dir():
+            shutil.rmtree(backup)
+        else:
+            backup.unlink()
+
+
 def load_artifact(
     path: str | Path,
     verify_checksums: bool = True,
+    mmap: bool = False,
     faults=None,
 ) -> ModelArtifact:
     """Deserialize an artifact bundle, checking format and version.
+
+    ``mmap=True`` on a schema-v3 bundle directory opens every array
+    with ``np.load(..., mmap_mode="r")``: the returned artifact holds
+    lazily-paged read-only views, cold start touches only the pages
+    the first queries read, and the big arrays' checksums are deferred
+    to an :class:`ArtifactIntegrity` guard verified on first
+    materialization.  On v1/v2 ``.npz`` bundles ``mmap`` silently
+    falls back to the eager load (compressed zip members cannot be
+    paged).
 
     Integrity: each array decodes individually, so a truncated or
     corrupt bundle fails with a
@@ -552,14 +923,17 @@ def load_artifact(
     the failing array (never a raw ``zipfile``/``numpy`` traceback);
     with ``verify_checksums`` (the default) every array is then
     verified against the per-array CRC32s the manifest records --
-    catching even single-bit corruption that still decodes.  Bundles
-    written before checksums existed load unverified.  ``faults``
-    optionally traverses the ``artifact.load`` site.
+    catching even single-bit corruption that still decodes (deferred
+    for the mapped big arrays as above).  Bundles written before
+    checksums existed load unverified.  ``faults`` optionally
+    traverses the ``artifact.load`` site.
     """
     path = Path(path)
     injector = resolve_faults(faults)
     if injector is not None:
         injector.traverse("artifact.load", path=str(path))
+    if path.is_dir():
+        return _load_v3(path, verify_checksums, mmap)
     try:
         bundle = np.load(path, allow_pickle=False)
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
@@ -597,6 +971,123 @@ def load_artifact(
         raise SerializationError(
             f"{path} carries a malformed manifest: {exc}"
         ) from exc
+    _check_manifest(path, manifest)
+    try:
+        artifact = _decode(manifest, payload)
+    except (KeyError, TypeError, IndexError) as exc:
+        raise SerializationError(
+            f"malformed artifact payload in {path}: {exc}"
+        ) from exc
+    if verify_checksums:
+        _verify_checksums(path, manifest, payload)
+    return artifact
+
+
+def _load_v3(
+    path: Path, verify_checksums: bool, mmap: bool
+) -> ModelArtifact:
+    """Read a schema-v3 bundle directory (``manifest.json`` +
+    ``arrays/*.npy``), optionally memory-mapped.
+
+    Array files are resolved strictly through the manifest's
+    ``array_files`` mapping, and every resolved path must stay inside
+    the bundle directory -- a tampered manifest cannot read files
+    elsewhere on disk.  Under ``mmap=True`` the small arrays verify
+    their checksums eagerly as usual while the big ones
+    (:func:`_lazy_array_names`) are handed to an
+    :class:`ArtifactIntegrity` guard for first-materialization
+    verification.
+    """
+    manifest_path = path / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SerializationError(
+            f"{path} has no readable {MANIFEST_NAME}; "
+            f"not a serving artifact bundle: {exc}"
+        ) from exc
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"{path} carries a malformed manifest: {exc}"
+        ) from exc
+    _check_manifest(path, manifest)
+    array_files = manifest.get("array_files")
+    if not isinstance(array_files, dict):
+        raise SerializationError(
+            f"{path} manifest declares no array_files mapping; "
+            f"the bundle directory is malformed"
+        )
+    names = manifest.get("arrays", ())
+    defer = _deferred_open_names(names) if mmap else set()
+    payload: dict[str, np.ndarray] = (
+        _LazyPayload(path) if mmap else {}
+    )
+    for name in names:
+        relpath = array_files.get(name)
+        if relpath is None:
+            continue  # absence is _decode's "missing arrays" error
+        member = _guarded_member(path, name, relpath)
+        if name in defer:
+            payload.deferred[name] = member
+            continue
+        payload[name] = _open_member(path, name, member, mmap)
+    lazy = _lazy_array_names(names) if mmap else set()
+    try:
+        artifact = _decode(manifest, payload)
+    except (KeyError, TypeError, IndexError) as exc:
+        raise SerializationError(
+            f"malformed artifact payload in {path}: {exc}"
+        ) from exc
+    integrity: ArtifactIntegrity | None = None
+    if verify_checksums:
+        _verify_checksums(path, manifest, payload, skip=lazy)
+        checksums = manifest.get("checksums") or {}
+        deferred = {name for name in lazy if name in checksums}
+        if deferred:
+            integrity = ArtifactIntegrity(
+                path, checksums, payload, deferred
+            )
+    return replace(artifact, mapped=mmap, integrity=integrity)
+
+
+def _guarded_member(path: Path, name: str, relpath: object) -> Path:
+    """Resolve an ``array_files`` entry, rejecting traversal by string
+    validation alone -- no filesystem access (``Path.resolve`` per
+    member is measurable cold-start latency), no absolute paths, no
+    ``..``/empty segments, no Windows drive or separator tricks."""
+    parts = relpath.split("/") if isinstance(relpath, str) else None
+    if (
+        not parts
+        or relpath[:1] in ("/", "\\")
+        or any(part in ("", ".", "..") for part in parts)
+        or any("\\" in part or ":" in part for part in parts)
+    ):
+        raise SerializationError(
+            f"{path} manifest maps array {name!r} to {relpath!r}, "
+            f"which escapes the bundle directory; refusing to load"
+        )
+    return path / relpath
+
+
+def _open_member(
+    bundle: Path, name: str, member: Path, mmap: bool
+) -> np.ndarray:
+    """Open one ``.npy`` member, naming the bundle and array on error."""
+    try:
+        return np.load(
+            member,
+            mmap_mode="r" if mmap else None,
+            allow_pickle=False,
+        )
+    except (OSError, EOFError, ValueError) as exc:
+        raise SerializationError(
+            f"{bundle} is corrupt: array {name!r} failed to decode "
+            f"({exc})"
+        ) from exc
+
+
+def _check_manifest(path: Path, manifest: dict[str, Any]) -> None:
+    """Reject wrong-format and unsupported-version manifests."""
     if manifest.get("format") != FORMAT:
         raise SerializationError(
             f"unsupported format marker {manifest.get('format')!r}; "
@@ -609,19 +1100,13 @@ def load_artifact(
             f"this library (supported: {SUPPORTED_VERSIONS}); "
             f"re-export the model or upgrade the library"
         )
-    try:
-        artifact = _decode(manifest, payload)
-    except (KeyError, TypeError, IndexError) as exc:
-        raise SerializationError(
-            f"malformed artifact payload in {path}: {exc}"
-        ) from exc
-    if verify_checksums:
-        _verify_checksums(path, manifest, payload)
-    return artifact
 
 
 def _verify_checksums(
-    path: Path, manifest: dict[str, Any], payload: dict[str, np.ndarray]
+    path: Path,
+    manifest: dict[str, Any],
+    payload: dict[str, np.ndarray],
+    skip: set[str] = frozenset(),
 ) -> None:
     """Compare each array against the manifest's recorded CRC32.
 
@@ -629,11 +1114,15 @@ def _verify_checksums(
     mismatch here means value corruption that still decodes -- flipped
     bits, a swapped array, tampering.  Bundles without a ``checksums``
     manifest key (written before checksums existed) pass unverified.
+    ``skip`` holds the lazily-verified arrays of a mapped load (they
+    belong to an :class:`ArtifactIntegrity` guard instead).
     """
     recorded = manifest.get("checksums")
     if not recorded:
         return
     for name, expected in recorded.items():
+        if name in skip:
+            continue
         array = payload.get(name)
         if array is None:
             continue  # absence is _decode's "missing arrays" error
@@ -667,11 +1156,23 @@ def _decode(
             f"theta has {theta.shape[1]} columns but the manifest "
             f"declares n_clusters={manifest['n_clusters']}"
         )
-    nodes = manifest["nodes"]
-    if theta.shape[0] != len(nodes):
+    nodes = manifest.get("nodes")
+    if nodes is not None:
+        node_ids = tuple(entry["id"] for entry in nodes)
+        node_types = tuple(entry["type"] for entry in nodes)
+    else:
+        # v3 node columns: unicode id array + type codes into the
+        # manifest's small type table
+        type_table = manifest["node_type_table"]
+        node_ids = tuple(np.asarray(payload["nodes/ids"]).tolist())
+        node_types = tuple(
+            type_table[code]
+            for code in payload["nodes/type_codes"].tolist()
+        )
+    if theta.shape[0] != len(node_ids):
         raise SerializationError(
             f"theta has {theta.shape[0]} rows but the manifest lists "
-            f"{len(nodes)} nodes"
+            f"{len(node_ids)} nodes"
         )
     if gamma.shape != (len(relation_names),):
         raise SerializationError(
@@ -722,12 +1223,15 @@ def _decode(
             )
         )
 
-    edges: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] | None
-    observations: dict[str, dict[str, Any]] | None
     edges = observations = None
     if manifest.get("refit_capable"):
-        edges = {
-            name: (
+        attribute_kinds = {
+            entry["name"]: entry["kind"]
+            for entry in manifest["attributes"]
+        }
+
+        def _edge_triple(name):
+            return (
                 np.asarray(
                     payload[f"edges/{name}/sources"], dtype=np.int64
                 ),
@@ -738,13 +1242,10 @@ def _decode(
                     payload[f"edges/{name}/weights"], dtype=np.float64
                 ),
             )
-            for name in relation_names
-        }
-        observations = {}
-        for entry in manifest["attributes"]:
-            name = entry["name"]
-            if entry["kind"] == "categorical":
-                observations[name] = {
+
+        def _observation_table(name):
+            if attribute_kinds[name] == "categorical":
+                return {
                     "kind": "categorical",
                     "node_indices": np.asarray(
                         payload[f"obs/{name}/node_indices"],
@@ -760,20 +1261,35 @@ def _decode(
                         payload[f"obs/{name}/indptr"], dtype=np.int64
                     ),
                 }
-            else:
-                observations[name] = {
-                    "kind": "gaussian",
-                    "node_indices": np.asarray(
-                        payload[f"obs/{name}/node_indices"],
-                        dtype=np.int64,
-                    ),
-                    "values": np.asarray(
-                        payload[f"obs/{name}/values"], dtype=np.float64
-                    ),
-                    "owners": np.asarray(
-                        payload[f"obs/{name}/owners"], dtype=np.int64
-                    ),
-                }
+            return {
+                "kind": "gaussian",
+                "node_indices": np.asarray(
+                    payload[f"obs/{name}/node_indices"],
+                    dtype=np.int64,
+                ),
+                "values": np.asarray(
+                    payload[f"obs/{name}/values"], dtype=np.float64
+                ),
+                "owners": np.asarray(
+                    payload[f"obs/{name}/owners"], dtype=np.int64
+                ),
+            }
+
+        if isinstance(payload, _LazyPayload) and payload.deferred:
+            # mapped bundle: keep the training payload's files closed
+            # until refit hydration first reads them
+            edges = _LazyTable(relation_names, _edge_triple)
+            observations = _LazyTable(
+                tuple(attribute_kinds), _observation_table
+            )
+        else:
+            edges = {
+                name: _edge_triple(name) for name in relation_names
+            }
+            observations = {
+                name: _observation_table(name)
+                for name in attribute_kinds
+            }
 
     return ModelArtifact(
         theta=theta,
@@ -783,8 +1299,8 @@ def _decode(
             name: (pair[0], pair[1])
             for name, pair in manifest["relation_types"].items()
         },
-        node_ids=tuple(entry["id"] for entry in nodes),
-        node_types=tuple(entry["type"] for entry in nodes),
+        node_ids=node_ids,
+        node_types=node_types,
         object_types=tuple(manifest["object_types"]),
         attribute_params=attribute_params,
         history=history,

@@ -342,9 +342,17 @@ class InferenceEngine:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def load(cls, path: str | Path, **kwargs: Any) -> InferenceEngine:
-        """Build an engine straight from an artifact bundle on disk."""
-        return cls(ModelArtifact.load(path), **kwargs)
+    def load(
+        cls, path: str | Path, mmap: bool = False, **kwargs: Any
+    ) -> InferenceEngine:
+        """Build an engine straight from an artifact bundle on disk.
+
+        ``mmap=True`` (schema-v3 bundle directories) serves straight
+        off lazily-paged read-only maps: cold start touches only the
+        pages the first queries read instead of copying the whole
+        model up front.  See :func:`repro.serving.artifact.load_artifact`.
+        """
+        return cls(ModelArtifact.load(path, mmap=mmap), **kwargs)
 
     @classmethod
     def from_result(cls, result, **kwargs: Any) -> InferenceEngine:
@@ -502,8 +510,30 @@ class InferenceEngine:
             if self._artifact is not None
             else SCHEMA_VERSION
         )
+        memory: dict[str, Any] = {
+            "schema_version": schema_version,
+            "artifact_mapped": bool(
+                self._artifact is not None and self._artifact.mapped
+            ),
+            **state.memory_info(),
+        }
+        integrity = (
+            self._artifact.integrity
+            if self._artifact is not None
+            else None
+        )
+        memory.update(
+            integrity.stats()
+            if integrity is not None
+            else {
+                "arrays_deferred": 0,
+                "arrays_verified": 0,
+                "arrays_pending": 0,
+            }
+        )
         return {
             "schema_version": schema_version,
+            "memory": memory,
             "refit_capable": state.refit_capable,
             "n_clusters": self.n_clusters,
             "num_base_nodes": self.num_base_nodes,

@@ -272,11 +272,21 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     @classmethod
     def load(
-        cls, path: str | Path, n_shards: int, **kwargs: Any
+        cls,
+        path: str | Path,
+        n_shards: int,
+        mmap: bool = False,
+        **kwargs: Any,
     ) -> "ShardedEngine":
-        """Shard a saved artifact bundle straight from disk."""
+        """Shard a saved artifact bundle straight from disk.
+
+        ``mmap=True`` (schema-v3 bundle directories) maps the frozen
+        base once and shares the read-only pages across every shard:
+        per-shard cold start and ``heal()`` rebuilds touch only the
+        pages their queries read instead of copying the model.
+        """
         return cls.from_artifact(
-            ModelArtifact.load(path), n_shards, **kwargs
+            ModelArtifact.load(path, mmap=mmap), n_shards, **kwargs
         )
 
     @classmethod
@@ -1021,8 +1031,15 @@ class ShardedEngine:
         live plan and per-shard snapshots."""
         shard_infos = [engine.info() for engine in self._shards]
         first = shard_infos[0]
+        # cluster-scope memory: the shared frozen base buffer (the
+        # router never sees the artifact object, so "mapped" here
+        # means the base the shards share is still a read-only map)
+        base_memory = dict(first["memory"])
+        base_memory.update(self._base_state.memory_info())
+        base_memory["artifact_mapped"] = self._base_state.theta_mapped
         return {
             "schema_version": first["schema_version"],
+            "memory": base_memory,
             "refit_capable": self.refit_capable,
             "n_clusters": self.n_clusters,
             "num_base_nodes": self.num_base_nodes,

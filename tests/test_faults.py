@@ -71,8 +71,11 @@ def forum_result():
 
 @pytest.fixture(scope="module")
 def artifact_path(forum_result, tmp_path_factory):
+    # the integrity tests below rewrite npz internals, so pin the
+    # legacy single-file layout (the v3 directory layout has its own
+    # coverage in test_serving_artifact.py)
     path = tmp_path_factory.mktemp("faults") / "forum.npz"
-    forum_result.save(path)
+    forum_result.save(path, schema_version=2)
     return path
 
 
@@ -710,9 +713,20 @@ class TestArtifactIntegrity:
     def test_flipped_byte_names_the_failing_array(
         self, artifact_path, tmp_path
     ):
+        import struct
+        import zipfile
+
         corrupt = tmp_path / "corrupt.npz"
         raw = bytearray(artifact_path.read_bytes())
-        raw[len(raw) // 2] ^= 0xFF
+        # flip a byte squarely inside theta's compressed data -- an
+        # arbitrary offset can land in ignored zip header padding
+        with zipfile.ZipFile(artifact_path) as bundle:
+            info = bundle.getinfo("theta.npy")
+        fnlen, extralen = struct.unpack(
+            "<HH", raw[info.header_offset + 26 : info.header_offset + 30]
+        )
+        data_start = info.header_offset + 30 + fnlen + extralen
+        raw[data_start + info.compress_size // 2] ^= 0xFF
         corrupt.write_bytes(bytes(raw))
         with pytest.raises(SerializationError) as excinfo:
             load_artifact(corrupt)

@@ -488,11 +488,17 @@ class TestEngineTelemetry:
         assert (
             InferenceEngine.load(v1_path).info()["schema_version"] == 1
         )
+        v2_path = ModelArtifact.from_result(forum_result).save(
+            tmp_path / "v2.npz", schema_version=2
+        )
+        assert (
+            InferenceEngine.load(v2_path).info()["schema_version"] == 2
+        )
         assert (
             InferenceEngine.load(forum_artifact_path).info()[
                 "schema_version"
             ]
-            == 2
+            == 3
         )
 
     def test_artifact_refreezes_lazily_after_promote(

@@ -183,3 +183,48 @@ class TestAttributes:
         assert not network.has_attribute("title")
         network.add_attribute(TextAttribute("title"))
         assert network.has_attribute("title")
+
+
+class TestAddNodeColumns:
+    """Bulk column insertion must match per-node add_node semantics."""
+
+    def test_matches_per_node_insertion(self, schema):
+        bulk = HeterogeneousNetwork(schema)
+        bulk.add_node_columns(
+            ["a", "b", "c"], ["author", "author", "conf"]
+        )
+        serial = HeterogeneousNetwork(schema)
+        for node, typ in zip(
+            ["a", "b", "c"], ["author", "author", "conf"]
+        ):
+            serial.add_node(node, typ)
+        assert bulk.node_ids == serial.node_ids
+        assert [bulk.type_of(n) for n in bulk.node_ids] == [
+            serial.type_of(n) for n in serial.node_ids
+        ]
+        assert bulk.index_of("c") == 2
+
+    def test_appends_after_existing_nodes(self, network):
+        start = network.num_nodes
+        network.add_node_columns(["carol", "VLDB"], ["author", "conf"])
+        assert network.index_of("carol") == start
+        assert network.index_of("VLDB") == start + 1
+
+    def test_duplicate_reinsertion_keeps_add_node_semantics(
+        self, network
+    ):
+        before = network.num_nodes
+        # same-type re-insert is a no-op; order of the fresh node holds
+        network.add_node_columns(
+            ["alice", "dave"], ["author", "author"]
+        )
+        assert network.num_nodes == before + 1
+        with pytest.raises(NetworkError, match="already exists"):
+            network.add_node_columns(["SIGMOD"], ["author"])
+
+    def test_unknown_type_and_ragged_columns_raise(self, schema):
+        net = HeterogeneousNetwork(schema)
+        with pytest.raises(NetworkError, match="unknown object type"):
+            net.add_node_columns(["x"], ["nope"])
+        with pytest.raises(NetworkError, match="differ in length"):
+            net.add_node_columns(["x", "y"], ["author"])

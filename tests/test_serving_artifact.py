@@ -173,7 +173,7 @@ class TestArtifactRoundtrip:
 
 class TestArtifactValidation:
     def test_rejects_unknown_schema_version(self, forum_result, tmp_path):
-        path = forum_result.save(tmp_path / "model.npz")
+        path = forum_result.save(tmp_path / "model.npz", schema_version=2)
         bundle = dict(np.load(path, allow_pickle=False))
         manifest = json.loads(bytes(bundle["manifest"]).decode())
         manifest["schema_version"] = SCHEMA_VERSION + 1
@@ -185,7 +185,7 @@ class TestArtifactValidation:
             load_artifact(tmp_path / "future.npz")
 
     def test_rejects_foreign_format(self, forum_result, tmp_path):
-        path = forum_result.save(tmp_path / "model.npz")
+        path = forum_result.save(tmp_path / "model.npz", schema_version=2)
         bundle = dict(np.load(path, allow_pickle=False))
         manifest = json.loads(bytes(bundle["manifest"]).decode())
         manifest["format"] = "something/else"
@@ -210,7 +210,7 @@ class TestArtifactValidation:
     def test_rejects_truncated_bundle(self, forum_result, tmp_path):
         """A corrupt file that still starts with zip magic raises the
         documented SerializationError, not a bare BadZipFile."""
-        path = forum_result.save(tmp_path / "model.npz")
+        path = forum_result.save(tmp_path / "model.npz", schema_version=2)
         data = path.read_bytes()
         truncated = tmp_path / "truncated-zip.npz"
         truncated.write_bytes(data[: len(data) // 2])
@@ -218,7 +218,7 @@ class TestArtifactValidation:
             load_artifact(truncated)
 
     def test_rejects_shape_mismatch(self, forum_result, tmp_path):
-        path = forum_result.save(tmp_path / "model.npz")
+        path = forum_result.save(tmp_path / "model.npz", schema_version=2)
         bundle = dict(np.load(path, allow_pickle=False))
         bundle["theta"] = bundle["theta"][:-1]
         np.savez(tmp_path / "truncated.npz", **bundle)
@@ -243,3 +243,242 @@ class TestArtifactValidation:
         )
         with pytest.raises(SerializationError, match="JSON scalar"):
             ModelArtifact.from_result(bad)
+
+
+class TestMmapServing:
+    """Schema-v3 bundle directories served off read-only maps."""
+
+    @pytest.fixture()
+    def weather_bundle(self, weather_result, tmp_path):
+        return weather_result.save(tmp_path / "model_v3")
+
+    @staticmethod
+    def _query(engine):
+        from repro.datagen.weather import (
+            RELATION_TT,
+            TEMPERATURE_ATTR,
+            TEMPERATURE_TYPE,
+        )
+
+        return engine.query(
+            TEMPERATURE_TYPE,
+            links=((RELATION_TT, "T0", 1.0), (RELATION_TT, "T3", 1.0)),
+            numeric={TEMPERATURE_ATTR: [1.0, 1.2]},
+        )
+
+    @staticmethod
+    def _batch(prefix, count=6):
+        from repro.datagen.weather import (
+            RELATION_TT,
+            TEMPERATURE_ATTR,
+            TEMPERATURE_TYPE,
+        )
+        from repro.serving import NewNode
+
+        return [
+            NewNode(
+                f"{prefix}{i}",
+                TEMPERATURE_TYPE,
+                links=((RELATION_TT, f"T{i}", 1.0),),
+                numeric={TEMPERATURE_ATTR: [1.0 + 0.1 * i]},
+            )
+            for i in range(count)
+        ]
+
+    def test_mmap_bit_identical_to_eager(self, weather_bundle):
+        from repro.datagen.weather import (
+            RELATION_TT,
+            TEMPERATURE_ATTR,
+            TEMPERATURE_TYPE,
+        )
+        from repro.serving import InferenceEngine
+
+        eager = InferenceEngine.load(weather_bundle, cache_size=0)
+        mapped = InferenceEngine.load(
+            weather_bundle, mmap=True, cache_size=0
+        )
+        np.testing.assert_array_equal(
+            self._query(mapped), self._query(eager)
+        )
+        queries = [
+            dict(
+                object_type=TEMPERATURE_TYPE,
+                links=((RELATION_TT, f"T{i}", 1.0),),
+                numeric={TEMPERATURE_ATTR: [0.5 + 0.2 * i]},
+            )
+            for i in range(5)
+        ]
+        for got, want in zip(
+            mapped.score_many(queries), eager.score_many(queries)
+        ):
+            np.testing.assert_array_equal(got, want)
+
+    def test_mmap_membership_rows_identical(
+        self, weather_bundle, weather_result
+    ):
+        loaded = GenClusResult.load(weather_bundle, mmap=True)
+        np.testing.assert_array_equal(
+            loaded.theta, weather_result.theta
+        )
+        np.testing.assert_array_equal(
+            loaded.gamma, weather_result.gamma
+        )
+
+    def test_mmap_promote_bit_identical(self, weather_bundle):
+        from repro.serving import InferenceEngine
+
+        config = GenClusConfig(n_clusters=4, outer_iterations=2, seed=0)
+        results = []
+        for mmap in (False, True):
+            engine = InferenceEngine.load(
+                weather_bundle, mmap=mmap, cache_size=0
+            )
+            engine.extend(self._batch("new-T"))
+            results.append(engine.promote(config))
+        eager, mapped = results
+        np.testing.assert_array_equal(mapped.theta, eager.theta)
+        np.testing.assert_array_equal(mapped.gamma, eager.gamma)
+        assert (
+            mapped.history.records[-1].g1_value
+            == eager.history.records[-1].g1_value
+        )
+
+    def test_lazy_checksum_catches_flip_on_first_touch(
+        self, weather_bundle
+    ):
+        from repro.serving import InferenceEngine
+
+        manifest = json.loads(
+            (weather_bundle / "manifest.json").read_text()
+        )
+        theta_file = weather_bundle / manifest["array_files"]["theta"]
+        raw = bytearray(theta_file.read_bytes())
+        # last byte of the file = inside the last theta row, far from
+        # the rows the query below touches
+        raw[-1] ^= 0xFF
+        theta_file.write_bytes(bytes(raw))
+
+        # eager load verifies everything up front and fails immediately
+        with pytest.raises(SerializationError, match="theta"):
+            load_artifact(weather_bundle)
+
+        # mapped load defers: serving starts, the first materializing
+        # path (theta growth on extend) trips the checksum...
+        engine = InferenceEngine.load(
+            weather_bundle, mmap=True, cache_size=0
+        )
+        assert self._query(engine).shape == (4,)
+        with pytest.raises(SerializationError, match="theta"):
+            engine.extend(self._batch("new-T"))
+        # ...and keeps failing -- a mismatch never marks verified
+        with pytest.raises(SerializationError, match="theta"):
+            engine.extend(self._batch("other-T"))
+
+    def test_legacy_npz_mmap_falls_back_to_eager(
+        self, weather_result, tmp_path
+    ):
+        from repro.serving import InferenceEngine
+
+        path = weather_result.save(
+            tmp_path / "model_v2.npz", schema_version=2
+        )
+        eager = InferenceEngine.load(path, cache_size=0)
+        fallback = InferenceEngine.load(path, mmap=True, cache_size=0)
+        assert not fallback.artifact.mapped
+        memory = fallback.info()["memory"]
+        assert memory["schema_version"] == 2
+        assert not memory["theta_mapped"]
+        np.testing.assert_array_equal(
+            self._query(fallback), self._query(eager)
+        )
+
+    def test_mutation_never_writes_through_the_map(self, weather_bundle):
+        from repro.serving import InferenceEngine
+
+        manifest = json.loads(
+            (weather_bundle / "manifest.json").read_text()
+        )
+        theta_file = weather_bundle / manifest["array_files"]["theta"]
+        before = theta_file.read_bytes()
+        engine = InferenceEngine.load(
+            weather_bundle, mmap=True, cache_size=0
+        )
+        engine.extend(self._batch("new-T"))
+        engine.promote(
+            GenClusConfig(n_clusters=4, outer_iterations=2, seed=0)
+        )
+        assert theta_file.read_bytes() == before
+        # a fresh mapped load still serves the original rows
+        reloaded = load_artifact(weather_bundle, mmap=True)
+        assert reloaded.mapped
+
+    def test_deferred_telemetry_settles_on_materialization(
+        self, weather_bundle
+    ):
+        from repro.serving import InferenceEngine
+
+        engine = InferenceEngine.load(
+            weather_bundle, mmap=True, cache_size=0
+        )
+        memory = engine.info()["memory"]
+        assert memory["artifact_mapped"]
+        assert memory["theta_mapped"]
+        assert memory["arrays_deferred"] > 0
+        assert memory["arrays_pending"] == memory["arrays_deferred"]
+        # full materialization (to_result) verifies everything
+        engine.artifact.to_result()
+        memory = engine.info()["memory"]
+        assert memory["arrays_pending"] == 0
+        assert memory["arrays_verified"] == memory["arrays_deferred"]
+
+    def test_rejects_path_traversal_in_manifest(
+        self, weather_bundle, tmp_path
+    ):
+        outside = tmp_path / "evil.npy"
+        np.save(outside, np.zeros(3))
+        manifest_path = weather_bundle / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["array_files"]["gamma"] = "../evil.npy"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SerializationError, match="escapes"):
+            load_artifact(weather_bundle, verify_checksums=False)
+
+    def test_v3_manifest_records_node_columns_and_stats(
+        self, weather_bundle
+    ):
+        manifest = json.loads(
+            (weather_bundle / "manifest.json").read_text()
+        )
+        # the node table lives in flat arrays, not the JSON manifest
+        assert "nodes" not in manifest
+        assert "nodes/ids" in manifest["array_files"]
+        assert "nodes/type_codes" in manifest["array_files"]
+        assert sorted(manifest["node_type_table"]) == [
+            "precipitation_sensor",
+            "temperature_sensor",
+        ]
+        stats = manifest["save_stats"]
+        assert stats["array_bytes"] > 0
+        assert stats["compressed"] is False
+        assert set(manifest["array_files"]) == set(manifest["arrays"])
+
+    def test_v2_compress_knob_roundtrip(self, weather_result, tmp_path):
+        compact = weather_result.save(
+            tmp_path / "small.npz", schema_version=2
+        )
+        plain = weather_result.save(
+            tmp_path / "plain.npz", schema_version=2, compress=False
+        )
+        assert (
+            plain.stat().st_size > compact.stat().st_size
+        )  # stored > deflated
+        for path in (compact, plain):
+            loaded = load_artifact(path)
+            np.testing.assert_array_equal(
+                loaded.theta, weather_result.theta
+            )
+        with np.load(plain, allow_pickle=False) as bundle:
+            manifest = json.loads(
+                bytes(bundle["manifest"]).decode("utf-8")
+            )
+        assert manifest["save_stats"]["compressed"] is False
