@@ -356,6 +356,34 @@ def shared_pool(num_workers: int) -> ThreadPoolExecutor:
         return pool
 
 
+def run_bounds(
+    bounds: Sequence[tuple[int, int]],
+    fn,
+    num_workers: int = 1,
+) -> list:
+    """Run ``fn(index, start, stop)`` for every half-open range.
+
+    The range-sequence twin of :func:`run_blocks` for callers whose
+    scan is a *clipped* view of a plan (a shard's owned rows, an
+    engine's extension tail) rather than the plan itself.  Results come
+    back **in bounds order** regardless of completion order; with
+    ``num_workers <= 1`` (or a single range) everything runs inline.
+    Either way each range executes the same arithmetic on the same row
+    slice, so the outputs are bit-identical.
+    """
+    if num_workers <= 1 or len(bounds) <= 1:
+        return [
+            fn(index, start, stop)
+            for index, (start, stop) in enumerate(bounds)
+        ]
+    pool = shared_pool(min(num_workers, len(bounds)))
+    futures = [
+        pool.submit(fn, index, start, stop)
+        for index, (start, stop) in enumerate(bounds)
+    ]
+    return [future.result() for future in futures]
+
+
 def run_blocks(
     plan: BlockPlan,
     fn,
@@ -371,18 +399,7 @@ def run_blocks(
     block executes the same arithmetic on the same row slice, so the
     outputs are bit-identical.
     """
-    bounds = plan.bounds
-    if num_workers <= 1 or len(bounds) <= 1:
-        return [
-            fn(index, start, stop)
-            for index, (start, stop) in enumerate(bounds)
-        ]
-    pool = shared_pool(min(num_workers, len(bounds)))
-    futures = [
-        pool.submit(fn, index, start, stop)
-        for index, (start, stop) in enumerate(bounds)
-    ]
-    return [future.result() for future in futures]
+    return run_bounds(plan.bounds, fn, num_workers)
 
 
 def ordered_block_sum(partials: Sequence, out: np.ndarray) -> np.ndarray:

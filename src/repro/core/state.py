@@ -414,17 +414,15 @@ class ModelState:
         whose re-folds would need its membership row)."""
         return frozenset(self._ext_rev.get(node, ()))
 
-    def execution_shape(
-        self, block_size: int | None = None
-    ) -> dict[str, int]:
-        """The blocked-execution decomposition of the served index space.
+    def block_plan(self, block_size: int | None = None) -> "BlockPlan":
+        """The canonical block decomposition of the served row space.
 
-        Telemetry for serving operators (surfaced through
-        ``InferenceEngine.info()``): how many row blocks the current
-        base + extension space splits into and how many rows each block
-        carries.  Uses the plan cached on the base link views' operator
-        when one exists (the plan every training-side kernel shares),
-        else derives a fresh shape-only plan.
+        One derivation shared by every consumer of the blocked shape
+        (``execution_shape`` telemetry, ``ShardPlan.from_state``, the
+        similarity top-k scan): the plan cached on the base link views'
+        operator when one exists (the plan every training-side kernel
+        shares), grown to cover live extensions, else a fresh
+        shape-only plan.  Pure function of the current shapes.
         """
         # local import: repro.core.kernels does not import state
         from repro.core.kernels import BlockPlan
@@ -436,6 +434,19 @@ class ModelState:
                 plan = plan.grown(self.num_nodes - plan.num_rows)
         else:
             plan = BlockPlan.for_shape(self.num_nodes, k, block_size)
+        return plan
+
+    def execution_shape(
+        self, block_size: int | None = None
+    ) -> dict[str, int]:
+        """The blocked-execution decomposition of the served index space.
+
+        Telemetry for serving operators (surfaced through
+        ``InferenceEngine.info()``): how many row blocks the current
+        base + extension space splits into and how many rows each block
+        carries.
+        """
+        plan = self.block_plan(block_size)
         return {
             "block_rows": plan.block_rows,
             "block_count": plan.num_blocks,

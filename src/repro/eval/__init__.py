@@ -15,7 +15,11 @@
 """
 
 from repro.eval.alignment import align_clusters, confusion_matrix
-from repro.eval.linkpred import LinkPredictionResult, link_prediction_map
+from repro.eval.linkpred import (
+    LinkPredictionResult,
+    link_prediction_map,
+    reference_ranking,
+)
 from repro.eval.nmi import adjusted_rand_index, nmi, purity
 from repro.eval.ranking import average_precision, mean_average_precision
 from repro.eval.similarity import (
@@ -39,4 +43,5 @@ __all__ = [
     "negative_euclidean",
     "nmi",
     "purity",
+    "reference_ranking",
 ]

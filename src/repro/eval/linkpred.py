@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.topk import pairwise_scores, resolve_metric
 from repro.eval.ranking import mean_average_precision
 from repro.eval.similarity import SIMILARITY_FUNCTIONS
 from repro.hin.network import HeterogeneousNetwork
@@ -58,6 +59,30 @@ def relevance_matrix(
         if i in rows and j in position and edge.weight > 0:
             relevance[rows[i], position[j]] = True
     return relevance
+
+
+def reference_ranking(
+    theta: np.ndarray,
+    query_index: int,
+    candidate_indices: list[int] | np.ndarray,
+    metric: str = "cosine",
+) -> list[int]:
+    """The offline reference ranking of candidates for one query.
+
+    Dense scores through the shared backend, then the protocol's
+    stable full sort (``np.argsort(-scores, kind="stable")`` -- ties
+    resolve by ascending candidate position, hence ascending node
+    index when ``candidate_indices`` is ascending).  This is the
+    ground truth the online blocked top-k accuracy gate pins against.
+    """
+    metric = resolve_metric(metric)
+    theta = np.asarray(theta, dtype=np.float64)
+    candidate_indices = np.asarray(candidate_indices, dtype=np.int64)
+    scores = pairwise_scores(
+        metric, theta[[query_index]], theta[candidate_indices]
+    )[0]
+    order = np.argsort(-scores, kind="stable")
+    return [int(index) for index in candidate_indices[order]]
 
 
 def link_prediction_map(

@@ -11,40 +11,33 @@ The link-prediction experiments rank candidates ``v_j`` for a query
 Each function takes ``(query_matrix, candidate_matrix)`` with shapes
 ``(Q, K)`` and ``(C, K)`` and returns a ``(Q, C)`` score matrix, larger
 meaning more similar.
+
+These are thin fronts over :mod:`repro.core.topk` -- the *same*
+precompute/score kernels that power online ``similar``/``suggest_links``
+serving -- evaluated over the full candidate range as one block, so the
+offline tables and the online rankings can never drift apart.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-_EPS = 1e-12
+from repro.core.topk import EPS as _EPS  # noqa: F401  (re-exported)
+from repro.core.topk import pairwise_scores
 
 
 def cosine_similarity(
     queries: np.ndarray, candidates: np.ndarray
 ) -> np.ndarray:
     """``cos(theta_i, theta_j)`` for all query/candidate pairs."""
-    queries = np.asarray(queries, dtype=np.float64)
-    candidates = np.asarray(candidates, dtype=np.float64)
-    q_norm = np.linalg.norm(queries, axis=1, keepdims=True)
-    c_norm = np.linalg.norm(candidates, axis=1, keepdims=True)
-    q = queries / np.maximum(q_norm, _EPS)
-    c = candidates / np.maximum(c_norm, _EPS)
-    return q @ c.T
+    return pairwise_scores("cosine", queries, candidates)
 
 
 def negative_euclidean(
     queries: np.ndarray, candidates: np.ndarray
 ) -> np.ndarray:
     """``-||theta_i - theta_j||_2`` for all pairs."""
-    queries = np.asarray(queries, dtype=np.float64)
-    candidates = np.asarray(candidates, dtype=np.float64)
-    sq = (
-        np.sum(queries**2, axis=1)[:, None]
-        + np.sum(candidates**2, axis=1)[None, :]
-        - 2.0 * (queries @ candidates.T)
-    )
-    return -np.sqrt(np.maximum(sq, 0.0))
+    return pairwise_scores("neg_euclidean", queries, candidates)
 
 
 def negative_cross_entropy(
@@ -57,10 +50,7 @@ def negative_cross_entropy(
     candidate ``v_j`` the outer weights, matching the feature function's
     orientation for a link ``<v_i, v_j>``.
     """
-    queries = np.asarray(queries, dtype=np.float64)
-    candidates = np.asarray(candidates, dtype=np.float64)
-    log_q = np.log(np.maximum(queries, _EPS))
-    return log_q @ candidates.T
+    return pairwise_scores("neg_cross_entropy", queries, candidates)
 
 
 SIMILARITY_FUNCTIONS = {

@@ -36,9 +36,17 @@ into something that lives through the whole model lifecycle:
   :class:`ShardFailure` markers instead of failing the batch.
   Failures are scripted deterministically with :mod:`repro.faults`.
 
+The fitted membership matrix is also a similarity surface:
+``engine.similar(node, k)`` / ``similar_many`` /
+``suggest_links(node, relation, k)`` answer online top-k queries
+through the blocked partial-selection kernels of
+:mod:`repro.core.topk` -- no full sort, per-metric precomputes cached
+against the state version, bit-identical at every worker and shard
+count and equal to the offline :func:`repro.eval.reference_ranking`.
+
 A small CLI ships as ``python -m repro.serving``
-(``info`` / ``score`` / ``score --batch`` / ``shard-plan`` /
-``chaos``).
+(``info`` / ``score`` / ``score --batch`` / ``similar`` /
+``suggest-links`` / ``shard-plan`` / ``chaos``).
 
 Typical lifecycle::
 

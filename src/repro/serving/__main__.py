@@ -1,6 +1,6 @@
 """Command-line serving front end: ``python -m repro.serving``.
 
-Five subcommands against a saved model artifact:
+Subcommands against a saved model artifact:
 
 * ``info ARTIFACT`` -- print the persisted model's summary (or the full
   engine snapshot with ``--json``; ``--mmap`` serves a schema-v3
@@ -13,6 +13,16 @@ Five subcommands against a saved model artifact:
   ``FILE`` holds a JSON array (or JSON-lines stream) of query objects
   ``{"object_type": ..., "links": [[REL, TARGET, WEIGHT?], ...],
   "text": {...}, "numeric": {...}}``.
+* ``similar ARTIFACT --node ID [-k N] [--metric M] [--type TYPE]
+  [--shards N]`` -- the top-k most similar served nodes by fitted
+  membership (blocked partial selection; ``--metric`` is ``cosine``,
+  ``euclidean``, or ``cross_entropy``).  ``--shards N > 1`` serves
+  the query through a scatter-gather cluster -- the ranking is
+  bit-identical to the singleton's.
+* ``suggest-links ARTIFACT --node ID --relation REL [-k N]
+  [--metric M] [--shards N]`` -- rank link candidates for one node:
+  top-k nodes of the relation's target type, with the node itself and
+  its already-linked targets excluded.
 * ``shard-plan ARTIFACT --shards N [--block-size B]`` -- print the
   :class:`~repro.serving.cluster.ShardPlan` a cluster of ``N`` engines
   would pin this artifact's index space with (rows and blocks per
@@ -178,6 +188,71 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument(
         "--json", action="store_true", help="emit JSON instead of text"
     )
+
+    def add_similarity_arguments(command, with_relation: bool) -> None:
+        command.add_argument(
+            "artifact", help="path to the artifact bundle"
+        )
+        command.add_argument(
+            "--node",
+            required=True,
+            help="id of the served query node",
+        )
+        if with_relation:
+            command.add_argument(
+                "--relation",
+                required=True,
+                help="the declared relation to suggest targets for",
+            )
+        command.add_argument(
+            "-k",
+            type=int,
+            default=10,
+            help="results to return (default: 10)",
+        )
+        command.add_argument(
+            "--metric",
+            default="cosine",
+            choices=["cosine", "euclidean", "cross_entropy"],
+            help="membership similarity (default: cosine)",
+        )
+        if not with_relation:
+            command.add_argument(
+                "--type",
+                dest="object_type",
+                default=None,
+                help="restrict candidates to this object type "
+                "(default: the query node's own type)",
+            )
+        command.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="serve through a cluster of N shard engines "
+            "(default: 1, a singleton)",
+        )
+        command.add_argument(
+            "--mmap",
+            action="store_true",
+            help="memory-map a schema-v3 bundle directory",
+        )
+        command.add_argument(
+            "--json",
+            action="store_true",
+            help="emit JSON instead of text",
+        )
+
+    similar = commands.add_parser(
+        "similar",
+        help="rank the served nodes most similar to one node",
+    )
+    add_similarity_arguments(similar, with_relation=False)
+
+    suggest = commands.add_parser(
+        "suggest-links",
+        help="rank link candidates for one node under a relation",
+    )
+    add_similarity_arguments(suggest, with_relation=True)
 
     shard_plan = commands.add_parser(
         "shard-plan",
@@ -485,6 +560,51 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_ranking(
+    ranking: list[tuple[object, float]], as_json: bool
+) -> None:
+    if as_json:
+        print(
+            json.dumps(
+                [
+                    {"node": str(node), "score": float(score)}
+                    for node, score in ranking
+                ]
+            )
+        )
+        return
+    if not ranking:
+        print("no candidates")
+        return
+    for rank, (node, score) in enumerate(ranking, start=1):
+        print(f"{rank:>3}. {node}  {score:.6f}")
+
+
+def _run_similar(args: argparse.Namespace) -> int:
+    engine = _build_engine(
+        args.artifact, args.shards, Observability(), mmap=args.mmap
+    )
+    ranking = engine.similar(
+        args.node,
+        k=args.k,
+        metric=args.metric,
+        object_type=args.object_type,
+    )
+    _print_ranking(ranking, args.json)
+    return 0
+
+
+def _run_suggest_links(args: argparse.Namespace) -> int:
+    engine = _build_engine(
+        args.artifact, args.shards, Observability(), mmap=args.mmap
+    )
+    ranking = engine.suggest_links(
+        args.node, args.relation, k=args.k, metric=args.metric
+    )
+    _print_ranking(ranking, args.json)
+    return 0
+
+
 def _run_info(args: argparse.Namespace) -> int:
     engine = InferenceEngine.load(args.artifact, mmap=args.mmap)
     if args.json:
@@ -638,6 +758,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_trace(args)
         if args.command == "chaos":
             return _run_chaos(args)
+        if args.command == "similar":
+            return _run_similar(args)
+        if args.command == "suggest-links":
+            return _run_suggest_links(args)
         return _run_score(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

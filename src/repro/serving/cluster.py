@@ -84,23 +84,10 @@ class ShardPlan:
                 f"n_shards must be >= 1, got {n_shards}"
             )
 
-        def derive(rows_per_block):
-            from repro.core.kernels import BlockPlan as _BlockPlan
-
-            k = state.n_clusters
-            if state.matrices is not None:
-                plan = state.matrices.block_plan(k, rows_per_block)
-                if plan.num_rows != state.num_nodes:
-                    plan = plan.grown(state.num_nodes - plan.num_rows)
-                return plan
-            return _BlockPlan.for_shape(
-                state.num_nodes, k, rows_per_block
-            )
-
-        plan = derive(block_size)
+        plan = state.block_plan(block_size)
         if block_size is None and plan.num_blocks < n_shards:
             refined = max(1, state.num_nodes // (4 * n_shards))
-            plan = derive(refined)
+            plan = state.block_plan(refined)
         return cls.from_block_plan(plan, n_shards)
 
     @classmethod

@@ -43,6 +43,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core import topk
 from repro.core.config import GenClusConfig
 from repro.core.genclus import GenClus
 from repro.core.kernels import resolve_workers
@@ -337,6 +338,12 @@ class InferenceEngine:
         self._metrics.cache_capacity.set(cache_size)
         self._clock = 0  # monotonic operation counter ("query age")
         self._last_used: dict[object, int] = {}
+        # version-stamped similarity caches: per-metric candidate
+        # precomputes and per-type candidate masks, both invalidated
+        # with the query cache on every delta (and promote, which may
+        # reset the version counter)
+        self._simcache: dict[str, tuple[int, dict]] = {}
+        self._simtypes: dict[str, tuple[int, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -488,6 +495,13 @@ class InferenceEngine:
         metrics.extension_links.set(state.extension_link_count())
         metrics.extension_capacity.set(state.theta_capacity)
         metrics.extension_bytes.set(state.theta_bytes)
+        metrics.simcache_entries.set(len(self._simcache))
+        metrics.simcache_bytes.set(
+            sum(
+                topk.precompute_nbytes(pre)
+                for _, pre in self._simcache.values()
+            )
+        )
         return self.obs.metrics.snapshot()
 
     def info(self) -> dict[str, Any]:
@@ -531,6 +545,8 @@ class InferenceEngine:
                 "arrays_pending": 0,
             }
         )
+        sections = info_sections(self.metrics_snapshot())
+        sections["similarity"]["version"] = state.version
         return {
             "schema_version": schema_version,
             "memory": memory,
@@ -558,7 +574,7 @@ class InferenceEngine:
                 "shard_count": self._shard_count,
                 **state.execution_shape(self._block_size),
             },
-            **info_sections(self.metrics_snapshot()),
+            **sections,
         }
 
     # ------------------------------------------------------------------
@@ -990,6 +1006,314 @@ class InferenceEngine:
         ]
 
     # ------------------------------------------------------------------
+    # top-k similarity serving
+    # ------------------------------------------------------------------
+    def similar(
+        self,
+        node: object,
+        k: int = 10,
+        metric: str = "cosine",
+        object_type: str | None = None,
+    ) -> list[tuple[object, float]]:
+        """The ``k`` served nodes most similar to ``node``.
+
+        Candidates are the nodes of ``node``'s own object type (or
+        ``object_type`` when given), excluding the query itself.
+        Returns ``[(node_id, score), ...]`` in ranking order under the
+        deterministic total order (score desc, then global node index
+        asc) -- bit-identical at every worker and shard count, and
+        equal to the offline :func:`repro.eval.linkpred.reference_ranking`.
+        """
+        return self.similar_many(
+            [node], k=k, metric=metric, object_type=object_type
+        )[0]
+
+    def similar_many(
+        self,
+        nodes: Sequence[object],
+        k: int = 10,
+        metric: str = "cosine",
+        object_type: str | None = None,
+    ) -> list[list[tuple[object, float]]]:
+        """Answer a batch of :meth:`similar` queries as one blocked scan.
+
+        The whole batch is scored against each served theta block as a
+        single matmul and each block keeps only its ``k`` best rows
+        (``np.argpartition``, no full sort), so a batch costs one pass
+        over theta regardless of its size -- ``O(n*K + n)`` per batch,
+        never materializing an ``(m, n)`` score matrix.
+        """
+        metric = _resolve_metric(metric)
+        rows = [self._served_row(node) for node in nodes]
+        types = self._model.node_types
+        candidate_types = [
+            object_type if object_type is not None else types[row]
+            for row in rows
+        ]
+        tick = time.perf_counter()
+        with self.obs.span(
+            "similar_many", queries=len(rows), k=int(k), metric=metric
+        ):
+            partials = self.similar_rows_partial(
+                rows,
+                k,
+                metric,
+                candidate_types=candidate_types,
+                exclude_nodes=[{node} for node in nodes],
+            )
+        self._metrics.similarity_queries.inc(len(rows))
+        self._metrics.similarity_seconds.observe(
+            time.perf_counter() - tick
+        )
+        return [
+            self._resolve_rows(scores, found)
+            for scores, found in partials
+        ]
+
+    def suggest_links(
+        self,
+        node: object,
+        relation: str,
+        k: int = 10,
+        metric: str = "cosine",
+    ) -> list[tuple[object, float]]:
+        """Suggest ``k`` link targets for ``node`` under ``relation``.
+
+        The link-prediction protocol of Section 5.2.2, served online:
+        candidates are the relation's target-typed nodes, minus the
+        query itself and every target it already links to through the
+        relation.  ``node`` must have the relation's source type.
+        """
+        metric = _resolve_metric(metric)
+        row = self._served_row(node)
+        target_type = self._suggest_target_type(node, relation)
+        exclude = {node}
+        exclude.update(self._linked_targets(node, relation))
+        tick = time.perf_counter()
+        with self.obs.span(
+            "suggest_links", relation=relation, k=int(k), metric=metric
+        ):
+            partials = self.similar_rows_partial(
+                [row],
+                k,
+                metric,
+                candidate_types=[target_type],
+                exclude_nodes=[exclude],
+            )
+        self._metrics.similarity_queries.inc()
+        self._metrics.similarity_seconds.observe(
+            time.perf_counter() - tick
+        )
+        scores, found = partials[0]
+        return self._resolve_rows(scores, found)
+
+    def similar_rows_partial(
+        self,
+        queries: "Sequence[int] | np.ndarray",
+        k: int,
+        metric: str,
+        candidate_types: Sequence[str | None] | None = None,
+        exclude_nodes: Sequence[Iterable[object] | None] | None = None,
+        base_range: tuple[int, int] | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Blocked top-k over the rows this engine is responsible for.
+
+        The mechanism under :meth:`similar_many` / :meth:`suggest_links`,
+        exposed raw (no telemetry, local row indices instead of node
+        ids) so a cluster router can scatter one similarity query
+        across shards: each shard scans its **owned** base rows
+        (``base_range``, a half-open row range; the full base by
+        default) plus its own extensions, and the router merges the
+        per-shard shortlists.  ``queries`` is either a sequence of
+        local theta row indices (query-side precomputes are gathered
+        from the version-stamped cache) or a ``(m, K)`` matrix of raw
+        membership vectors (the router's form -- an extension query's
+        row exists only on its owner shard, so peers receive the
+        vector; both prepartions are bit-identical).  Scan blocks come
+        from the state's canonical
+        :meth:`~repro.core.state.ModelState.block_plan` clipped to the
+        owned ranges and run on the shared kernel pool; results are
+        bit-identical at every worker count.
+        """
+        if k < 1:
+            raise ServingError(f"k must be >= 1, got {k}")
+        state = self._state
+        theta = self._model.theta
+        num_base = state.num_base_nodes
+        num_nodes = state.num_nodes
+        masks = None
+        if candidate_types is not None:
+            masks = [
+                None if name is None else self._type_mask(name)
+                for name in candidate_types
+            ]
+        exclude = None
+        if exclude_nodes is not None:
+            node_index = self._model.node_index
+            exclude = []
+            for excluded in exclude_nodes:
+                if not excluded:
+                    exclude.append(None)
+                    continue
+                local = sorted(
+                    index
+                    for index in (
+                        node_index.get(node) for node in excluded
+                    )
+                    if index is not None
+                )
+                exclude.append(np.asarray(local, dtype=np.int64))
+        start, stop = (
+            base_range if base_range is not None else (0, num_base)
+        )
+        ranges = [(max(start, 0), min(stop, num_base))]
+        if num_nodes > num_base:
+            ranges.append((num_base, num_nodes))
+        plan = state.block_plan(self._block_size)
+        bounds = []
+        for range_start, range_stop in ranges:
+            for block_start, block_stop in plan.bounds:
+                lo = max(block_start, range_start)
+                hi = min(block_stop, range_stop)
+                if hi > lo:
+                    bounds.append((lo, hi))
+        pre = self._similarity_precompute(metric)
+        if isinstance(queries, np.ndarray) and queries.ndim == 2:
+            num_queries = queries.shape[0]
+            prepared = topk.prepare_queries(metric, queries)
+        else:
+            rows = [int(row) for row in queries]
+            num_queries = len(rows)
+            prepared = topk.prepare_queries(
+                metric, theta[rows], pre, rows
+            )
+        if not bounds or not num_queries:
+            empty = (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
+            return [empty] * num_queries
+        return topk.topk_bounds(
+            metric,
+            prepared,
+            theta,
+            k,
+            bounds,
+            pre,
+            num_workers=self._num_workers,
+            masks=masks,
+            exclude=exclude,
+        )
+
+    def _served_row(self, node: object) -> int:
+        index = self._model.node_index.get(node)
+        if index is None:
+            raise ServingError(
+                f"node {node!r} is not served by this engine"
+            )
+        return int(index)
+
+    def _resolve_rows(
+        self, scores: np.ndarray, rows: np.ndarray
+    ) -> list[tuple[object, float]]:
+        """Map local ``(scores, rows)`` partials to ``(node, score)``."""
+        state = self._state
+        num_base = state.num_base_nodes
+        extensions: tuple[object, ...] | None = None
+        resolved = []
+        for score, row in zip(scores, rows):
+            row = int(row)
+            if row < num_base:
+                node = state.network.node_at(row)
+            else:
+                if extensions is None:
+                    extensions = state.extension_nodes()
+                node = extensions[row - num_base]
+            resolved.append((node, float(score)))
+        return resolved
+
+    def _suggest_target_type(self, node: object, relation: str) -> str:
+        declaration = self._model.relation_types.get(relation)
+        if declaration is None:
+            raise ServingError(
+                f"unknown relation {relation!r}; available: "
+                f"{sorted(self._model.relation_types)}"
+            )
+        source_type, target_type = declaration
+        node_type = self._model.node_types[self._served_row(node)]
+        if node_type != source_type:
+            raise ServingError(
+                f"relation {relation!r} links {source_type!r} -> "
+                f"{target_type!r}, but node {node!r} has type "
+                f"{node_type!r}"
+            )
+        return target_type
+
+    def _linked_targets(
+        self, node: object, relation: str
+    ) -> set[object]:
+        """Targets ``node`` already links to through ``relation``.
+
+        Extension links live on the node's spec; base links live in
+        the training payload, which artifact-backed states decode
+        lazily (:meth:`~repro.core.state.ModelState.hydrate`, a no-op
+        once decoded).  A serve-only artifact carries no link data at
+        all, so its base nodes have nothing to exclude.
+        """
+        state = self._state
+        if state.is_extension(node):
+            spec = state.extension_spec(node)
+            return {
+                target
+                for rel, target, _ in spec.links
+                if rel == relation
+            }
+        state.hydrate()
+        return {
+            target
+            for target, _, _ in state.network.out_neighbors(
+                node, relation
+            )
+        }
+
+    def _type_mask(self, object_type: str) -> np.ndarray:
+        """Version-stamped boolean candidate mask for one object type.
+
+        Queries of the same candidate type share the cached array
+        *object*, which is what lets the blocked scan apply each
+        distinct mask to a score panel once per block.
+        """
+        if object_type not in self._model.object_types:
+            raise ServingError(
+                f"unknown object type {object_type!r}; available: "
+                f"{sorted(self._model.object_types)}"
+            )
+        version = self._state.version
+        entry = self._simtypes.get(object_type)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        types = self._model.node_types
+        mask = np.fromiter(
+            (name == object_type for name in types),
+            dtype=bool,
+            count=len(types),
+        )
+        self._simtypes[object_type] = (version, mask)
+        return mask
+
+    def _similarity_precompute(self, metric: str) -> dict:
+        """The metric's candidate precompute, cached per model version."""
+        version = self._state.version
+        entry = self._simcache.get(metric)
+        if entry is not None and entry[0] == version:
+            self._metrics.simcache_hits.inc()
+            return entry[1]
+        self._metrics.simcache_misses.inc()
+        pre = topk.precompute(metric, self._model.theta)
+        self._simcache[metric] = (version, pre)
+        return pre
+
+    # ------------------------------------------------------------------
     def _touch_usage(self, node: object) -> None:
         if self._state.is_extension(node):
             self._clock += 1
@@ -1009,6 +1333,15 @@ class InferenceEngine:
 
     def _invalidate_cache(self) -> None:
         self._cache.clear()
+        # similarity precomputes are stamped with the state version,
+        # but a promote swaps the state object itself (fresh version
+        # counter), so the caches are dropped explicitly alongside the
+        # query cache rather than trusting the stamp alone
+        dropped = len(self._simcache) + len(self._simtypes)
+        if dropped:
+            self._metrics.simcache_invalidations.inc(dropped)
+        self._simcache.clear()
+        self._simtypes.clear()
 
 
 def compile_transient_queries(
@@ -1062,6 +1395,14 @@ def compile_transient_queries(
 _BATCH_QUERY_RE = re.compile(
     r"node \('" + re.escape(_QUERY_ID) + r"', (\d+)\)"
 )
+
+
+def _resolve_metric(metric: str) -> str:
+    """Canonical metric name, with alias errors as serving errors."""
+    try:
+        return topk.resolve_metric(metric)
+    except ValueError as exc:
+        raise ServingError(str(exc)) from None
 
 
 def _dequalify(exc: ServingError) -> ServingError:

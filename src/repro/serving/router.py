@@ -75,6 +75,7 @@ from repro.serving.engine import (
     _QUERY_ID,
     _canonical_key,
     _dequalify,
+    _resolve_metric,
     compile_transient_queries,
     promote_state,
     select_lru_victims,
@@ -597,6 +598,190 @@ class ShardedEngine:
             for membership in self.score_many(queries)
         ]
 
+    # ------------------------------------------------------------------
+    # top-k similarity serving
+    # ------------------------------------------------------------------
+    def similar(
+        self,
+        node: object,
+        k: int = 10,
+        metric: str = "cosine",
+        object_type: str | None = None,
+    ) -> list[tuple[object, float]]:
+        """Cluster-wide :meth:`InferenceEngine.similar`, scatter-gathered.
+
+        Bit-identical to the singleton engine's answer at every shard
+        count: each shard runs the blocked partial selection over its
+        **owned** base rows plus its own extensions (every served node
+        scanned exactly once across the cluster) and the router k-way
+        merges the per-shard shortlists under the global total order
+        (score desc, then global node index asc).
+        """
+        return self.similar_many(
+            [node], k=k, metric=metric, object_type=object_type
+        )[0]
+
+    def similar_many(
+        self,
+        nodes: Sequence[object],
+        k: int = 10,
+        metric: str = "cosine",
+        object_type: str | None = None,
+    ) -> list[list[tuple[object, float]]]:
+        """A batch of :meth:`similar` queries as one cluster scatter."""
+        metric = _resolve_metric(metric)
+        queries = []
+        for node in nodes:
+            owner = self._shards[self.owner_of(node)]
+            row = owner._served_row(node)
+            name = (
+                object_type
+                if object_type is not None
+                else owner._model.node_types[row]
+            )
+            queries.append((owner.state.theta[row], name, {node}))
+        return self._scatter_similarity(
+            "similar_many", queries, k, metric
+        )
+
+    def suggest_links(
+        self,
+        node: object,
+        relation: str,
+        k: int = 10,
+        metric: str = "cosine",
+    ) -> list[tuple[object, float]]:
+        """Cluster-wide :meth:`InferenceEngine.suggest_links`.
+
+        The relation check and candidate typing run on the node's
+        owner shard; neighbor exclusion for an extension node reads
+        the owner's spec (the shard holding its accumulated links),
+        while base-node links come from the router's base state --
+        shard states are serve-only slices whose node-only network
+        never hydrates.  The scan itself fans out across all shards
+        like :meth:`similar_many`.
+        """
+        metric = _resolve_metric(metric)
+        owner = self._shards[self.owner_of(node)]
+        row = owner._served_row(node)
+        target_type = owner._suggest_target_type(node, relation)
+        if node in self._registry:
+            exclude = {node} | owner._linked_targets(node, relation)
+        else:
+            self._base_state.hydrate()
+            exclude = {node} | {
+                target
+                for target, _, _ in (
+                    self._base_state.network.out_neighbors(
+                        node, relation
+                    )
+                )
+            }
+        return self._scatter_similarity(
+            "suggest_links",
+            [(owner.state.theta[row], target_type, exclude)],
+            k,
+            metric,
+        )[0]
+
+    def _scatter_similarity(
+        self,
+        span_name: str,
+        queries: list[tuple[np.ndarray, str, set]],
+        k: int,
+        metric: str,
+    ) -> list[list[tuple[object, float]]]:
+        """Scatter a similarity batch, gather, and k-way merge.
+
+        Each query travels as ``(theta_vector, candidate_type,
+        excluded_node_ids)`` -- vectors rather than rows because an
+        extension query's row exists only on its owner shard.  Shards
+        run on the router's scatter pool (disjoint from the kernel
+        pools, same deadlock-avoidance as ``score_many``) and are
+        gathered in shard order; the merge key for an extension node
+        is ``num_base + arrival``, which reproduces the singleton
+        engine's served-row order exactly (fold-in append order, with
+        relative order preserved across evictions).
+        """
+        if k < 1:
+            raise ServingError(f"k must be >= 1, got {k}")
+        if not queries:
+            return []
+        matrix = np.array(
+            [vector for vector, _, _ in queries], dtype=np.float64
+        )
+        candidate_types = [name for _, name, _ in queries]
+        exclude_nodes = [excluded for _, _, excluded in queries]
+        num_base = self.num_base_nodes
+        tick = time.perf_counter()
+        with self.obs.span(
+            span_name, queries=len(queries), k=int(k), metric=metric
+        ):
+
+            def scan(shard: int):
+                return self._shards[shard].similar_rows_partial(
+                    matrix,
+                    k,
+                    metric,
+                    candidate_types=candidate_types,
+                    exclude_nodes=exclude_nodes,
+                    base_range=self._plan.rows_of(shard),
+                )
+
+            width = min(
+                resolve_workers(self._num_workers), self.n_shards
+            )
+            if width > 1:
+                pool = self._scatter_pool()
+                futures = [
+                    pool.submit(scan, shard)
+                    for shard in range(self.n_shards)
+                ]
+                # gather in shard order: determinism over completion
+                # order, like every blocked reduction
+                gathered = [future.result() for future in futures]
+            else:
+                gathered = [
+                    scan(shard) for shard in range(self.n_shards)
+                ]
+            results = []
+            for position in range(len(queries)):
+                entries: list[tuple[float, int, object]] = []
+                for shard, partials in enumerate(gathered):
+                    scores, rows = partials[position]
+                    engine = self._shards[shard]
+                    extensions: tuple[object, ...] | None = None
+                    for score, row in zip(scores, rows):
+                        row = int(row)
+                        if row < num_base:
+                            key = row
+                            found = self._base_state.network.node_at(
+                                row
+                            )
+                        else:
+                            if extensions is None:
+                                extensions = (
+                                    engine.state.extension_nodes()
+                                )
+                            found = extensions[row - num_base]
+                            key = (
+                                num_base
+                                + self._registry[found].arrival
+                            )
+                        entries.append((float(score), key, found))
+                entries.sort(key=lambda entry: (-entry[0], entry[1]))
+                results.append(
+                    [
+                        (found, score)
+                        for score, _, found in entries[:k]
+                    ]
+                )
+        self._metrics.similarity_queries.inc(len(queries))
+        self._metrics.similarity_seconds.observe(
+            time.perf_counter() - tick
+        )
+        return results
+
     def _score_shard(
         self,
         shard: int,
@@ -1031,6 +1216,8 @@ class ShardedEngine:
         live plan and per-shard snapshots."""
         shard_infos = [engine.info() for engine in self._shards]
         first = shard_infos[0]
+        sections = info_sections(self.metrics_snapshot())
+        sections["similarity"]["version"] = self._base_state.version
         # cluster-scope memory: the shared frozen base buffer (the
         # router never sees the artifact object, so "mapped" here
         # means the base the shards share is still a read-only map)
@@ -1056,7 +1243,7 @@ class ShardedEngine:
                 "shard_count": self.n_shards,
                 **self._base_state.execution_shape(self._block_size),
             },
-            **info_sections(self.metrics_snapshot()),
+            **sections,
             "cluster": {
                 "n_shards": self.n_shards,
                 "plan": self._plan.describe(self._base_state),

@@ -44,6 +44,11 @@ ROUTER_AUTHORITATIVE = frozenset(
         "repro_retrain_backoffs_total",
         "repro_retrain_pressure_scale",
         "repro_retrain_last_g1_gain",
+        # similarity queries are counted where they are answered: the
+        # router owns the cluster-scope count and latency, shards only
+        # see scatter fragments of each query
+        "repro_similarity_queries_total",
+        "repro_similarity_seconds",
     }
 )
 
@@ -144,6 +149,36 @@ class ServingMetrics:
         self.retrain_last_gain = registry.gauge(
             "repro_retrain_last_g1_gain",
             "g1 gain realized by the last retrain round",
+        )
+        # blocked top-k similarity serving (PR 9)
+        self.similarity_queries = registry.counter(
+            "repro_similarity_queries_total",
+            "Top-k similarity queries answered",
+        )
+        self.similarity_seconds = registry.histogram(
+            "repro_similarity_seconds",
+            "Wall-clock seconds per similarity batch",
+            buckets=LATENCY_BUCKETS,
+        )
+        self.simcache_entries = registry.gauge(
+            "repro_similarity_precompute_entries",
+            "Cached per-metric similarity precomputes",
+        )
+        self.simcache_bytes = registry.gauge(
+            "repro_similarity_precompute_bytes",
+            "Bytes held by cached similarity precomputes",
+        )
+        self.simcache_hits = registry.counter(
+            "repro_similarity_precompute_hits_total",
+            "Similarity precompute-cache hits",
+        )
+        self.simcache_misses = registry.counter(
+            "repro_similarity_precompute_misses_total",
+            "Similarity precompute-cache misses (rebuilds)",
+        )
+        self.simcache_invalidations = registry.counter(
+            "repro_similarity_precompute_invalidations_total",
+            "Similarity precomputes dropped by state mutations",
         )
 
 
@@ -249,6 +284,22 @@ def info_sections(snapshot: dict) -> dict[str, Any]:
             "link_deltas": count("repro_link_deltas_total"),
             "refolded_rows": count("repro_refolded_rows_total"),
             "promotions": count("repro_promotions_total"),
+        },
+        "similarity": {
+            "queries": count("repro_similarity_queries_total"),
+            "precompute_entries": count(
+                "repro_similarity_precompute_entries"
+            ),
+            "precompute_bytes": count(
+                "repro_similarity_precompute_bytes"
+            ),
+            "hits": count("repro_similarity_precompute_hits_total"),
+            "misses": count(
+                "repro_similarity_precompute_misses_total"
+            ),
+            "invalidations": count(
+                "repro_similarity_precompute_invalidations_total"
+            ),
         },
     }
 
