@@ -22,6 +22,11 @@ the serving layer):
     The warm-started refit inside ``promote_state``.
 ``artifact.load``
     Reading a model bundle from disk in ``load_artifact``.
+``worker.call``
+    One RPC to a shard worker process over the multiprocess
+    transport (labels: ``shard``, ``op``) -- an injected exception
+    here models a dead worker or a broken socket, exercising the
+    respawn + durable-delta-replay recovery path.
 
 Specs carry optional labels (e.g. ``shard="1"``); a spec fires only at
 traversals whose labels are a superset of the spec's.  All label values

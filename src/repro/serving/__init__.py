@@ -35,6 +35,23 @@ into something that lives through the whole model lifecycle:
   partial-mode ``score_many`` degrades with typed
   :class:`ShardFailure` markers instead of failing the batch.
   Failures are scripted deterministically with :mod:`repro.faults`.
+* :mod:`repro.serving.transport` / :mod:`repro.serving.worker` -- the
+  out-of-process backend: shard engines run in separate worker
+  processes (:class:`ProcessTransport`), each cold-starting from the
+  schema-v3 mmap bundle (the frozen base shared read-only through the
+  OS page cache) and answering the shard surface over a
+  length-prefixed, pickle-free socket protocol.  The in-process
+  :class:`InprocessTransport` stays the default; both backends are
+  bit-identical behind the same router.  A worker that dies is
+  respawned and its durable deltas replayed (the supervision layer's
+  breaker/rebuild path, extended to process death).
+* :mod:`repro.serving.gateway` -- the HTTP front end:
+  :class:`Gateway` is an asyncio server (stdlib-only) whose
+  :class:`MicroBatcher` coalesces concurrent requests into blocked
+  ``score_many`` / ``similar_many`` calls (size- or time-triggered
+  flushes), with admission control (bounded queue, 429 on overflow)
+  and graceful drain; :class:`GatewayServer` runs it on a background
+  thread for synchronous callers.
 
 The fitted membership matrix is also a similarity surface:
 ``engine.similar(node, k)`` / ``similar_many`` /
@@ -46,7 +63,7 @@ count and equal to the offline :func:`repro.eval.reference_ranking`.
 
 A small CLI ships as ``python -m repro.serving``
 (``info`` / ``score`` / ``score --batch`` / ``similar`` /
-``suggest-links`` / ``shard-plan`` / ``chaos``).
+``suggest-links`` / ``shard-plan`` / ``chaos`` / ``serve``).
 
 Typical lifecycle::
 
@@ -84,6 +101,7 @@ from repro.serving.foldin import (
     NewNode,
     fold_in,
 )
+from repro.serving.gateway import Gateway, GatewayBusy, GatewayServer, MicroBatcher
 from repro.serving.router import ShardedEngine
 from repro.serving.supervision import (
     CircuitBreaker,
@@ -92,15 +110,28 @@ from repro.serving.supervision import (
     ShardSupervisor,
     SupervisionPolicy,
 )
+from repro.serving.transport import (
+    InprocessTransport,
+    ProcessTransport,
+    RemoteShardError,
+    TransportError,
+)
 
 __all__ = [
     "CircuitBreaker",
     "FORMAT",
     "FoldInOutcome",
     "FrozenModel",
+    "Gateway",
+    "GatewayBusy",
+    "GatewayServer",
     "InferenceEngine",
+    "InprocessTransport",
+    "MicroBatcher",
     "ModelArtifact",
     "NewNode",
+    "ProcessTransport",
+    "RemoteShardError",
     "RetrainDriver",
     "RetrainPolicy",
     "RetrainRound",
@@ -111,6 +142,7 @@ __all__ = [
     "ShardSupervisor",
     "ShardedEngine",
     "SupervisionPolicy",
+    "TransportError",
     "fold_in",
     "load_artifact",
     "save_artifact",

@@ -39,6 +39,16 @@ Subcommands against a saved model artifact:
   a batch with tracing enabled and print the recorded span trees
   (``score_many > shard[i].foldin`` under a cluster); ``--jsonl``
   additionally exports the traces as JSON lines.
+* ``serve ARTIFACT --shards N --port P [--mmap] [--batch-window MS]
+  [--max-batch Q] [--max-queue Q] [--workers-inproc]`` -- serve the
+  model over HTTP: a sharded cluster (shard workers in separate
+  processes by default; ``--workers-inproc`` keeps them as threads in
+  this process) behind the micro-batching asyncio gateway.  Prints
+  ``READY http://HOST:PORT`` once the listener is bound; SIGTERM or
+  SIGINT triggers a graceful drain (in-flight batches complete, new
+  work gets 503) before exit.  Endpoints: ``POST /score``,
+  ``POST /similar``, ``GET /healthz``, ``GET /readyz``,
+  ``GET /metrics``.
 * ``chaos ARTIFACT --batch FILE [--shards N] [--fail-shard K]
   [--jsonl PATH]`` -- a scripted kill-and-recover drill: serve the
   batch through a supervised cluster while a deterministic
@@ -333,6 +343,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export the recorded traces as JSON lines",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve the model over HTTP through the micro-batching "
+        "gateway",
+    )
+    serve.add_argument("artifact", help="path to the artifact bundle")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard workers behind the gateway (default: 2)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port; 0 picks a free one (default: 8080)",
+    )
+    serve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the schema-v3 bundle in every worker "
+        "(the frozen base is shared through the OS page cache)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="micro-batch window in milliseconds (default: 5)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="size trigger: flush a batch at this many items "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="admission bound on items pending + in flight; overflow "
+        "is rejected with 429 (default: 1024)",
+    )
+    serve.add_argument(
+        "--workers-inproc",
+        action="store_true",
+        help="run shard workers as threads in this process instead "
+        "of separate worker processes",
+    )
+
     chaos = commands.add_parser(
         "chaos",
         help="run a scripted kill-and-recover drill against a "
@@ -560,6 +627,53 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Serve over HTTP until SIGTERM/SIGINT, then drain gracefully."""
+    import signal
+    import threading
+
+    from repro.serving.gateway import GatewayServer
+
+    if args.shards < 1:
+        raise ServingError(f"--shards must be >= 1, got {args.shards}")
+    engine = ShardedEngine.load(
+        args.artifact,
+        n_shards=args.shards,
+        mmap=args.mmap,
+        transport=None if args.workers_inproc else "process",
+    )
+    stop = threading.Event()
+    try:
+        server = GatewayServer.launch(
+            engine,
+            host=args.host,
+            port=args.port,
+            batch_window=args.batch_window / 1000.0,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+        )
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(
+                    signum, lambda *_: (stop.set(), server.request_stop())
+                )
+            backend = "inproc" if args.workers_inproc else "process"
+            print(f"READY {server.url}", flush=True)
+            print(
+                f"serving {args.artifact} with {args.shards} "
+                f"{backend} shard worker(s); SIGTERM drains",
+                file=sys.stderr,
+            )
+            stop.wait()
+            print("draining...", file=sys.stderr)
+        finally:
+            server.drain()
+    finally:
+        engine.close()
+    print("drained; bye", file=sys.stderr)
+    return 0
+
+
 def _print_ranking(
     ranking: list[tuple[object, float]], as_json: bool
 ) -> None:
@@ -758,6 +872,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_trace(args)
         if args.command == "chaos":
             return _run_chaos(args)
+        if args.command == "serve":
+            return _run_serve(args)
         if args.command == "similar":
             return _run_similar(args)
         if args.command == "suggest-links":

@@ -1213,6 +1213,76 @@ class InferenceEngine:
             )
         return int(index)
 
+    # ------------------------------------------------------------------
+    # shard-handle surface (the transport seam)
+    #
+    # A cluster router never reaches into a shard's state directly --
+    # it speaks the methods below (plus query / score_specs / extend /
+    # add_links / evict_nodes / membership_of / similar_rows_partial /
+    # info / metrics_snapshot), which is exactly the surface
+    # :mod:`repro.serving.transport` carries over a process boundary.
+    # An in-process shard handle *is* this engine; a
+    # :class:`~repro.serving.transport.ProcessShardHandle` answers the
+    # same calls over the wire, bit-identically.
+    # ------------------------------------------------------------------
+    def served_vector(
+        self, node: object
+    ) -> tuple[np.ndarray, str]:
+        """``(theta_row_copy, node_type)`` of a served node -- the
+        payload a router needs to scatter a similarity query whose row
+        exists only on this shard."""
+        row = self._served_row(node)
+        return (
+            np.array(self._model.theta[row], dtype=np.float64),
+            self._model.node_types[row],
+        )
+
+    def suggest_context(
+        self, node: object, relation: str
+    ) -> tuple[np.ndarray, str, frozenset | None]:
+        """Everything a router needs to fan a ``suggest_links`` query
+        out: the query vector, the relation's validated target type,
+        and -- for an *extension* node, whose accumulated links live on
+        this shard -- the already-linked targets to exclude.  For a
+        base node the third element is ``None`` (base out-links live in
+        the router's training payload, not in serve-only shard
+        states)."""
+        row = self._served_row(node)
+        target_type = self._suggest_target_type(node, relation)
+        linked: frozenset | None = None
+        if self._state.is_extension(node):
+            linked = frozenset(self._linked_targets(node, relation))
+        return (
+            np.array(self._model.theta[row], dtype=np.float64),
+            target_type,
+            linked,
+        )
+
+    def extension_nodes(self) -> tuple[object, ...]:
+        """This shard's extension node ids, in served-row order."""
+        return self._state.extension_nodes()
+
+    def extension_export(
+        self,
+    ) -> tuple[tuple[object, ...], tuple[NewNode, ...], np.ndarray]:
+        """``(nodes, specs, theta_rows)`` of every extension this
+        shard owns, in served-row order -- the payload a cluster
+        promote reassembles in global arrival order."""
+        state = self._state
+        nodes = state.extension_nodes()
+        specs = tuple(state.extension_spec(node) for node in nodes)
+        rows = np.empty(
+            (len(nodes), state.n_clusters), dtype=np.float64
+        )
+        for position, node in enumerate(nodes):
+            rows[position] = state.theta[state.node_index[node]]
+        return nodes, specs, rows
+
+    def extension_dependants(self, node: object) -> frozenset:
+        """Extension nodes whose out-links target ``node`` (the
+        pinning set a cluster-wide LRU eviction must honour)."""
+        return frozenset(self._state.extension_dependants(node))
+
     def _resolve_rows(
         self, scores: np.ndarray, rows: np.ndarray
     ) -> list[tuple[object, float]]:

@@ -38,10 +38,17 @@ is used on both sides (block grouping changes reduction order in
 refits, exactly as documented on
 :class:`~repro.core.config.GenClusConfig`).
 
-Scope: the cluster is in-process (shards are engines over shared
-buffers; the scatter runs threads, not sockets).  A multi-process /
-RPC transport is the remaining step on the ROADMAP; the routing,
-ownership, and rebalance logic here is transport-agnostic.
+Scope: the router is transport-agnostic.  It never reaches into a
+shard's state -- every router -> shard interaction goes through the
+**shard-handle surface** (see
+:mod:`repro.serving.transport`), so shards can be in-process engines
+over shared buffers (:class:`~repro.serving.transport.InprocessTransport`,
+the default: the scatter runs threads) or worker *processes* fed by
+mmap'd artifact bundles
+(:class:`~repro.serving.transport.ProcessTransport`; see
+:meth:`ShardedEngine.load` with ``transport="process"``).  Routing,
+ownership, rebalance, supervision, and the durable-delta replay logs
+live here either way, and answers are bit-identical across backends.
 
 Known limits, enforced loudly rather than silently mis-served: an
 extension link whose target lives on a *different* shard is rejected
@@ -71,7 +78,6 @@ from repro.obs.observability import Observability
 from repro.serving.artifact import ModelArtifact
 from repro.serving.cluster import ShardPlan
 from repro.serving.engine import (
-    InferenceEngine,
     _QUERY_ID,
     _canonical_key,
     _dequalify,
@@ -92,6 +98,7 @@ from repro.serving.telemetry import (
     cluster_aggregate,
     info_sections,
 )
+from repro.serving.transport import resolve_transport
 
 
 class _ExtensionRecord:
@@ -159,8 +166,16 @@ class ShardedEngine:
         Optional :class:`~repro.faults.FaultInjector` (or bare
         :class:`~repro.faults.FaultPlan`) traversed at the router's
         named sites (``shard.score``, ``shard.foldin``,
-        ``promote.refit``) -- the deterministic chaos hook.  ``None``
+        ``promote.refit``, and -- under the process transport --
+        ``worker.call``) -- the deterministic chaos hook.  ``None``
         is the null path.
+    transport:
+        Where shards run: ``None`` / ``"inproc"`` (the default --
+        engines in this process, PR 5's cluster verbatim) or a
+        :class:`~repro.serving.transport.ProcessTransport` instance
+        (one worker process per shard; :meth:`load` builds one from
+        ``transport="process"``).  Answers are bit-identical across
+        backends.
     """
 
     def __init__(
@@ -177,6 +192,7 @@ class ShardedEngine:
         obs: Observability | None = None,
         supervision: SupervisionPolicy | None = None,
         faults=None,
+        transport=None,
     ) -> None:
         if (plan is None) == (n_shards is None):
             raise ServingError(
@@ -195,12 +211,18 @@ class ShardedEngine:
             )
         self._plan = plan
         self._base_state = state
+        self._frozen_view = None  # lazy; invalidated on promote
         self._cache_size = cache_size
         self._max_iterations = max_iterations
         self._tol = tol
         self._num_workers = num_workers
         self._shard_workers = shard_workers
         self._block_size = block_size
+        # faults and the transport must exist before the first
+        # _build_shards: process-backed handles traverse the injector's
+        # worker.call site on every RPC
+        self._faults = resolve_faults(faults)
+        self._transport = resolve_transport(transport)
         self._build_shards()
         # cluster-wide extension registry + the global LRU clock; the
         # router mirrors the singleton engine's age semantics exactly
@@ -217,7 +239,6 @@ class ShardedEngine:
         self.obs = obs if obs is not None else Observability()
         self._metrics = RouterMetrics(self.obs.metrics)
         self._pool: ThreadPoolExecutor | None = None
-        self._faults = resolve_faults(faults)
         self._supervisor: ShardSupervisor | None = None
         if supervision is not None:
             self._supervisor = ShardSupervisor(
@@ -243,21 +264,29 @@ class ShardedEngine:
             )
         return self._pool
 
+    def _engine_kwargs(self) -> dict[str, Any]:
+        """The per-shard engine knobs every transport backend applies
+        identically (what makes backends bit-identical by construction)."""
+        return {
+            "cache_size": self._cache_size,
+            "max_iterations": self._max_iterations,
+            "tol": self._tol,
+            "num_workers": self._shard_workers,
+            "block_size": self._block_size,
+        }
+
     def _build_shards(self) -> None:
-        states = self._base_state.partition(self._plan)
         self._shards = tuple(
-            InferenceEngine.from_state(
-                shard_state,
-                cache_size=self._cache_size,
-                max_iterations=self._max_iterations,
-                tol=self._tol,
-                num_workers=self._shard_workers,
-                block_size=self._block_size,
-                shard_id=shard_id,
-                shard_count=self._plan.n_shards,
+            self._transport.start(
+                self._base_state,
+                self._plan,
+                self._engine_kwargs(),
+                faults=self._faults,
             )
-            for shard_id, shard_state in enumerate(states)
         )
+        self._reset_shard_books()
+
+    def _reset_shard_books(self) -> None:
         self._owned_counts = [0] * self._plan.n_shards
         # per-shard durable-delta replay log: every committed extend /
         # add_links / evict is appended so a broken shard can be
@@ -277,6 +306,7 @@ class ShardedEngine:
         path: str | Path,
         n_shards: int,
         mmap: bool = False,
+        transport=None,
         **kwargs: Any,
     ) -> "ShardedEngine":
         """Shard a saved artifact bundle straight from disk.
@@ -285,9 +315,23 @@ class ShardedEngine:
         base once and shares the read-only pages across every shard:
         per-shard cold start and ``heal()`` rebuilds touch only the
         pages their queries read instead of copying the model.
+
+        ``transport="process"`` builds a
+        :class:`~repro.serving.transport.ProcessTransport` over the
+        same bundle: one worker process per shard, each cold-starting
+        from the bundle directly (with ``mmap=True`` the frozen base
+        is shared read-only across the worker fleet through the OS
+        page cache).  A constructed transport instance also works.
         """
+        if transport == "process":
+            from repro.serving.transport import ProcessTransport
+
+            transport = ProcessTransport(path, mmap=mmap)
         return cls.from_artifact(
-            ModelArtifact.load(path, mmap=mmap), n_shards, **kwargs
+            ModelArtifact.load(path, mmap=mmap),
+            n_shards,
+            transport=transport,
+            **kwargs,
         )
 
     @classmethod
@@ -314,10 +358,18 @@ class ShardedEngine:
         return self._plan
 
     @property
-    def shards(self) -> tuple[InferenceEngine, ...]:
-        """The per-shard engines, in shard order (read-only peek --
-        mutate through the router, which owns the cluster registry)."""
+    def shards(self) -> tuple:
+        """The per-shard handles, in shard order (read-only peek --
+        mutate through the router, which owns the cluster registry).
+        In-process these are the :class:`InferenceEngine` objects
+        themselves; under a process transport they are
+        :class:`~repro.serving.transport.ProcessShardHandle` clients."""
         return self._shards
+
+    @property
+    def transport(self):
+        """The live transport backend (``describe()`` for details)."""
+        return self._transport
 
     @property
     def n_shards(self) -> int:
@@ -443,6 +495,82 @@ class ShardedEngine:
         return int(
             np.argmax(self.query(object_type, links, text, numeric))
         )
+
+    def validate_queries(
+        self, queries: Sequence[Mapping[str, Any]]
+    ) -> int:
+        """Model-aware validation of a ``score_many`` batch -- folding
+        nothing in and touching no shard.
+
+        Beyond the shape checks of ``compile_transient_queries`` this
+        verifies each query against the fitted schema: declared object
+        type, declared relation with a learned strength, matching
+        source type, and a link target that is either a fitted node or
+        a registered extension node (fitted targets are also
+        type-checked; an extension target's type was validated when it
+        was extended).  Raises :class:`ServingError` naming the first
+        offending query's position; returns the batch size.
+
+        The HTTP gateway runs this per request *before* admission, so
+        one caller's malformed query is rejected alone (400) instead
+        of poisoning the micro-batch -- a validation error inside a
+        merged ``score_many`` sub-batch would degrade every co-batched
+        query routed to the same shard.
+        """
+        specs = compile_transient_queries(queries)
+        model = self._frozen_base()
+        for position, spec in enumerate(specs):
+            if spec.object_type not in model.object_types:
+                raise ServingError(
+                    f"query #{position} has unknown object type "
+                    f"{spec.object_type!r} (declared: "
+                    f"{list(model.object_types)})"
+                )
+            for relation, target, _ in spec.links:
+                declaration = model.relation_types.get(relation)
+                if declaration is None:
+                    raise ServingError(
+                        f"query #{position}: unknown relation "
+                        f"{relation!r}"
+                    )
+                if relation not in model.relation_names:
+                    raise ServingError(
+                        f"query #{position}: relation {relation!r} "
+                        f"carried no links in the fit, so it has no "
+                        f"learned strength to weight fold-in links "
+                        f"with"
+                    )
+                expected_source, expected_target = declaration
+                if spec.object_type != expected_source:
+                    raise ServingError(
+                        f"query #{position}: relation {relation!r} "
+                        f"expects source type {expected_source!r}, "
+                        f"query has type {spec.object_type!r}"
+                    )
+                if target in model.node_index:
+                    target_type = model.node_types[
+                        model.node_index[target]
+                    ]
+                    if target_type != expected_target:
+                        raise ServingError(
+                            f"query #{position}: relation "
+                            f"{relation!r} expects target type "
+                            f"{expected_target!r}, node {target!r} "
+                            f"has type {target_type!r}"
+                        )
+                elif target not in self._registry:
+                    raise ServingError(
+                        f"query #{position}: link target {target!r} "
+                        f"is neither a fitted node nor a served "
+                        f"extension node"
+                    )
+        return len(specs)
+
+    def _frozen_base(self):
+        """The base state's frozen view, built once per promotion."""
+        if self._frozen_view is None:
+            self._frozen_view = self._base_state.frozen_view()
+        return self._frozen_view
 
     def score_many(
         self,
@@ -632,14 +760,13 @@ class ShardedEngine:
         metric = _resolve_metric(metric)
         queries = []
         for node in nodes:
-            owner = self._shards[self.owner_of(node)]
-            row = owner._served_row(node)
+            vector, node_type = self._shards[
+                self.owner_of(node)
+            ].served_vector(node)
             name = (
-                object_type
-                if object_type is not None
-                else owner._model.node_types[row]
+                object_type if object_type is not None else node_type
             )
-            queries.append((owner.state.theta[row], name, {node}))
+            queries.append((vector, name, {node}))
         return self._scatter_similarity(
             "similar_many", queries, k, metric
         )
@@ -662,12 +789,15 @@ class ShardedEngine:
         like :meth:`similar_many`.
         """
         metric = _resolve_metric(metric)
-        owner = self._shards[self.owner_of(node)]
-        row = owner._served_row(node)
-        target_type = owner._suggest_target_type(node, relation)
-        if node in self._registry:
-            exclude = {node} | owner._linked_targets(node, relation)
+        vector, target_type, linked = self._shards[
+            self.owner_of(node)
+        ].suggest_context(node, relation)
+        if linked is not None:
+            # extension node: its accumulated links live on the owner
+            exclude = {node} | set(linked)
         else:
+            # base node: out-links live in the router's training
+            # payload (shard states are serve-only slices)
             self._base_state.hydrate()
             exclude = {node} | {
                 target
@@ -679,7 +809,7 @@ class ShardedEngine:
             }
         return self._scatter_similarity(
             "suggest_links",
-            [(owner.state.theta[row], target_type, exclude)],
+            [(vector, target_type, exclude)],
             k,
             metric,
         )[0]
@@ -745,12 +875,14 @@ class ShardedEngine:
                     scan(shard) for shard in range(self.n_shards)
                 ]
             results = []
+            # lazy per-shard extension-node lookup, fetched at most
+            # once per scatter (over a process transport this is one
+            # RPC per shard, not one per hit)
+            shard_extensions: dict[int, tuple[object, ...]] = {}
             for position in range(len(queries)):
                 entries: list[tuple[float, int, object]] = []
                 for shard, partials in enumerate(gathered):
                     scores, rows = partials[position]
-                    engine = self._shards[shard]
-                    extensions: tuple[object, ...] | None = None
                     for score, row in zip(scores, rows):
                         row = int(row)
                         if row < num_base:
@@ -759,10 +891,12 @@ class ShardedEngine:
                                 row
                             )
                         else:
+                            extensions = shard_extensions.get(shard)
                             if extensions is None:
-                                extensions = (
-                                    engine.state.extension_nodes()
-                                )
+                                extensions = self._shards[
+                                    shard
+                                ].extension_nodes()
+                                shard_extensions[shard] = extensions
                             found = extensions[row - num_base]
                             key = (
                                 num_base
@@ -1005,7 +1139,7 @@ class ShardedEngine:
         def dependants_of(node):
             return self._shards[
                 registry[node].shard
-            ].state.extension_dependants(node)
+            ].extension_dependants(node)
 
         candidates = sorted(
             registry, key=lambda node: registry[node].arrival
@@ -1069,14 +1203,28 @@ class ShardedEngine:
             self._registry.items(), key=lambda item: item[1].arrival
         )
         if ordered:
+            # one extension_export per involved shard (one RPC each
+            # over a process transport), reassembled here in global
+            # arrival order -- exactly the single-engine state
+            exports: dict[int, dict[object, tuple]] = {}
             specs = []
             rows = np.empty((len(ordered), self.n_clusters))
             for position, (node, record) in enumerate(ordered):
-                shard_state = self._shards[record.shard].state
-                specs.append(shard_state.extension_spec(node))
-                rows[position] = shard_state.theta[
-                    shard_state.node_index[node]
-                ]
+                export = exports.get(record.shard)
+                if export is None:
+                    nodes, shard_specs, shard_rows = self._shards[
+                        record.shard
+                    ].extension_export()
+                    export = {
+                        name: (spec, shard_rows[index])
+                        for index, (name, spec) in enumerate(
+                            zip(nodes, shard_specs)
+                        )
+                    }
+                    exports[record.shard] = export
+                spec, row = export[node]
+                specs.append(spec)
+                rows[position] = row
             reference.append_extensions(tuple(specs), rows)
         with self.obs.span(
             "promote", extension_nodes=len(self._registry)
@@ -1098,10 +1246,24 @@ class ShardedEngine:
                 time.perf_counter() - tick
             )
         self._base_state = promoted
+        self._frozen_view = None
         self._plan = ShardPlan.from_state(
             promoted, self.n_shards, self._block_size
         )
-        self._build_shards()
+        # hot replacement is the transport's job: in-process it is a
+        # plain re-partition; the process transport freezes the refit
+        # into a fresh bundle and two-phase swaps it under the live
+        # workers (old engines keep answering until commit)
+        self._shards = tuple(
+            self._transport.replace(
+                promoted,
+                result,
+                self._plan,
+                self._engine_kwargs(),
+                faults=self._faults,
+            )
+        )
+        self._reset_shard_books()
         self._registry = {}
         self._arrivals = 0
         self._last_used = {}
@@ -1151,27 +1313,23 @@ class ShardedEngine:
         its replayed durable-delta log.
 
         This is the supervisor's ``on_open`` hook (and :meth:`heal`'s
-        mechanism): the broken engine is discarded, a fresh serving
-        state is partitioned off the pristine base
-        (:meth:`~repro.core.state.ModelState.partition_shard` -- it
-        shares the same frozen theta buffer as its healthy peers), and
-        the shard's committed extends / link deltas / evictions replay
-        in commit order.  Every replayed operation is deterministic,
-        so the recovered extension rows are bit-identical to the lost
-        ones.
+        mechanism): the broken shard is discarded and the transport
+        provides a fresh handle -- in-process, a serving state
+        partitioned off the pristine base
+        (:meth:`~repro.core.state.ModelState.partition_shard`, sharing
+        the same frozen theta buffer as its healthy peers); under the
+        process transport, a **respawned worker** cold-started from
+        the current bundle -- then the shard's committed extends /
+        link deltas / evictions replay in commit order.  Every
+        replayed operation is deterministic, so the recovered
+        extension rows are bit-identical to the lost ones.
         """
-        fresh_state = self._base_state.partition_shard(
-            self._plan, shard
-        )
-        engine = InferenceEngine.from_state(
-            fresh_state,
-            cache_size=self._cache_size,
-            max_iterations=self._max_iterations,
-            tol=self._tol,
-            num_workers=self._shard_workers,
-            block_size=self._block_size,
-            shard_id=shard,
-            shard_count=self._plan.n_shards,
+        engine = self._transport.rebuild(
+            shard,
+            self._base_state,
+            self._plan,
+            self._engine_kwargs(),
+            faults=self._faults,
         )
         for op, payload in self._shard_log[shard]:
             if op == "extend":
@@ -1188,6 +1346,26 @@ class ShardedEngine:
         shards[shard] = engine
         self._shards = tuple(shards)
         self._metrics.shard_rebuilds.inc()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release cluster resources: the scatter pool and the
+        transport (which shuts worker processes down cleanly).  A
+        closed in-process cluster keeps answering -- its shards are
+        plain objects -- but a closed process-backed cluster does not.
+        Idempotent."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._transport.shutdown()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # telemetry
@@ -1248,6 +1426,7 @@ class ShardedEngine:
                 "n_shards": self.n_shards,
                 "plan": self._plan.describe(self._base_state),
                 "shard_extension_nodes": list(self._owned_counts),
+                "transport": self._transport.describe(),
                 "shards": shard_infos,
             },
             "supervision": (

@@ -248,6 +248,64 @@ class RouterMetrics(ServingMetrics):
         )
 
 
+class GatewayMetrics:
+    """The HTTP gateway's families (its own registry, merged with the
+    cluster aggregate on ``/metrics`` export).
+
+    Distinct ``repro_gateway_*`` names keep the merge a plain
+    :func:`~repro.obs.metrics.aggregate_snapshots` -- nothing here
+    collides with an engine or router family."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.requests = registry.counter(
+            "repro_gateway_requests_total", "HTTP requests accepted"
+        )
+        self.rejected = registry.counter(
+            "repro_gateway_rejected_total",
+            "Requests rejected by admission control (429: queue "
+            "full; 503: draining)",
+        )
+        self.request_seconds = registry.histogram(
+            "repro_gateway_request_seconds",
+            "Wall-clock seconds per HTTP request (admission to "
+            "response)",
+            buckets=LATENCY_BUCKETS,
+        )
+        self.batch_flushes = registry.counter(
+            "repro_gateway_batch_flushes_total",
+            "Micro-batch flushes (all triggers)",
+        )
+        self.batch_size = registry.histogram(
+            "repro_gateway_batch_size",
+            "Items per flushed micro-batch",
+            buckets=SIZE_BUCKETS,
+        )
+        self.batch_wait_seconds = registry.histogram(
+            "repro_gateway_batch_wait_seconds",
+            "Seconds the oldest item of a batch waited before its "
+            "flush",
+            buckets=LATENCY_BUCKETS,
+        )
+        self.queue_depth = registry.gauge(
+            "repro_gateway_queue_depth",
+            "Items pending or in flight behind admission control",
+        )
+        self.draining = registry.gauge(
+            "repro_gateway_draining",
+            "1 while the gateway drains (new work refused)",
+        )
+
+    def flush_trigger(self, trigger: str):
+        """Per-trigger flush counter (``size`` / ``time`` /
+        ``drain``)."""
+        return self.registry.counter(
+            "repro_gateway_flush_triggers_total",
+            "Micro-batch flushes by trigger",
+            trigger=trigger,
+        )
+
+
 def info_sections(snapshot: dict) -> dict[str, Any]:
     """The snapshot-derived sections of the unified ``info()`` schema.
 

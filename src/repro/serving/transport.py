@@ -1,0 +1,973 @@
+"""Shard transports: the seam between cluster routing and execution.
+
+:class:`~repro.serving.router.ShardedEngine` owns routing, ownership,
+and rebalance; *where a shard runs* is this module's job.  A transport
+turns ``(base state, shard plan, engine knobs)`` into a tuple of
+**shard handles** -- objects answering the engine's shard surface
+(``query`` / ``score_specs`` / ``extend`` / ``add_links`` /
+``evict_nodes`` / ``membership_of`` / ``similar_rows_partial`` /
+``served_vector`` / ``suggest_context`` / ``extension_nodes`` /
+``extension_export`` / ``extension_dependants`` / ``info`` /
+``metrics_snapshot``) -- and knows how to rebuild one handle (a broken
+shard) or replace them all (a promote).
+
+Two backends:
+
+* :class:`InprocessTransport` (the default): handles are
+  :class:`~repro.serving.engine.InferenceEngine` objects over the
+  partitioned states of one process -- PR 5's cluster verbatim, and
+  the reference implementation every other backend is pinned against.
+* :class:`ProcessTransport`: one **worker process per shard**
+  (``python -m repro.serving.worker``).  Workers cold-start from the
+  schema-v3 artifact bundle on disk (``mmap=True`` shares the frozen
+  base read-only through the page cache -- the PR 8 zero-copy path,
+  now across *processes*), and a length-prefixed, pickle-free message
+  protocol over a localhost socket carries every shard call.  A
+  promote writes the refit result as a fresh bundle and hot-swaps it
+  under the live workers in two phases (``prepare`` builds the new
+  engine while the old one keeps answering, ``commit`` is an atomic
+  pointer swap); a dead worker is respawned from the current bundle
+  and the router replays its durable-delta log -- bit-identical
+  recovery, exactly like an in-process rebuild.
+
+**The wire format is deliberately not pickle**: a frame is an 8-byte
+big-endian payload length, a 4-byte header length, a JSON header, and
+the raw C-order bytes of any numpy arrays the header declares (dtype +
+shape ride in the header).  JSON round-trips Python floats exactly
+(``repr`` shortest-form), node ids are restricted to JSON scalars
+(tuples are tagged and re-tupled, which carries the router's sentinel
+query ids), and membership rows travel as raw float64 -- so every
+answer is bit-identical to the in-process reference, and a worker
+never executes attacker-controlled bytecode.
+
+Determinism contract: with the same artifact, plan, and block size,
+``ProcessTransport`` answers are **bit-identical** to
+``InprocessTransport`` answers at every worker count -- pinned in
+``tests/test_transport.py`` at {1, 2, 3} workers for queries,
+``score_many``, ``similar_many``, and post-promote g1/theta/gamma.
+
+Fault sites: each RPC traverses ``worker.call`` (labels ``shard``,
+``op``) on the router's injector, and
+:meth:`ProcessShardHandle.kill` SIGKILLs the worker -- the scripted
+process-death drills behind the PR 7 supervision machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.serving.cluster import ShardPlan
+from repro.serving.engine import InferenceEngine, _canonical_key
+from repro.serving.foldin import FoldInOutcome, NewNode
+
+__all__ = [
+    "InprocessTransport",
+    "ProcessShardHandle",
+    "ProcessTransport",
+    "RemoteShardError",
+    "TransportError",
+    "resolve_transport",
+]
+
+_HEADER_STRUCT = struct.Struct("!Q")
+_HLEN_STRUCT = struct.Struct("!I")
+# one frame carries at most one batch of membership rows; anything
+# beyond this is a protocol bug, not a workload
+_MAX_FRAME = 1 << 31
+
+
+class TransportError(ServingError):
+    """A transport-level failure: the worker process died, the socket
+    broke, or a frame failed to parse.  Retryable by supervision; the
+    breaker's ``on_open`` respawns the worker."""
+
+
+class RemoteShardError(ServingError):
+    """An error raised *inside* a shard worker, re-raised router-side
+    with the worker's message (the remote type name is prefixed when
+    it was not a ServingError)."""
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(
+    header: Mapping[str, Any], arrays: Sequence[np.ndarray] = ()
+) -> bytes:
+    """One wire frame: lengths + JSON header + raw array bytes."""
+    meta = dict(header)
+    meta["arrays"] = [
+        {"dtype": array.dtype.str, "shape": list(array.shape)}
+        for array in arrays
+    ]
+    head = json.dumps(meta, ensure_ascii=True).encode("ascii")
+    blobs = b"".join(
+        np.ascontiguousarray(array).tobytes() for array in arrays
+    )
+    payload_len = _HLEN_STRUCT.size + len(head) + len(blobs)
+    return (
+        _HEADER_STRUCT.pack(payload_len)
+        + _HLEN_STRUCT.pack(len(head))
+        + head
+        + blobs
+    )
+
+
+def decode_payload(
+    payload: bytes,
+) -> tuple[dict[str, Any], list[np.ndarray]]:
+    """Parse one frame payload back into ``(header, arrays)``."""
+    (head_len,) = _HLEN_STRUCT.unpack_from(payload, 0)
+    offset = _HLEN_STRUCT.size
+    header = json.loads(payload[offset : offset + head_len].decode("ascii"))
+    offset += head_len
+    arrays: list[np.ndarray] = []
+    for spec in header.pop("arrays", []):
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(int(n) for n in spec["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = dtype.itemsize * count
+        chunk = payload[offset : offset + nbytes]
+        if len(chunk) != nbytes:
+            raise TransportError(
+                f"truncated array in frame: wanted {nbytes} bytes, "
+                f"got {len(chunk)}"
+            )
+        arrays.append(
+            np.frombuffer(chunk, dtype=dtype).reshape(shape).copy()
+        )
+        offset += nbytes
+    return header, arrays
+
+
+def send_message(
+    sock: socket.socket,
+    header: Mapping[str, Any],
+    arrays: Sequence[np.ndarray] = (),
+) -> None:
+    try:
+        sock.sendall(encode_frame(header, arrays))
+    except OSError as exc:
+        raise TransportError(
+            f"shard connection broke while sending "
+            f"{header.get('op', '?')!r}: {exc}"
+        ) from None
+
+
+def recv_message(
+    sock: socket.socket,
+) -> tuple[dict[str, Any], list[np.ndarray]]:
+    length_bytes = _recv_exact(sock, _HEADER_STRUCT.size)
+    (payload_len,) = _HEADER_STRUCT.unpack(length_bytes)
+    if payload_len > _MAX_FRAME:
+        raise TransportError(
+            f"frame length {payload_len} exceeds the {_MAX_FRAME} "
+            f"byte protocol limit"
+        )
+    return decode_payload(_recv_exact(sock, payload_len))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as exc:
+            raise TransportError(
+                f"shard connection broke mid-frame: {exc}"
+            ) from None
+        if not chunk:
+            raise TransportError(
+                "shard connection closed mid-frame (worker process "
+                "died?)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# value codecs (JSON-safe, float-exact, pickle-free)
+# ----------------------------------------------------------------------
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def encode_node(node: object) -> object:
+    """Node ids on the wire: JSON scalars pass through, tuples are
+    tagged (this carries the ``(_QUERY_ID, position)`` sentinels whose
+    positions shard-side errors must name)."""
+    if isinstance(node, bool) or node is None or isinstance(node, (str, float)):
+        return node
+    if isinstance(node, int):
+        return node
+    if isinstance(node, tuple):
+        return {"__tuple__": [encode_node(item) for item in node]}
+    raise TransportError(
+        f"node id {node!r} ({type(node).__name__}) is not "
+        f"transportable; the process transport carries JSON scalar "
+        f"ids (str/int/float/bool) and tuples of them"
+    )
+
+
+def decode_node(wire: object) -> object:
+    if isinstance(wire, Mapping) and "__tuple__" in wire:
+        return tuple(decode_node(item) for item in wire["__tuple__"])
+    return wire
+
+
+def encode_spec(spec: NewNode) -> dict[str, Any]:
+    text: dict[str, Any] = {}
+    for attribute, bag in spec.text.items():
+        if isinstance(bag, Mapping):
+            text[attribute] = {"counts": dict(bag)}
+        else:
+            text[attribute] = {"tokens": list(bag)}
+    return {
+        "node": encode_node(spec.node),
+        "object_type": spec.object_type,
+        "links": [
+            [relation, encode_node(target), weight]
+            for relation, target, weight in spec.links
+        ],
+        "text": text,
+        "numeric": {
+            attribute: list(values)
+            for attribute, values in spec.numeric.items()
+        },
+    }
+
+
+def decode_spec(wire: Mapping[str, Any]) -> NewNode:
+    text: dict[str, Any] = {}
+    for attribute, bag in wire.get("text", {}).items():
+        if "counts" in bag:
+            text[attribute] = dict(bag["counts"])
+        else:
+            text[attribute] = list(bag["tokens"])
+    return NewNode(
+        node=decode_node(wire["node"]),
+        object_type=wire["object_type"],
+        links=tuple(
+            (relation, decode_node(target), weight)
+            for relation, target, weight in wire.get("links", ())
+        ),
+        text=text,
+        numeric={
+            attribute: list(values)
+            for attribute, values in wire.get("numeric", {}).items()
+        },
+    )
+
+
+def encode_link(link: tuple) -> list:
+    entry = [encode_node(link[0]), link[1], encode_node(link[2])]
+    if len(link) == 4:
+        entry.append(float(link[3]))
+    return entry
+
+
+def decode_link(wire: Sequence) -> tuple:
+    if len(wire) == 4:
+        return (
+            decode_node(wire[0]),
+            wire[1],
+            decode_node(wire[2]),
+            float(wire[3]),
+        )
+    return (decode_node(wire[0]), wire[1], decode_node(wire[2]))
+
+
+def plan_to_wire(plan: ShardPlan) -> dict[str, Any]:
+    return {
+        "n_shards": plan.n_shards,
+        "num_rows": plan.num_rows,
+        "block_rows": plan.block_rows,
+        "block_bounds": [list(pair) for pair in plan.block_bounds],
+        "row_bounds": [list(pair) for pair in plan.row_bounds],
+    }
+
+
+def plan_from_wire(wire: Mapping[str, Any]) -> ShardPlan:
+    return ShardPlan(
+        n_shards=int(wire["n_shards"]),
+        num_rows=int(wire["num_rows"]),
+        block_rows=int(wire["block_rows"]),
+        block_bounds=tuple(
+            (int(first), int(stop))
+            for first, stop in wire["block_bounds"]
+        ),
+        row_bounds=tuple(
+            (int(start), int(stop))
+            for start, stop in wire["row_bounds"]
+        ),
+    )
+
+
+def outcome_from_wire(
+    header: Mapping[str, Any], theta: np.ndarray
+) -> FoldInOutcome:
+    return FoldInOutcome(
+        nodes=tuple(decode_node(node) for node in header["nodes"]),
+        theta=theta,
+        iterations=int(header["iterations"]),
+        converged=bool(header["converged"]),
+        oov_terms=int(header["oov_terms"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# the in-process reference backend
+# ----------------------------------------------------------------------
+class InprocessTransport:
+    """Shard handles are engines over partitioned states -- PR 5's
+    thread-scattered cluster, unchanged.  The reference backend every
+    other transport is pinned bit-identical against."""
+
+    name = "inproc"
+
+    def start(
+        self,
+        state,
+        plan: ShardPlan,
+        engine_kwargs: Mapping[str, Any],
+        faults=None,
+    ) -> tuple[InferenceEngine, ...]:
+        states = state.partition(plan)
+        return tuple(
+            InferenceEngine.from_state(
+                shard_state,
+                shard_id=shard_id,
+                shard_count=plan.n_shards,
+                **engine_kwargs,
+            )
+            for shard_id, shard_state in enumerate(states)
+        )
+
+    def rebuild(
+        self,
+        shard: int,
+        state,
+        plan: ShardPlan,
+        engine_kwargs: Mapping[str, Any],
+        faults=None,
+    ) -> InferenceEngine:
+        fresh_state = state.partition_shard(plan, shard)
+        return InferenceEngine.from_state(
+            fresh_state,
+            shard_id=shard,
+            shard_count=plan.n_shards,
+            **engine_kwargs,
+        )
+
+    def replace(
+        self,
+        state,
+        result,
+        plan: ShardPlan,
+        engine_kwargs: Mapping[str, Any],
+        faults=None,
+    ) -> tuple[InferenceEngine, ...]:
+        return self.start(state, plan, engine_kwargs, faults)
+
+    def shutdown(self) -> None:
+        pass
+
+    def describe(self) -> dict[str, Any]:
+        return {"backend": self.name}
+
+
+# ----------------------------------------------------------------------
+# the multiprocess backend
+# ----------------------------------------------------------------------
+class ProcessShardHandle:
+    """One worker process's client half: the shard surface over RPC.
+
+    Calls are serialized per handle (one socket, one lock) -- the
+    router's scatter already gives cross-shard concurrency, and a
+    worker executes requests in arrival order anyway.  Every call
+    traverses the ``worker.call`` fault site first, so chaos plans can
+    script transport failures per shard and per op.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        process: subprocess.Popen,
+        sock: socket.socket,
+        faults=None,
+    ) -> None:
+        self.shard = shard
+        self._process = process
+        self._sock = sock
+        self._faults = faults
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        return self._process.pid
+
+    def is_alive(self) -> bool:
+        return not self._closed and self._process.poll() is None
+
+    def _call(
+        self,
+        op: str,
+        meta: Mapping[str, Any] | None = None,
+        arrays: Sequence[np.ndarray] = (),
+    ) -> tuple[dict[str, Any], list[np.ndarray]]:
+        if self._faults is not None:
+            self._faults.traverse(
+                "worker.call", shard=self.shard, op=op
+            )
+        header = {"op": op}
+        if meta:
+            header.update(meta)
+        with self._lock:
+            if self._closed:
+                raise TransportError(
+                    f"shard {self.shard} worker connection is closed"
+                )
+            try:
+                send_message(self._sock, header, arrays)
+                reply, reply_arrays = recv_message(self._sock)
+            except TransportError as exc:
+                raise TransportError(
+                    f"shard {self.shard} worker (pid {self.pid}) "
+                    f"failed during {op!r}: {exc}"
+                ) from None
+        if reply.get("error") is not None:
+            error = reply["error"]
+            message = error.get("message", "remote failure")
+            if error.get("serving"):
+                raise RemoteShardError(message)
+            raise RemoteShardError(
+                f"{error.get('type', 'Exception')}: {message}"
+            )
+        return reply, reply_arrays
+
+    def kill(self) -> None:
+        """SIGKILL the worker (the scripted process-death drill)."""
+        self._process.kill()
+        self._process.wait()
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.sendall(encode_frame({"op": "shutdown"}))
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        try:
+            self._process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self._process.kill()
+            self._process.wait()
+
+    # -- shard surface -------------------------------------------------
+    def query(
+        self,
+        object_type: str,
+        links: Sequence[tuple] = (),
+        text: Mapping[str, Any] | None = None,
+        numeric: Mapping[str, Sequence[float]] | None = None,
+    ) -> np.ndarray:
+        spec = NewNode(
+            node="__wire__",
+            object_type=object_type,
+            links=tuple(links),
+            text=dict(text or {}),
+            numeric=dict(numeric or {}),
+        )
+        wire = encode_spec(spec)
+        del wire["node"]
+        _, arrays = self._call("query", wire)
+        return arrays[0]
+
+    def score_specs(
+        self, specs: Sequence[NewNode], keys: Sequence[tuple]
+    ) -> list[np.ndarray]:
+        # keys are recomputed worker-side from the reconstructed specs
+        # (the canonical form is a pure function of the spec, so cache
+        # behaviour matches the in-process engine exactly)
+        header, arrays = self._call(
+            "score_specs",
+            {"specs": [encode_spec(spec) for spec in specs]},
+        )
+        if not specs:
+            return []
+        return [row for row in arrays[0]]
+
+    def extend(self, nodes: Sequence[NewNode]) -> FoldInOutcome:
+        header, arrays = self._call(
+            "extend",
+            {"specs": [encode_spec(spec) for spec in nodes]},
+        )
+        return outcome_from_wire(header, arrays[0])
+
+    def add_links(self, links: Iterable[tuple]) -> FoldInOutcome:
+        header, arrays = self._call(
+            "add_links",
+            {"links": [encode_link(link) for link in links]},
+        )
+        return outcome_from_wire(header, arrays[0])
+
+    def evict_nodes(
+        self, nodes: Iterable[object]
+    ) -> tuple[object, ...]:
+        header, _ = self._call(
+            "evict_nodes",
+            {"nodes": [encode_node(node) for node in nodes]},
+        )
+        return tuple(decode_node(node) for node in header["evicted"])
+
+    def membership_of(self, node: object) -> np.ndarray:
+        _, arrays = self._call(
+            "membership_of", {"node": encode_node(node)}
+        )
+        return arrays[0]
+
+    def similar_rows_partial(
+        self,
+        queries: np.ndarray,
+        k: int,
+        metric: str,
+        candidate_types: Sequence[str | None] | None = None,
+        exclude_nodes: Sequence[Iterable[object] | None] | None = None,
+        base_range: tuple[int, int] | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        if not isinstance(queries, np.ndarray) or queries.ndim != 2:
+            raise TransportError(
+                "the process transport scatters similarity queries as "
+                "an (m, K) vector matrix (the router's form)"
+            )
+        meta: dict[str, Any] = {"k": int(k), "metric": metric}
+        if candidate_types is not None:
+            meta["candidate_types"] = list(candidate_types)
+        if exclude_nodes is not None:
+            meta["exclude_nodes"] = [
+                None
+                if excluded is None
+                else [encode_node(node) for node in excluded]
+                for excluded in exclude_nodes
+            ]
+        if base_range is not None:
+            meta["base_range"] = [int(base_range[0]), int(base_range[1])]
+        _, arrays = self._call(
+            "similar_rows_partial",
+            meta,
+            [np.ascontiguousarray(queries, dtype=np.float64)],
+        )
+        return [
+            (arrays[2 * position], arrays[2 * position + 1])
+            for position in range(len(arrays) // 2)
+        ]
+
+    def served_vector(self, node: object) -> tuple[np.ndarray, str]:
+        header, arrays = self._call(
+            "served_vector", {"node": encode_node(node)}
+        )
+        return arrays[0], header["node_type"]
+
+    def suggest_context(
+        self, node: object, relation: str
+    ) -> tuple[np.ndarray, str, frozenset | None]:
+        header, arrays = self._call(
+            "suggest_context",
+            {"node": encode_node(node), "relation": relation},
+        )
+        linked = header["linked"]
+        if linked is not None:
+            linked = frozenset(
+                decode_node(target) for target in linked
+            )
+        return arrays[0], header["target_type"], linked
+
+    def extension_nodes(self) -> tuple[object, ...]:
+        header, _ = self._call("extension_nodes")
+        return tuple(decode_node(node) for node in header["nodes"])
+
+    def extension_export(
+        self,
+    ) -> tuple[tuple[object, ...], tuple[NewNode, ...], np.ndarray]:
+        header, arrays = self._call("extension_export")
+        nodes = tuple(decode_node(node) for node in header["nodes"])
+        specs = tuple(decode_spec(spec) for spec in header["specs"])
+        return nodes, specs, arrays[0]
+
+    def extension_dependants(self, node: object) -> frozenset:
+        header, _ = self._call(
+            "extension_dependants", {"node": encode_node(node)}
+        )
+        return frozenset(
+            decode_node(source) for source in header["dependants"]
+        )
+
+    def info(self) -> dict[str, Any]:
+        header, _ = self._call("info")
+        return header["info"]
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        header, _ = self._call("metrics_snapshot")
+        return header["snapshot"]
+
+    # -- lifecycle RPCs the transport itself drives --------------------
+    def prepare(
+        self,
+        bundle: str,
+        plan: ShardPlan,
+        engine_kwargs: Mapping[str, Any],
+        mmap: bool,
+    ) -> None:
+        self._call(
+            "prepare",
+            {
+                "bundle": bundle,
+                "plan": plan_to_wire(plan),
+                "engine": dict(engine_kwargs),
+                "mmap": mmap,
+            },
+        )
+
+    def commit(self) -> None:
+        self._call("commit")
+
+    def ping(self) -> dict[str, Any]:
+        header, _ = self._call("ping")
+        return header
+
+
+class ProcessTransport:
+    """One worker process per shard, fed from an artifact bundle.
+
+    Parameters
+    ----------
+    artifact_path:
+        The saved model bundle every worker cold-starts from.  With a
+        schema-v3 bundle directory and ``mmap=True`` the frozen base
+        is paged lazily and shared read-only across all workers
+        through the OS page cache -- per-worker cold start is
+        O(pages-touched), not O(model).
+    mmap:
+        Map the bundle instead of loading it eagerly (workers only).
+    python:
+        Interpreter for workers (default: ``sys.executable``).
+    startup_timeout:
+        Seconds to wait for each worker to connect and finish loading.
+    run_dir:
+        Where promote bundles land (default: a private temp dir,
+        removed on shutdown).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        artifact_path: str | Path,
+        mmap: bool = True,
+        python: str | None = None,
+        startup_timeout: float = 120.0,
+        run_dir: str | Path | None = None,
+    ) -> None:
+        self._bundle = str(artifact_path)
+        self._mmap = bool(mmap)
+        self._python = python or sys.executable
+        self._startup_timeout = float(startup_timeout)
+        self._run_dir = Path(run_dir) if run_dir is not None else None
+        self._owns_run_dir = run_dir is None
+        self._listener: socket.socket | None = None
+        self._handles: dict[int, ProcessShardHandle] = {}
+        self._promotes = 0
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        state,
+        plan: ShardPlan,
+        engine_kwargs: Mapping[str, Any],
+        faults=None,
+    ) -> tuple[ProcessShardHandle, ...]:
+        self._ensure_listener()
+        handles = []
+        try:
+            for shard in range(plan.n_shards):
+                handles.append(
+                    self._spawn(shard, plan, engine_kwargs, faults)
+                )
+        except Exception:
+            for handle in handles:
+                handle.close(timeout=1.0)
+            raise
+        self._handles = {
+            handle.shard: handle for handle in handles
+        }
+        return tuple(handles)
+
+    def rebuild(
+        self,
+        shard: int,
+        state,
+        plan: ShardPlan,
+        engine_kwargs: Mapping[str, Any],
+        faults=None,
+    ) -> ProcessShardHandle:
+        """Respawn one worker from the current bundle (a fresh, empty
+        extension space; the router replays the durable deltas)."""
+        old = self._handles.get(shard)
+        if old is not None:
+            try:
+                old._process.kill()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            old.close(timeout=1.0)
+        handle = self._spawn(shard, plan, engine_kwargs, faults)
+        self._handles[shard] = handle
+        return handle
+
+    def replace(
+        self,
+        state,
+        result,
+        plan: ShardPlan,
+        engine_kwargs: Mapping[str, Any],
+        faults=None,
+    ) -> tuple[ProcessShardHandle, ...]:
+        """Hot shard replacement on promote.
+
+        The refit result is frozen into a fresh schema-v3 bundle, then
+        swapped under the live workers in two phases: every worker
+        ``prepare``s (loads the new bundle and builds the new engine
+        while its old engine keeps answering anything already queued),
+        then every worker ``commit``s (an atomic pointer swap).  A
+        worker that fails to prepare is respawned straight onto the
+        new bundle instead.
+        """
+        from repro.serving.artifact import ModelArtifact
+
+        self._promotes += 1
+        bundle = (
+            self._ensure_run_dir() / f"promote-{self._promotes:04d}"
+        )
+        ModelArtifact.from_result(result).save(bundle)
+        self._bundle = str(bundle)
+        handles: list[ProcessShardHandle] = []
+        for shard in range(plan.n_shards):
+            handle = self._handles.get(shard)
+            prepared = False
+            if handle is not None and handle.is_alive():
+                try:
+                    handle.prepare(
+                        self._bundle, plan, engine_kwargs, self._mmap
+                    )
+                    prepared = True
+                except ServingError:
+                    pass
+            if not prepared:
+                handle = self.rebuild(
+                    shard, state, plan, engine_kwargs, faults
+                )
+            else:
+                handle.commit()
+            handles.append(handle)
+        self._handles = {
+            handle.shard: handle for handle in handles
+        }
+        return tuple(handles)
+
+    def shutdown(self) -> None:
+        for handle in self._handles.values():
+            handle.close()
+        self._handles = {}
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._listener = None
+        if (
+            self._owns_run_dir
+            and self._run_dir is not None
+            and self._run_dir.exists()
+        ):
+            shutil.rmtree(self._run_dir, ignore_errors=True)
+            self._run_dir = None
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "backend": self.name,
+            "bundle": self._bundle,
+            "mmap": self._mmap,
+            "workers": {
+                str(shard): {
+                    "pid": handle.pid,
+                    "alive": handle.is_alive(),
+                }
+                for shard, handle in sorted(self._handles.items())
+            },
+        }
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def _ensure_listener(self) -> socket.socket:
+        if self._listener is None:
+            listener = socket.create_server(
+                ("127.0.0.1", 0), backlog=16
+            )
+            listener.settimeout(self._startup_timeout)
+            self._listener = listener
+        return self._listener
+
+    def _ensure_run_dir(self) -> Path:
+        if self._run_dir is None:
+            self._run_dir = Path(
+                tempfile.mkdtemp(prefix="repro-serving-run-")
+            )
+        else:
+            self._run_dir.mkdir(parents=True, exist_ok=True)
+        return self._run_dir
+
+    def _spawn(
+        self,
+        shard: int,
+        plan: ShardPlan,
+        engine_kwargs: Mapping[str, Any],
+        faults=None,
+    ) -> ProcessShardHandle:
+        listener = self._ensure_listener()
+        host, port = listener.getsockname()
+        env = os.environ.copy()
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+        process = subprocess.Popen(
+            [
+                self._python,
+                "-m",
+                "repro.serving.worker",
+                "--connect",
+                f"{host}:{port}",
+                "--shard",
+                str(shard),
+            ],
+            env=env,
+        )
+        deadline = time.monotonic() + self._startup_timeout
+        try:
+            sock = self._accept_worker(shard, process, deadline)
+            sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            send_message(
+                sock,
+                {
+                    "op": "init",
+                    "bundle": self._bundle,
+                    "mmap": self._mmap,
+                    "shard": shard,
+                    "plan": plan_to_wire(plan),
+                    "engine": dict(engine_kwargs),
+                },
+            )
+            header, _ = recv_message(sock)
+        except TransportError:
+            process.kill()
+            process.wait()
+            raise
+        if header.get("error") is not None:
+            message = header["error"].get("message", "init failed")
+            process.kill()
+            process.wait()
+            raise TransportError(
+                f"shard {shard} worker failed to initialize: {message}"
+            )
+        return ProcessShardHandle(shard, process, sock, faults)
+
+    def _accept_worker(
+        self,
+        shard: int,
+        process: subprocess.Popen,
+        deadline: float,
+    ) -> socket.socket:
+        """Accept until the connection announcing ``shard`` arrives.
+
+        Accept order is scheduler-dependent, so each worker opens with
+        a ``hello`` naming its shard; a connection for another shard
+        mid-respawn would be a protocol bug and is rejected loudly.
+        """
+        listener = self._listener
+        assert listener is not None
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or process.poll() is not None:
+                raise TransportError(
+                    f"shard {shard} worker did not come up within "
+                    f"{self._startup_timeout}s "
+                    f"(exit code {process.poll()})"
+                )
+            listener.settimeout(min(remaining, 1.0))
+            try:
+                sock, _ = listener.accept()
+            except socket.timeout:
+                continue
+            hello, _ = recv_message(sock)
+            if hello.get("op") != "hello":
+                sock.close()
+                raise TransportError(
+                    f"worker handshake did not open with hello: "
+                    f"{hello.get('op')!r}"
+                )
+            if int(hello.get("shard", -1)) != shard:
+                sock.close()
+                raise TransportError(
+                    f"worker for shard {hello.get('shard')} connected "
+                    f"while spawning shard {shard}"
+                )
+            return sock
+
+
+def resolve_transport(transport) -> InprocessTransport | ProcessTransport:
+    """Accept ``None`` / ``"inproc"`` / a transport instance."""
+    if transport is None or transport == "inproc":
+        return InprocessTransport()
+    if transport == "process":
+        raise ServingError(
+            "the process transport needs the artifact bundle path: "
+            "construct ProcessTransport(path) and pass the instance, "
+            "or use ShardedEngine.load(path, ..., "
+            "transport='process')"
+        )
+    if hasattr(transport, "start") and hasattr(transport, "rebuild"):
+        return transport
+    raise ServingError(
+        f"transport must be None, 'inproc', or a transport instance, "
+        f"got {transport!r}"
+    )

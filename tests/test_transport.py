@@ -1,0 +1,425 @@
+"""Tests for the multiprocess shard transport (repro.serving.transport
+/ worker).
+
+The load-bearing contract extends the cluster's: a process-backed
+cluster -- shard engines in separate worker processes, answering over
+the length-prefixed socket protocol -- is **bit-identical** to the
+in-process cluster and to the singleton engine at every worker count,
+across queries, batches, similarity, durable deltas, and promote.  A
+SIGKILL'd worker degrades (typed markers in partial mode), and after
+``heal()`` respawns it from the bundle plus its replayed durable
+deltas, recovery is bit-identical too.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro import GenClus, GenClusConfig
+from repro.datagen.toy import political_forum_network
+from repro.exceptions import ServingError
+from repro.serving import (
+    InferenceEngine,
+    NewNode,
+    ShardedEngine,
+    SupervisionPolicy,
+)
+from repro.serving.supervision import ShardFailure
+from repro.serving.transport import (
+    ProcessTransport,
+    decode_link,
+    decode_node,
+    decode_spec,
+    encode_link,
+    encode_node,
+    encode_spec,
+    recv_message,
+    send_message,
+)
+
+BLOCK = 4
+WORKER_COUNTS = (1, 2, 3)
+
+GREEN_QUERY = dict(
+    links=[("writes", "blog0_1", 1.0), ("likes", "book0_2", 1.0)],
+    text={"text": ["environment", "climate", "green"]},
+)
+PURPLE_QUERY = dict(
+    links=[("writes", "blog1_1", 1.0), ("likes", "book1_2", 1.0)],
+    text={"text": ["liberty", "market", "freedom"]},
+)
+
+# fast-fail supervision: no retries, the first failure opens the
+# breaker, so a SIGKILL'd worker degrades on the very next scatter
+FAST_FAIL = SupervisionPolicy(
+    max_retries=0, backoff_base=0.0, breaker_threshold=1
+)
+
+
+@pytest.fixture(scope="module")
+def forum_result():
+    network = political_forum_network()
+    config = GenClusConfig(
+        n_clusters=2, outer_iterations=5, seed=0, n_init=3
+    )
+    return GenClus(config).fit(network, attributes=["text"])
+
+
+@pytest.fixture(scope="module")
+def artifact_path(forum_result, tmp_path_factory):
+    path = tmp_path_factory.mktemp("transport") / "forum.npz"
+    forum_result.save(path)
+    return path
+
+
+def process_cluster(artifact_path, n_shards, **kwargs):
+    kwargs.setdefault("block_size", BLOCK)
+    return ShardedEngine.load(
+        artifact_path,
+        n_shards=n_shards,
+        transport="process",
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# wire codecs
+# ----------------------------------------------------------------------
+class TestCodecs:
+    @pytest.mark.parametrize(
+        "node",
+        [
+            "user-1",
+            7,
+            3.5,
+            True,
+            None,
+            ("__sentinel__", 4),
+            ("outer", ("inner", 2), "tail"),
+        ],
+    )
+    def test_node_roundtrip(self, node):
+        assert decode_node(encode_node(node)) == node
+
+    def test_tuple_nodes_survive_json_shape(self):
+        # the encoded form must be plain JSON types all the way down
+        wire = encode_node(("__q__", 3))
+        assert wire == {"__tuple__": ["__q__", 3]}
+
+    def test_unencodable_node_is_loud(self):
+        with pytest.raises(ServingError, match="node id"):
+            encode_node(object())
+
+    def test_spec_roundtrip_preserves_text_shape(self):
+        # counts-dict vs token-list is part of the canonical cache
+        # key, so the codec must not collapse one into the other
+        counts = NewNode(
+            "n1",
+            "user",
+            links=[("writes", "blog0_0", 2.0)],
+            text={"text": {"tax": 2.0, "vote": 1.0}},
+        )
+        tokens = NewNode(
+            ("t", 1),
+            "user",
+            text={"text": ["tax", "tax", "vote"]},
+        )
+        for spec in (counts, tokens):
+            got = decode_spec(encode_spec(spec))
+            assert got == spec
+
+    def test_link_roundtrip(self):
+        links = [
+            ("writes", "blog0_0", 1.5),
+            ("likes", ("tuple", "id"), 2.0),
+        ]
+        for link in links:
+            assert decode_link(encode_link(link)) == link
+
+    def test_frame_roundtrip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            header = {"op": "test", "payload": [1, 2, 3]}
+            arrays = [
+                np.arange(12, dtype=np.float64).reshape(3, 4),
+                np.array([], dtype=np.int64),
+            ]
+            sender = threading.Thread(
+                target=send_message, args=(left, header, arrays)
+            )
+            sender.start()
+            got_header, got_arrays = recv_message(right)
+            sender.join()
+            arrays_out = got_arrays
+            assert {
+                k: v for k, v in got_header.items()
+            } == header
+            assert len(arrays_out) == 2
+            np.testing.assert_array_equal(arrays_out[0], arrays[0])
+            assert arrays_out[0].dtype == np.float64
+            assert arrays_out[1].size == 0
+        finally:
+            left.close()
+            right.close()
+
+
+# ----------------------------------------------------------------------
+# process-backed cluster == in-process cluster == singleton
+# ----------------------------------------------------------------------
+class TestProcessEquivalence:
+    @pytest.mark.parametrize("n_shards", WORKER_COUNTS)
+    def test_traffic_bit_identical(
+        self, forum_result, artifact_path, n_shards
+    ):
+        reference = InferenceEngine.from_result(
+            forum_result, block_size=BLOCK
+        )
+        inproc = ShardedEngine.from_result(
+            forum_result, n_shards=n_shards, block_size=BLOCK
+        )
+        with process_cluster(artifact_path, n_shards) as engine:
+            assert (
+                engine.info()["cluster"]["transport"]["backend"]
+                == "process"
+            )
+            for query in (GREEN_QUERY, PURPLE_QUERY):
+                want = reference.query("user", **query)
+                np.testing.assert_array_equal(
+                    want, inproc.query("user", **query)
+                )
+                np.testing.assert_array_equal(
+                    want, engine.query("user", **query)
+                )
+            # batch with a duplicate: dedup routes once, fans out
+            batch = [
+                dict(object_type="user", **GREEN_QUERY),
+                dict(object_type="user", **PURPLE_QUERY),
+                dict(object_type="user", **GREEN_QUERY),
+            ]
+            want_rows = reference.score_many(batch)
+            got_rows = engine.score_many(batch)
+            for want, got in zip(want_rows, got_rows):
+                np.testing.assert_array_equal(want, got)
+            # similarity and link suggestion ride the same sockets
+            nodes = ["user0_0", "user1_0"]
+            assert engine.similar_many(
+                nodes, k=5
+            ) == reference.similar_many(nodes, k=5)
+            assert engine.suggest_links(
+                "user0_0", "writes", k=3
+            ) == reference.suggest_links("user0_0", "writes", k=3)
+        inproc.close()
+
+    @pytest.mark.parametrize("n_shards", WORKER_COUNTS)
+    def test_durable_deltas_bit_identical(
+        self, forum_result, artifact_path, n_shards
+    ):
+        reference = InferenceEngine.from_result(
+            forum_result, block_size=BLOCK
+        )
+        with process_cluster(artifact_path, n_shards) as engine:
+            specs = [
+                NewNode(
+                    "newbie",
+                    "user",
+                    links=[("friend", "user0_0", 1.0)],
+                    text={"text": ["green", "climate"]},
+                )
+            ]
+            want = reference.extend(specs)
+            got = engine.extend(specs)
+            np.testing.assert_array_equal(want.theta, got.theta)
+            assert want.nodes == got.nodes
+            assert want.converged == got.converged
+
+            links = [("newbie", "friend", "user1_0", 1.0)]
+            want_links = reference.add_links(links)
+            got_links = engine.add_links(links)
+            np.testing.assert_array_equal(
+                want_links.theta, got_links.theta
+            )
+            np.testing.assert_array_equal(
+                reference.membership_of("newbie"),
+                engine.membership_of("newbie"),
+            )
+            assert engine.evict(0) == reference.evict(0)
+
+    @pytest.mark.parametrize("n_shards", WORKER_COUNTS)
+    def test_promote_bit_identical_including_g1(
+        self, forum_result, artifact_path, n_shards
+    ):
+        config = GenClusConfig(
+            n_clusters=2, outer_iterations=4, seed=0, block_size=BLOCK
+        )
+        reference_engine = InferenceEngine.from_result(
+            forum_result, block_size=BLOCK
+        )
+        reference_engine.extend(
+            [
+                NewNode(
+                    "n0",
+                    "user",
+                    links=[("writes", "blog0_0", 1.0)],
+                )
+            ]
+        )
+        reference = reference_engine.promote(config)
+
+        with process_cluster(artifact_path, n_shards) as engine:
+            engine.extend(
+                [
+                    NewNode(
+                        "n0",
+                        "user",
+                        links=[("writes", "blog0_0", 1.0)],
+                    )
+                ]
+            )
+            promoted = engine.promote(config)
+            np.testing.assert_array_equal(
+                reference.theta, promoted.theta
+            )
+            np.testing.assert_array_equal(
+                reference.gamma, promoted.gamma
+            )
+            np.testing.assert_array_equal(
+                reference.history.g1_series(),
+                promoted.history.g1_series(),
+            )
+            # the workers hot-swapped onto the promoted bundle:
+            # post-promote traffic matches the promoted singleton
+            np.testing.assert_array_equal(
+                reference_engine.query("user", **PURPLE_QUERY),
+                engine.query("user", **PURPLE_QUERY),
+            )
+            assert engine.num_extension_nodes == 0
+
+
+# ----------------------------------------------------------------------
+# process death: degrade, respawn, replay
+# ----------------------------------------------------------------------
+class TestWorkerDeath:
+    def test_kill_degrade_heal_recover(
+        self, forum_result, artifact_path
+    ):
+        reference = InferenceEngine.from_result(
+            forum_result, block_size=BLOCK
+        )
+        batch = [
+            dict(object_type="user", **GREEN_QUERY),
+            dict(object_type="user", **PURPLE_QUERY),
+        ]
+        want_rows = reference.score_many(batch)
+        with process_cluster(
+            artifact_path, 2, supervision=FAST_FAIL
+        ) as engine:
+            # a durable delta before the crash: replay must restore it
+            engine.extend(
+                [
+                    NewNode(
+                        "newbie",
+                        "user",
+                        links=[("friend", "user0_0", 1.0)],
+                    )
+                ]
+            )
+            membership_before = engine.membership_of("newbie")
+            owner = engine.owner_of("newbie")
+
+            engine.shards[owner].kill()
+
+            degraded = engine.score_many(batch, partial=True)
+            markers = [
+                row
+                for row in degraded
+                if isinstance(row, ShardFailure)
+            ]
+            assert markers, "no query landed on the killed shard"
+            for marker in markers:
+                assert marker.shard == owner
+            for row, want in zip(degraded, want_rows):
+                if isinstance(row, ShardFailure):
+                    continue
+                np.testing.assert_array_equal(row, want)
+
+            # heal(): the transport respawns the worker from the
+            # bundle and the router replays the durable-delta log
+            assert engine.heal() == (owner,)
+            recovered = engine.score_many(batch)
+            for row, want in zip(recovered, want_rows):
+                np.testing.assert_array_equal(row, want)
+            np.testing.assert_array_equal(
+                membership_before, engine.membership_of("newbie")
+            )
+            # the respawned process is a different pid, still alive
+            workers = engine.info()["cluster"]["transport"]["workers"]
+            assert all(
+                entry["alive"] for entry in workers.values()
+            )
+
+    def test_scripted_worker_call_fault_site(
+        self, forum_result, artifact_path
+    ):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan().fail(
+            "worker.call", op="query", message="drill"
+        )
+        with process_cluster(
+            artifact_path, 2, supervision=FAST_FAIL, faults=plan
+        ) as engine:
+            with pytest.raises(ServingError):
+                engine.query("user", **GREEN_QUERY)
+            engine.heal()
+            np.testing.assert_array_equal(
+                InferenceEngine.from_result(
+                    forum_result, block_size=BLOCK
+                ).query("user", **GREEN_QUERY),
+                engine.query("user", **GREEN_QUERY),
+            )
+
+
+# ----------------------------------------------------------------------
+# transport plumbing
+# ----------------------------------------------------------------------
+class TestTransportPlumbing:
+    def test_resolve_rejects_bare_process_string(self, forum_result):
+        with pytest.raises(ServingError, match="process"):
+            ShardedEngine.from_result(
+                forum_result, n_shards=2, transport="process"
+            )
+
+    def test_shutdown_reaps_workers(self, artifact_path):
+        engine = process_cluster(artifact_path, 2)
+        processes = [
+            handle._process for handle in engine.shards
+        ]
+        assert all(proc.poll() is None for proc in processes)
+        engine.close()
+        for proc in processes:
+            proc.wait(timeout=10)
+        assert all(proc.poll() is not None for proc in processes)
+
+    def test_transport_metrics_aggregate_across_processes(
+        self, artifact_path
+    ):
+        from repro.obs import series_value
+        from repro.obs.export import render_prometheus
+
+        with process_cluster(artifact_path, 2) as engine:
+            engine.score_many(
+                [
+                    dict(object_type="user", **GREEN_QUERY),
+                    dict(object_type="user", **PURPLE_QUERY),
+                ]
+            )
+            snapshot = engine.metrics_snapshot()
+            # worker-side counters crossed the process boundary
+            assert (
+                series_value(snapshot, "repro_cache_misses_total")
+                >= 1
+            )
+            text = render_prometheus(snapshot)
+            assert "repro_queries_total" in text
